@@ -1,0 +1,151 @@
+//! A small synchronous harness that drives a set of engines under an
+//! adversarial delivery plan and records what each client would observe.
+
+use flexitrust_protocol::{Action, ClientReply, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_sim::{DeliveryFate, FaultPlan};
+use flexitrust_types::{ReplicaId, Transaction};
+
+/// Everything observed while driving the cluster.
+#[derive(Debug, Default)]
+pub struct Observations {
+    /// Replies emitted towards clients, tagged with the sending replica.
+    pub replies: Vec<ClientReply>,
+    /// Messages that the fault plan dropped.
+    pub dropped_messages: u64,
+    /// Messages that were delivered.
+    pub delivered_messages: u64,
+    /// View-change messages observed on the wire (even if dropped).
+    pub view_change_votes: u64,
+}
+
+/// Drives `engines` until quiescence, delivering messages according to
+/// `faults` (delayed messages are treated as arriving after everything else;
+/// dropped messages never arrive). Client requests in `inject` are handed to
+/// the listed replica first; `fire_timers` lists replicas whose view-change
+/// timer is fired once after the network quiesces (modelling the client
+/// complaint / timeout path).
+pub fn drive(
+    engines: &mut [Box<dyn ConsensusEngine>],
+    faults: &FaultPlan,
+    inject: Vec<(usize, Vec<Transaction>)>,
+    fire_timers: &[usize],
+    max_rounds: usize,
+) -> Observations {
+    let n = engines.len();
+    let mut obs = Observations::default();
+    let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
+    let mut delayed: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
+
+    let mut route = |from: ReplicaId,
+                     actions: Vec<Action>,
+                     queues: &mut Vec<Vec<(ReplicaId, Message)>>,
+                     delayed: &mut Vec<Vec<(ReplicaId, Message)>>,
+                     obs: &mut Observations| {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if msg.kind() == "ViewChange" {
+                        obs.view_change_votes += 1;
+                    }
+                    match faults.fate(from, to, &msg) {
+                        DeliveryFate::Deliver => queues[to.as_usize()].push((from, msg)),
+                        DeliveryFate::Delay(_) => delayed[to.as_usize()].push((from, msg)),
+                        DeliveryFate::Drop => obs.dropped_messages += 1,
+                    }
+                }
+                Action::Broadcast { msg } => {
+                    if msg.kind() == "ViewChange" {
+                        obs.view_change_votes += 1;
+                    }
+                    for to in 0..n {
+                        let to_id = ReplicaId(to as u32);
+                        match faults.fate(from, to_id, &msg) {
+                            DeliveryFate::Deliver => queues[to].push((from, msg.clone())),
+                            DeliveryFate::Delay(_) => delayed[to].push((from, msg.clone())),
+                            DeliveryFate::Drop => obs.dropped_messages += 1,
+                        }
+                    }
+                }
+                Action::Reply { reply } => obs.replies.push(reply),
+                _ => {}
+            }
+        }
+    };
+
+    for (target, txns) in inject {
+        let mut out = Outbox::new();
+        engines[target].on_client_request(txns, &mut out);
+        route(
+            engines[target].id(),
+            out.drain(),
+            &mut queues,
+            &mut delayed,
+            &mut obs,
+        );
+    }
+
+    let mut drain = |queues: &mut Vec<Vec<(ReplicaId, Message)>>,
+                     delayed: &mut Vec<Vec<(ReplicaId, Message)>>,
+                     engines: &mut [Box<dyn ConsensusEngine>],
+                     obs: &mut Observations| {
+        for _ in 0..max_rounds {
+            let mut any = false;
+            for i in 0..n {
+                if faults.is_failed(ReplicaId(i as u32)) {
+                    queues[i].clear();
+                    continue;
+                }
+                for (from, msg) in std::mem::take(&mut queues[i]) {
+                    any = true;
+                    obs.delivered_messages += 1;
+                    let mut out = Outbox::new();
+                    engines[i].on_message(from, msg, &mut out);
+                    route(engines[i].id(), out.drain(), queues, delayed, obs);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    };
+
+    // Phase 1: prompt delivery of everything the adversary lets through.
+    drain(&mut queues, &mut delayed, engines, &mut obs);
+
+    // Phase 2: the client complains / timers fire at the chosen replicas.
+    for idx in fire_timers {
+        let mut out = Outbox::new();
+        engines[*idx].on_timer(TimerKind::ViewChange, &mut out);
+        route(
+            engines[*idx].id(),
+            out.drain(),
+            &mut queues,
+            &mut delayed,
+            &mut obs,
+        );
+    }
+    drain(&mut queues, &mut delayed, engines, &mut obs);
+
+    // Phase 3: partial synchrony — the delayed messages finally arrive.
+    for i in 0..n {
+        queues[i].append(&mut delayed[i]);
+    }
+    drain(&mut queues, &mut delayed, engines, &mut obs);
+
+    obs
+}
+
+/// Counts, per request, how many **distinct** replicas replied with a
+/// matching (sequence number, speculative-or-not) answer; returns the
+/// maximum across result variants — i.e. the best the client could do.
+pub fn max_matching_replies(obs: &Observations) -> usize {
+    use std::collections::{BTreeSet, HashMap};
+    let mut per_result: HashMap<(u64, u64, u64), BTreeSet<ReplicaId>> = HashMap::new();
+    for reply in &obs.replies {
+        per_result
+            .entry((reply.client.0, reply.request.0, reply.seq.0))
+            .or_default()
+            .insert(reply.replica);
+    }
+    per_result.values().map(BTreeSet::len).max().unwrap_or(0)
+}

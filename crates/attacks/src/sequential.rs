@@ -1,0 +1,156 @@
+//! The §7 sequentiality probe.
+//!
+//! trust-bft replicas must bind every accepted proposal to their trusted
+//! monotonic counter *in order*: if the proposal for sequence number 2
+//! arrives (and is processed) before the proposal for sequence number 1, the
+//! counter has already advanced past 1 and the replica's trusted component
+//! rejects the later (lower) binding — the consensus for slot 1 can no
+//! longer make progress at that replica. FlexiTrust replicas never touch
+//! their trusted components on the receive path, so out-of-order proposals
+//! are simply parked by the execution queue and executed once the gap fills.
+
+use flexitrust_baselines::MinBft;
+use flexitrust_core::FlexiZz;
+use flexitrust_crypto::make_batch;
+use flexitrust_protocol::{ConsensusEngine, Message, Outbox};
+use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
+use flexitrust_types::{
+    ClientId, KvOp, ProtocolId, ReplicaId, RequestId, SeqNum, Transaction, View,
+};
+
+/// Outcome of delivering proposals out of order to one replica.
+#[derive(Debug, Clone)]
+pub struct SequentialReport {
+    /// The protocol probed.
+    pub protocol: ProtocolId,
+    /// Trusted-component accesses rejected because of ordering.
+    pub tc_rejections: u64,
+    /// Whether the replica eventually executed both proposals.
+    pub both_executed: bool,
+}
+
+fn batches() -> (flexitrust_types::Batch, flexitrust_types::Batch) {
+    let t1 = Transaction::new(ClientId(1), RequestId(1), KvOp::Read { key: 1 });
+    let t2 = Transaction::new(ClientId(1), RequestId(2), KvOp::Read { key: 2 });
+    (make_batch(vec![t1]), make_batch(vec![t2]))
+}
+
+/// Probes MinBFT: sequence number 2 is delivered before sequence number 1.
+pub fn out_of_order_probe_minbft(f: usize) -> SequentialReport {
+    let mut config = MinBft::config(f);
+    config.batch_size = 1;
+    let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
+    let primary_enclave: SharedEnclave = MinBft::enclave(ReplicaId(0), AttestationMode::Real);
+    let backup_enclave: SharedEnclave = MinBft::enclave(ReplicaId(1), AttestationMode::Real);
+    let mut backup = MinBft::engine(
+        config,
+        ReplicaId(1),
+        backup_enclave.clone(),
+        registry.clone(),
+    );
+
+    let (b1, b2) = batches();
+    // The (honest but concurrent) primary attested both proposals in order.
+    let att1 = primary_enclave.append(0, 1, b1.digest).expect("first append");
+    let att2 = primary_enclave.append(0, 2, b2.digest).expect("second append");
+
+    // Deliver out of order: seq 2 first, then seq 1.
+    let mut out = Outbox::new();
+    backup.on_message(
+        ReplicaId(0),
+        Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(2),
+            batch: b2,
+            attestation: Some(att2),
+        },
+        &mut out,
+    );
+    backup.on_message(
+        ReplicaId(0),
+        Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            batch: b1,
+            attestation: Some(att1),
+        },
+        &mut out,
+    );
+
+    SequentialReport {
+        protocol: ProtocolId::MinBft,
+        tc_rejections: backup_enclave.stats().snapshot().rejected,
+        both_executed: backup.last_executed() >= SeqNum(2),
+    }
+}
+
+/// Probes Flexi-ZZ with the same out-of-order delivery.
+pub fn out_of_order_probe_flexizz(f: usize) -> SequentialReport {
+    let mut config = FlexiZz::config(f);
+    config.batch_size = 1;
+    let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
+    let primary_enclave = Enclave::shared(EnclaveConfig::counter_only(
+        ReplicaId(0),
+        AttestationMode::Real,
+    ));
+    let backup_enclave = FlexiZz::enclave(ReplicaId(1), AttestationMode::Real);
+    let mut backup = FlexiZz::new(config, ReplicaId(1), backup_enclave.clone(), registry);
+
+    let (b1, b2) = batches();
+    let (_, att1) = primary_enclave.append_f(0, b1.digest).expect("first append");
+    let (_, att2) = primary_enclave.append_f(0, b2.digest).expect("second append");
+
+    let mut out = Outbox::new();
+    backup.on_message(
+        ReplicaId(0),
+        Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(2),
+            batch: b2,
+            attestation: Some(att2),
+        },
+        &mut out,
+    );
+    backup.on_message(
+        ReplicaId(0),
+        Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            batch: b1,
+            attestation: Some(att1),
+        },
+        &mut out,
+    );
+
+    SequentialReport {
+        protocol: ProtocolId::FlexiZz,
+        tc_rejections: backup_enclave.stats().snapshot().rejected,
+        both_executed: backup.last_executed() >= SeqNum(2),
+    }
+}
+
+/// Convenience wrapper used by the benches: probes both protocols.
+pub fn out_of_order_probe(f: usize) -> (SequentialReport, SequentialReport) {
+    (out_of_order_probe_minbft(f), out_of_order_probe_flexizz(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minbft_rejects_out_of_order_bindings_at_its_counter() {
+        let report = out_of_order_probe_minbft(1);
+        assert!(
+            report.tc_rejections >= 1,
+            "expected at least one rejected TC access, got {report:?}"
+        );
+    }
+
+    #[test]
+    fn flexi_zz_accepts_out_of_order_proposals_without_touching_its_counter() {
+        let report = out_of_order_probe_flexizz(1);
+        assert_eq!(report.tc_rejections, 0);
+        assert!(report.both_executed, "{report:?}");
+    }
+}

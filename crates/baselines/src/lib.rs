@@ -1,0 +1,39 @@
+//! Baseline BFT and trust-BFT protocols evaluated by the paper.
+//!
+//! The paper compares its FlexiTrust suite against five deployed baselines
+//! plus three variants the authors build themselves. All of them are
+//! PBFT-shaped, differing in replication factor, number of phases, quorum
+//! sizes, speculation and how they use trusted components:
+//!
+//! | Protocol | n | Phases | Trusted component use |
+//! |---|---|---|---|
+//! | [`Pbft`](pbft::Pbft) | 3f+1 | PrePrepare, Prepare, Commit | none |
+//! | [`Zyzzyva`](zyzzyva::Zyzzyva) | 3f+1 | PrePrepare (speculative) | none |
+//! | [`PbftEa`](pbft_ea::PbftEa) | 2f+1 | 3 phases | trusted log per message |
+//! | [`OpbftEa`](opbft_ea::OpbftEa) | 2f+1 | 3 phases, parallel instances | trusted log per message |
+//! | [`MinBft`](minbft::MinBft) | 2f+1 | 2 phases | trusted counter per message |
+//! | [`MinZz`](minzz::MinZz) | 2f+1 | 1 phase (speculative) | trusted counter per message |
+//! | [`CheapBft`](cheapbft::CheapBft) | 2f+1 (f+1 active) | 2 phases | trusted counter per message |
+//!
+//! All engines are built on the shared [`common::PbftFamilyEngine`], a
+//! configurable PBFT-family replica: each protocol module instantiates it
+//! with the style parameters above and documents the protocol-specific
+//! behaviour and its limitations (§5–§7 of the paper).
+
+pub mod cheapbft;
+pub mod common;
+pub mod minbft;
+pub mod minzz;
+pub mod opbft_ea;
+pub mod pbft;
+pub mod pbft_ea;
+pub mod zyzzyva;
+
+pub use cheapbft::CheapBft;
+pub use common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
+pub use minbft::MinBft;
+pub use minzz::MinZz;
+pub use opbft_ea::OpbftEa;
+pub use pbft::Pbft;
+pub use pbft_ea::PbftEa;
+pub use zyzzyva::Zyzzyva;

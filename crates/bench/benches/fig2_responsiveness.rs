@@ -1,0 +1,50 @@
+//! Figure 2 / §5: disruption of service through weak quorums.
+//!
+//! Runs the restricted-responsiveness adversary (Byzantine primary + f-1
+//! accomplices withholding messages from f honest replicas, one delayed
+//! honest replica) against MinBFT, PBFT-EA, PBFT and the FlexiTrust
+//! protocols and reports how many matching replies the client obtains versus
+//! how many it needs, and whether a view change can rescue it.
+
+use flexitrust::attacks::responsiveness_attack;
+use flexitrust::prelude::ProtocolId;
+use flexitrust_bench::print_table;
+
+fn main() {
+    let f = 2;
+    let protocols = [
+        ProtocolId::MinBft,
+        ProtocolId::PbftEa,
+        ProtocolId::MinZz,
+        ProtocolId::Pbft,
+        ProtocolId::FlexiBft,
+        ProtocolId::FlexiZz,
+    ];
+    let rows: Vec<String> = protocols
+        .iter()
+        .map(|p| {
+            let r = responsiveness_attack(*p, f);
+            format!(
+                "{:<11} n={:<3} replies {:>2}/{:<2} view-change votes {:>2}/{:<2} -> {}",
+                r.protocol.name(),
+                r.n,
+                r.matching_replies,
+                r.replies_needed,
+                r.view_change_votes,
+                r.view_change_quorum,
+                if r.client_stuck() {
+                    "CLIENT STUCK (no responsiveness)"
+                } else if r.client_responsive() {
+                    "client responsive"
+                } else {
+                    "degraded (recoverable via view change / retry)"
+                }
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 2 / Section 5: weak-quorum responsiveness attack (f = 2)",
+        "Protocol       replies (got/needed)   view-change votes   outcome",
+        &rows,
+    );
+}

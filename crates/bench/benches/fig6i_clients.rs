@@ -1,0 +1,32 @@
+//! Figure 6(i): throughput versus latency as the client count grows.
+
+use flexitrust_bench::{eval_spec, figure6_protocols, print_table, run};
+
+fn main() {
+    let client_counts = if flexitrust_bench::full_scale() {
+        vec![1_000, 4_000, 16_000, 40_000]
+    } else {
+        vec![500, 2_000, 8_000]
+    };
+    let mut rows = Vec::new();
+    for protocol in figure6_protocols() {
+        for clients in &client_counts {
+            let mut spec = eval_spec(protocol, 4);
+            spec.clients = *clients;
+            let report = run(spec);
+            rows.push(format!(
+                "{:<11} clients={:<6} tput={:>10.0} txn/s   lat={:>7.2} ms (p99 {:>7.2} ms)",
+                protocol.name(),
+                clients,
+                report.throughput_tps,
+                report.avg_latency_ms,
+                report.p99_latency_ms,
+            ));
+        }
+    }
+    print_table(
+        "Figure 6(i): throughput vs latency (f = 4, varying closed-loop clients)",
+        "Protocol    clients       throughput          latency",
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 6(ii)/(iii): scalability — throughput and latency as f grows.
+
+use flexitrust::prelude::*;
+use flexitrust_bench::{eval_spec, print_table, run};
+
+fn main() {
+    let fs = if flexitrust_bench::full_scale() {
+        vec![2, 4, 8, 16]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let protocols = [
+        ProtocolId::PbftEa,
+        ProtocolId::MinBft,
+        ProtocolId::MinZz,
+        ProtocolId::Pbft,
+        ProtocolId::FlexiBft,
+        ProtocolId::FlexiZz,
+    ];
+    let mut rows = Vec::new();
+    for protocol in protocols {
+        for f in &fs {
+            let report = run(eval_spec(protocol, *f));
+            rows.push(format!(
+                "{:<11} f={:<2} n={:<3} tput={:>10.0} txn/s   lat={:>7.2} ms",
+                protocol.name(),
+                f,
+                report.n,
+                report.throughput_tps,
+                report.avg_latency_ms,
+            ));
+        }
+    }
+    print_table(
+        "Figure 6(ii)/(iii): scalability with the number of replicas",
+        "Protocol    f    n      throughput          latency",
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 6(iv)/(v): impact of the batch size.
+
+use flexitrust::prelude::*;
+use flexitrust_bench::{eval_spec, print_table, run};
+
+fn main() {
+    let batch_sizes = if flexitrust_bench::full_scale() {
+        vec![10, 100, 500, 1_000, 5_000]
+    } else {
+        vec![10, 50, 200, 1_000]
+    };
+    let protocols = [
+        ProtocolId::MinBft,
+        ProtocolId::MinZz,
+        ProtocolId::Pbft,
+        ProtocolId::FlexiBft,
+        ProtocolId::FlexiZz,
+    ];
+    let mut rows = Vec::new();
+    for protocol in protocols {
+        for batch in &batch_sizes {
+            let mut spec = eval_spec(protocol, 2);
+            spec.batch_size = *batch;
+            let report = run(spec);
+            rows.push(format!(
+                "{:<11} batch={:<5} tput={:>10.0} txn/s   lat={:>7.2} ms",
+                protocol.name(),
+                batch,
+                report.throughput_tps,
+                report.avg_latency_ms,
+            ));
+        }
+    }
+    print_table(
+        "Figure 6(iv)/(v): impact of batching (f = 2)",
+        "Protocol    batch       throughput          latency",
+        &rows,
+    );
+}

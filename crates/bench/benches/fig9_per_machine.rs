@@ -1,0 +1,31 @@
+//! Figure 9: throughput-per-machine, Flexi-ZZ vs MinZZ.
+//!
+//! trust-bft protocols justify their extra trusted hardware by needing f
+//! fewer replicas, but the paper shows that, per machine, the 3f + 1
+//! FlexiTrust protocols still deliver more useful work.
+
+use flexitrust::prelude::*;
+use flexitrust_bench::{eval_spec, print_table, run};
+
+fn main() {
+    let fs = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for f in fs {
+        let flexi = run(eval_spec(ProtocolId::FlexiZz, f));
+        let minzz = run(eval_spec(ProtocolId::MinZz, f));
+        rows.push(format!(
+            "f={:<2}  Flexi-ZZ: {:>8.0} tx/s/machine (n={:<3})   MinZZ: {:>8.0} tx/s/machine (n={:<3})   ratio {:>4.2}x",
+            f,
+            flexi.throughput_per_machine(),
+            flexi.n,
+            minzz.throughput_per_machine(),
+            minzz.n,
+            flexi.throughput_per_machine() / minzz.throughput_per_machine().max(1.0),
+        ));
+    }
+    print_table(
+        "Figure 9: throughput-per-machine (total throughput / number of replicas)",
+        "f     Flexi-ZZ                          MinZZ                             ratio",
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the substrates: crypto primitives, trusted
+//! counter accesses, quorum tracking and a short end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexitrust::crypto::{sha256, CountingCrypto, CryptoProvider, KeyStore, RealCrypto};
+use flexitrust::prelude::*;
+use flexitrust::protocol::CertificateTracker;
+use flexitrust::trusted::{AttestationMode, Enclave, EnclaveConfig};
+use flexitrust::types::Digest;
+use std::sync::Arc;
+
+fn bench_crypto(c: &mut Criterion) {
+    let keys = Arc::new(KeyStore::deterministic(4, 1));
+    let real = RealCrypto::new(keys);
+    let counting = CountingCrypto::new();
+    let node = flexitrust::types::NodeId::Replica(ReplicaId(0));
+    let payload = vec![7u8; 256];
+
+    c.bench_function("crypto/sha256_256B", |b| b.iter(|| sha256(&payload)));
+    c.bench_function("crypto/ed25519_sign_256B", |b| {
+        b.iter(|| real.sign(node, &payload).unwrap())
+    });
+    let sig = real.sign(node, &payload).unwrap();
+    c.bench_function("crypto/ed25519_verify_256B", |b| {
+        b.iter(|| real.verify(node, &payload, &sig).unwrap())
+    });
+    c.bench_function("crypto/counting_sign_256B", |b| {
+        b.iter(|| counting.sign(node, &payload).unwrap())
+    });
+}
+
+fn bench_trusted(c: &mut Criterion) {
+    let real = Enclave::shared(EnclaveConfig::counter_only(
+        ReplicaId(0),
+        AttestationMode::Real,
+    ));
+    let counting = Enclave::shared(EnclaveConfig::counter_only(
+        ReplicaId(0),
+        AttestationMode::Counting,
+    ));
+    c.bench_function("trusted/append_f_real_signature", |b| {
+        b.iter(|| real.append_f(0, Digest::from_u64_tag(1)).unwrap())
+    });
+    c.bench_function("trusted/append_f_counting", |b| {
+        b.iter(|| counting.append_f(0, Digest::from_u64_tag(1)).unwrap())
+    });
+}
+
+fn bench_quorum(c: &mut Criterion) {
+    c.bench_function("protocol/certificate_tracker_quorum_of_17", |b| {
+        b.iter(|| {
+            let mut tracker: CertificateTracker<u64> = CertificateTracker::new(17);
+            for r in 0..25u32 {
+                tracker.vote(1, ReplicaId(r));
+            }
+            tracker.is_complete(&1)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("flexi_zz_quick_scenario", |b| {
+        b.iter(|| {
+            let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiZz);
+            spec.duration_us = 60_000;
+            spec.warmup_us = 15_000;
+            Simulation::new(spec).run().completed_txns
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_trusted,
+    bench_quorum,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared helpers for the figure-reproduction benchmarks.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure of
+//! the paper's evaluation (§9) and prints the same rows/series the paper
+//! reports. The absolute numbers come from the discrete-event simulator and
+//! are not expected to match the paper's 97-node cloud deployment; the
+//! orderings and crossovers are (see `EXPERIMENTS.md`).
+//!
+//! The parameters here are deliberately scaled down (smaller `f`, shorter
+//! simulated windows, fewer clients) so that the whole suite runs in minutes
+//! on a laptop. Set the environment variable `FLEXITRUST_BENCH_SCALE=full`
+//! to use larger windows closer to the paper's setup.
+
+use flexitrust::prelude::*;
+
+/// Returns `true` when the full-scale (slower) parameters were requested.
+pub fn full_scale() -> bool {
+    std::env::var("FLEXITRUST_BENCH_SCALE")
+        .map(|v| v.eq_ignore_ascii_case("full"))
+        .unwrap_or(false)
+}
+
+/// The standard evaluation scenario used by the figure benches.
+pub fn eval_spec(protocol: ProtocolId, f: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_default(protocol);
+    spec.f = f;
+    spec.batch_size = 50;
+    spec.clients = 2_000;
+    if full_scale() {
+        spec.duration_us = 600_000;
+        spec.warmup_us = 150_000;
+        spec.batch_size = 100;
+        spec.clients = 8_000;
+    } else {
+        spec.duration_us = 120_000;
+        spec.warmup_us = 30_000;
+    }
+    spec.client_timeout_us = Some(20_000);
+    spec
+}
+
+/// The protocol line-up of Figure 6(i), in the paper's order.
+pub fn figure6_protocols() -> Vec<ProtocolId> {
+    vec![
+        ProtocolId::PbftEa,
+        ProtocolId::MinBft,
+        ProtocolId::MinZz,
+        ProtocolId::OpbftEa,
+        ProtocolId::FlexiBft,
+        ProtocolId::FlexiZz,
+        ProtocolId::Pbft,
+        ProtocolId::Zyzzyva,
+        ProtocolId::OFlexiBft,
+        ProtocolId::OFlexiZz,
+    ]
+}
+
+/// Prints a table header followed by rows.
+pub fn print_table(title: &str, header: &str, rows: &[String]) {
+    println!();
+    println!("=== {title} ===");
+    println!("{header}");
+    println!("{}", "-".repeat(header.len().max(20)));
+    for row in rows {
+        println!("{row}");
+    }
+    println!();
+}
+
+/// Runs one scenario and returns its report.
+pub fn run(spec: ScenarioSpec) -> SimReport {
+    Simulation::new(spec).run()
+}

@@ -1,0 +1,550 @@
+//! Flexi-BFT: the two-phase FlexiTrust protocol (Figure 3 of the paper).
+//!
+//! Flexi-BFT is the FlexiTrust conversion of MinBFT (and, transitively, of
+//! PBFT): the primary binds each batch to its trusted counter with `AppendF`
+//! and broadcasts an attested `PrePrepare`; a backup that accepts the
+//! proposal marks it *prepared* immediately (the attestation already rules
+//! out equivocation, so PBFT's extra round is unnecessary) and broadcasts a
+//! plain `Prepare`; a replica that collects `2f + 1` matching `Prepare`
+//! messages marks the batch *committed* and executes it in sequence order;
+//! the client completes with `f + 1` matching replies.
+//!
+//! Compared with MinBFT, moving back to `n = 3f + 1` with `2f + 1` quorums
+//! restores client responsiveness (§5), reduces trusted-component usage to
+//! one access per consensus at the primary only (§6, G2), and lets the
+//! primary keep many consensus instances in flight concurrently (§7, G1).
+//! The sequential ablation `oFlexi-BFT` of Figure 6(i) is this same engine
+//! with the in-flight window forced to one ([`FlexiBft::sequential`]).
+
+use crate::common::FlexiCore;
+use flexitrust_protocol::{
+    CertificateTracker, ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
+};
+use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
+use flexitrust_types::{
+    Digest, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View,
+};
+
+/// A Flexi-BFT replica engine.
+pub struct FlexiBft {
+    sequential: bool,
+    flexi: FlexiCore,
+    prepare_votes: CertificateTracker<(View, SeqNum, Digest)>,
+    prepare_sent: std::collections::BTreeSet<u64>,
+    committed: std::collections::BTreeSet<u64>,
+}
+
+impl FlexiBft {
+    /// The default configuration for fault threshold `f` (`n = 3f + 1`).
+    pub fn config(f: usize) -> SystemConfig {
+        SystemConfig::for_protocol(ProtocolId::FlexiBft, f)
+    }
+
+    /// The configuration of the sequential ablation `oFlexi-BFT`.
+    pub fn sequential_config(f: usize) -> SystemConfig {
+        SystemConfig::for_protocol(ProtocolId::OFlexiBft, f)
+    }
+
+    /// The counter-only enclave Flexi-BFT expects at each replica.
+    pub fn enclave(id: ReplicaId, mode: AttestationMode) -> SharedEnclave {
+        Enclave::shared(EnclaveConfig::counter_only(id, mode))
+    }
+
+    /// Creates the engine for replica `id`.
+    pub fn new(
+        config: SystemConfig,
+        id: ReplicaId,
+        enclave: SharedEnclave,
+        registry: EnclaveRegistry,
+    ) -> Self {
+        let prepare_quorum = config.large_quorum();
+        let sequential = config.protocol == ProtocolId::OFlexiBft || config.max_in_flight == 1;
+        FlexiBft {
+            sequential,
+            prepare_votes: CertificateTracker::new(prepare_quorum),
+            prepare_sent: std::collections::BTreeSet::new(),
+            committed: std::collections::BTreeSet::new(),
+            flexi: FlexiCore::new(config, id, enclave, registry),
+        }
+    }
+
+    /// Creates the sequential ablation (`oFlexi-BFT`) engine for replica `id`.
+    pub fn sequential(
+        f: usize,
+        id: ReplicaId,
+        enclave: SharedEnclave,
+        registry: EnclaveRegistry,
+    ) -> Self {
+        Self::new(Self::sequential_config(f), id, enclave, registry)
+    }
+
+    /// Shared FlexiTrust state (exposed for tests and attack harnesses).
+    pub fn flexi(&self) -> &FlexiCore {
+        &self.flexi
+    }
+
+    /// Whether this engine runs the sequential (`oFlexi-BFT`) ablation.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    fn on_preprepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        batch: flexitrust_types::Batch,
+        attestation: Option<flexitrust_trusted::Attestation>,
+        out: &mut Outbox,
+    ) {
+        let Some(accepted) = self
+            .flexi
+            .accept_preprepare(from, view, seq, batch, attestation)
+        else {
+            return;
+        };
+        // The attested proposal is already "prepared" in the PBFT sense; one
+        // round of Prepare votes is enough to commit (Figure 3, line 9).
+        if self.prepare_sent.insert(seq.0) {
+            out.broadcast(Message::Prepare {
+                view,
+                seq,
+                digest: accepted.digest,
+                attestation: None,
+            });
+        }
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        out: &mut Outbox,
+    ) {
+        if view != self.flexi.replica.view() || self.flexi.in_view_change() {
+            return;
+        }
+        if !self.prepare_votes.vote((view, seq, digest), from) {
+            return;
+        }
+        self.try_commit(seq, digest, out);
+    }
+
+    fn try_commit(&mut self, seq: SeqNum, digest: Digest, out: &mut Outbox) {
+        if self.committed.contains(&seq.0) {
+            return;
+        }
+        let Some(accepted) = self.flexi.accepted(seq) else {
+            return;
+        };
+        if accepted.digest != digest {
+            return;
+        }
+        let batch = accepted.batch.clone();
+        self.committed.insert(seq.0);
+        let executed = self.flexi.replica.commit_batch(seq, batch, false, out);
+        for done in executed {
+            self.flexi.replica.maybe_emit_checkpoint(done.seq, out);
+            self.flexi.instance_finished(done.seq, out);
+        }
+    }
+
+    fn adopt_proposals(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        proposals: Vec<(SeqNum, flexitrust_types::Batch, Option<flexitrust_trusted::Attestation>)>,
+        out: &mut Outbox,
+    ) {
+        for (seq, batch, attestation) in proposals {
+            if self.flexi.replica.exec().is_executed(seq) {
+                continue;
+            }
+            self.on_preprepare(from, view, seq, batch, attestation, out);
+        }
+    }
+}
+
+impl ConsensusEngine for FlexiBft {
+    fn config(&self) -> &SystemConfig {
+        self.flexi.replica.config()
+    }
+
+    fn id(&self) -> ReplicaId {
+        self.flexi.replica.id()
+    }
+
+    fn properties(&self) -> ProtocolProperties {
+        ProtocolProperties::for_protocol(if self.sequential {
+            ProtocolId::OFlexiBft
+        } else {
+            ProtocolId::FlexiBft
+        })
+    }
+
+    fn on_client_request(&mut self, txns: Vec<Transaction>, out: &mut Outbox) {
+        if self.flexi.replica.is_primary() {
+            self.flexi.enqueue(txns, out);
+        } else {
+            let primary = self.flexi.replica.primary();
+            out.send(primary, Message::ForwardRequest { txns });
+        }
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: Message, out: &mut Outbox) {
+        if !self.flexi.replica.config().contains(from) {
+            return;
+        }
+        match msg {
+            Message::PrePrepare {
+                view,
+                seq,
+                batch,
+                attestation,
+            } => self.on_preprepare(from, view, seq, batch, attestation, out),
+            Message::Prepare {
+                view, seq, digest, ..
+            } => self.on_prepare(from, view, seq, digest, out),
+            Message::Commit { .. } => {
+                // Flexi-BFT has no commit phase; ignore stray messages.
+            }
+            Message::Checkpoint {
+                seq, state_digest, ..
+            } => self.flexi.on_checkpoint(from, seq, state_digest),
+            Message::ViewChange {
+                new_view,
+                last_stable,
+                prepared,
+            } => {
+                let self_id = self.flexi.replica.id();
+                let reproposed = self.flexi.on_view_change(
+                    from,
+                    new_view,
+                    last_stable,
+                    prepared,
+                    |core| core.proofs_from_accepted(false),
+                    out,
+                );
+                self.adopt_proposals(self_id, new_view, reproposed, out);
+            }
+            Message::NewView {
+                view,
+                supporting_votes,
+                proposals,
+                counter_attestation,
+            } => {
+                let adopted = self.flexi.on_new_view(
+                    from,
+                    view,
+                    supporting_votes,
+                    proposals,
+                    counter_attestation,
+                    out,
+                );
+                self.adopt_proposals(from, view, adopted, out);
+            }
+            Message::ClientRetry { txn } => {
+                if let Some(reply) = self.flexi.replica.cached_reply(txn.client, txn.request) {
+                    out.reply(reply.clone());
+                } else if self.flexi.replica.is_primary() {
+                    self.flexi.enqueue(vec![txn], out);
+                } else {
+                    let primary = self.flexi.replica.primary();
+                    out.send(primary, Message::ForwardRequest { txns: vec![txn] });
+                    out.set_timer(
+                        TimerKind::ViewChange,
+                        self.flexi.replica.config().view_timeout_us,
+                    );
+                }
+            }
+            Message::ForwardRequest { txns } => {
+                if self.flexi.replica.is_primary() {
+                    self.flexi.enqueue(txns, out);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerKind, out: &mut Outbox) {
+        match timer {
+            TimerKind::BatchFlush => self.flexi.flush_batch(out),
+            TimerKind::ViewChange | TimerKind::RequestForwarded(_) => {
+                let proofs = self.flexi.proofs_from_accepted(false);
+                self.flexi.start_view_change(proofs, out);
+            }
+            TimerKind::Checkpoint => {}
+        }
+    }
+
+    fn view(&self) -> View {
+        self.flexi.replica.view()
+    }
+
+    fn last_executed(&self) -> SeqNum {
+        self.flexi.replica.last_executed()
+    }
+
+    fn executed_txns(&self) -> u64 {
+        self.flexi.replica.executed_txns()
+    }
+}
+
+/// Builds a full Flexi-BFT cluster (engine per replica) over counting-mode
+/// enclaves; used by tests, examples and the simulator registry.
+pub fn build_cluster(config: &SystemConfig) -> Vec<FlexiBft> {
+    let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Counting);
+    (0..config.n)
+        .map(|i| {
+            let id = ReplicaId(i as u32);
+            FlexiBft::new(
+                config.clone(),
+                id,
+                FlexiBft::enclave(id, AttestationMode::Counting),
+                registry.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{ClientId, KvOp, QuorumRule, RequestId};
+
+    fn txns(count: usize) -> Vec<Transaction> {
+        (0..count)
+            .map(|i| {
+                Transaction::new(
+                    ClientId(1),
+                    RequestId(i as u64 + 1),
+                    KvOp::Update {
+                        key: i as u64,
+                        value: vec![9],
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Deliver all queued messages between engines until quiescence.
+    fn run(engines: &mut [FlexiBft], inject: Vec<(usize, Vec<Transaction>)>) {
+        let n = engines.len();
+        let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
+        let route = |from: ReplicaId,
+                     actions: Vec<flexitrust_protocol::Action>,
+                     queues: &mut Vec<Vec<(ReplicaId, Message)>>| {
+            for a in actions {
+                match a {
+                    flexitrust_protocol::Action::Send { to, msg } => {
+                        queues[to.as_usize()].push((from, msg))
+                    }
+                    flexitrust_protocol::Action::Broadcast { msg } => {
+                        for q in queues.iter_mut() {
+                            q.push((from, msg.clone()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        };
+        for (target, t) in inject {
+            let mut out = Outbox::new();
+            engines[target].on_client_request(t, &mut out);
+            route(engines[target].id(), out.drain(), &mut queues);
+        }
+        for _ in 0..300 {
+            let mut any = false;
+            for i in 0..n {
+                for (from, msg) in std::mem::take(&mut queues[i]) {
+                    any = true;
+                    let mut out = Outbox::new();
+                    engines[i].on_message(from, msg, &mut out);
+                    route(engines[i].id(), out.drain(), &mut queues);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_commits_in_two_phases_with_2f_plus_1_quorums() {
+        let mut cfg = FlexiBft::config(1);
+        cfg.batch_size = 2;
+        let mut engines = build_cluster(&cfg);
+        run(&mut engines, vec![(0, txns(4))]);
+        for e in &engines {
+            assert_eq!(e.last_executed(), SeqNum(2), "replica {}", e.id());
+            assert_eq!(e.executed_txns(), 4);
+        }
+    }
+
+    #[test]
+    fn only_the_primary_accesses_its_trusted_counter() {
+        let mut cfg = FlexiBft::config(1);
+        cfg.batch_size = 1;
+        let mut engines = build_cluster(&cfg);
+        run(&mut engines, vec![(0, txns(5))]);
+        let primary_accesses = engines[0].flexi().enclave().stats().snapshot();
+        assert_eq!(primary_accesses.counter_append_fs, 5);
+        for e in &engines[1..] {
+            assert_eq!(
+                e.flexi().enclave().stats().snapshot().total_accesses(),
+                0,
+                "backup {} must not touch its enclave",
+                e.id()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_instances_are_in_flight_simultaneously() {
+        let mut cfg = FlexiBft::config(1);
+        cfg.batch_size = 1;
+        let registry = EnclaveRegistry::deterministic(cfg.n, AttestationMode::Counting);
+        let mut primary = FlexiBft::new(
+            cfg.clone(),
+            ReplicaId(0),
+            FlexiBft::enclave(ReplicaId(0), AttestationMode::Counting),
+            registry,
+        );
+        let mut out = Outbox::new();
+        primary.on_client_request(txns(10), &mut out);
+        // All ten proposals go out before any commit, i.e. ten instances are
+        // outstanding concurrently (G1).
+        assert_eq!(primary.flexi().outstanding(), 10);
+        assert_eq!(out.broadcasts().len(), 10);
+    }
+
+    #[test]
+    fn sequential_ablation_proposes_one_instance_at_a_time() {
+        let registry = EnclaveRegistry::deterministic(4, AttestationMode::Counting);
+        let mut cfg = FlexiBft::sequential_config(1);
+        cfg.batch_size = 1;
+        let mut primary = FlexiBft::new(
+            cfg,
+            ReplicaId(0),
+            FlexiBft::enclave(ReplicaId(0), AttestationMode::Counting),
+            registry,
+        );
+        assert!(primary.is_sequential());
+        let mut out = Outbox::new();
+        primary.on_client_request(txns(10), &mut out);
+        assert_eq!(primary.flexi().outstanding(), 1);
+        assert_eq!(out.broadcasts().len(), 1);
+    }
+
+    #[test]
+    fn client_reply_rule_is_f_plus_1() {
+        let engines = build_cluster(&FlexiBft::config(2));
+        assert_eq!(engines[0].properties().reply_quorum, QuorumRule::FPlusOne);
+        assert_eq!(engines[0].properties().phases, 2);
+        assert!(engines[0].properties().primary_only_tc);
+    }
+
+    #[test]
+    fn commit_requires_2f_plus_1_prepares() {
+        let mut cfg = FlexiBft::config(1);
+        cfg.batch_size = 1;
+        let mut engines = build_cluster(&cfg);
+        // Hand-deliver the proposal to replica 1 and only two Prepare votes:
+        // not enough (2f + 1 = 3).
+        let mut out = Outbox::new();
+        engines[0].on_client_request(txns(1), &mut out);
+        let preprepare = out.broadcasts()[0].clone();
+        let digest = match &preprepare {
+            Message::PrePrepare { batch, .. } => batch.digest,
+            _ => unreachable!(),
+        };
+        let mut out = Outbox::new();
+        engines[1].on_message(ReplicaId(0), preprepare, &mut out);
+        for voter in [1u32, 2] {
+            let mut out = Outbox::new();
+            engines[1].on_message(
+                ReplicaId(voter),
+                Message::Prepare {
+                    view: View(0),
+                    seq: SeqNum(1),
+                    digest,
+                    attestation: None,
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(engines[1].last_executed(), SeqNum(0));
+        // The third distinct vote commits.
+        let mut out = Outbox::new();
+        engines[1].on_message(
+            ReplicaId(3),
+            Message::Prepare {
+                view: View(0),
+                seq: SeqNum(1),
+                digest,
+                attestation: None,
+            },
+            &mut out,
+        );
+        assert_eq!(engines[1].last_executed(), SeqNum(1));
+        assert_eq!(out.replies().len(), 1);
+        assert!(!out.replies()[0].speculative);
+    }
+
+    #[test]
+    fn view_change_preserves_accepted_batches() {
+        let mut cfg = FlexiBft::config(1);
+        cfg.batch_size = 1;
+        let mut engines = build_cluster(&cfg);
+        run(&mut engines, vec![(0, txns(3))]);
+        // Everyone executed 3 batches in view 0. Now the primary goes silent
+        // and the backups time out.
+        let n = engines.len();
+        let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
+        for i in 1..n {
+            let mut out = Outbox::new();
+            engines[i].on_timer(TimerKind::ViewChange, &mut out);
+            for a in out.drain() {
+                if let flexitrust_protocol::Action::Broadcast { msg } = a {
+                    for q in queues.iter_mut() {
+                        q.push((engines[i].id(), msg.clone()));
+                    }
+                }
+            }
+        }
+        for _ in 0..100 {
+            let mut any = false;
+            for i in 0..n {
+                for (from, msg) in std::mem::take(&mut queues[i]) {
+                    any = true;
+                    let mut out = Outbox::new();
+                    engines[i].on_message(from, msg, &mut out);
+                    for a in out.drain() {
+                        match a {
+                            flexitrust_protocol::Action::Broadcast { msg } => {
+                                for q in queues.iter_mut() {
+                                    q.push((engines[i].id(), msg.clone()));
+                                }
+                            }
+                            flexitrust_protocol::Action::Send { to, msg } => {
+                                queues[to.as_usize()].push((engines[i].id(), msg));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // The backups are now in view 1 with replica 1 as primary, and the
+        // previously executed state is intact.
+        for e in engines.iter().skip(1) {
+            assert_eq!(e.view(), View(1), "replica {}", e.id());
+            assert_eq!(e.last_executed(), SeqNum(3));
+        }
+        assert!(engines[1].is_primary());
+    }
+}

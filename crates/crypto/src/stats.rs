@@ -1,0 +1,197 @@
+//! Operation counting for the simulator cost model.
+//!
+//! The evaluation section of the paper attributes throughput differences to
+//! the *number* of cryptographic and trusted-component operations each
+//! protocol performs per consensus (Figure 5 quantifies exactly this). The
+//! simulator therefore needs precise per-node operation counts; both crypto
+//! providers share this counting structure.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kinds of cryptographic operations tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CryptoOp {
+    /// Digital signature generation (ED25519 in the paper's fabric).
+    Sign,
+    /// Digital signature verification.
+    Verify,
+    /// MAC computation (CMAC in the paper, HMAC-SHA256 here).
+    MacCompute,
+    /// MAC verification.
+    MacVerify,
+    /// Hash computation.
+    Hash,
+}
+
+/// A snapshot of operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Number of signature generations.
+    pub signs: u64,
+    /// Number of signature verifications.
+    pub verifies: u64,
+    /// Number of MAC computations.
+    pub mac_computes: u64,
+    /// Number of MAC verifications.
+    pub mac_verifies: u64,
+    /// Number of hash computations.
+    pub hashes: u64,
+}
+
+impl OpCounts {
+    /// Total number of operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.signs + self.verifies + self.mac_computes + self.mac_verifies + self.hashes
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            signs: self.signs.saturating_sub(earlier.signs),
+            verifies: self.verifies.saturating_sub(earlier.verifies),
+            mac_computes: self.mac_computes.saturating_sub(earlier.mac_computes),
+            mac_verifies: self.mac_verifies.saturating_sub(earlier.mac_verifies),
+            hashes: self.hashes.saturating_sub(earlier.hashes),
+        }
+    }
+}
+
+/// Thread-safe, cheaply cloneable operation counters.
+#[derive(Clone, Default)]
+pub struct CryptoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    signs: AtomicU64,
+    verifies: AtomicU64,
+    mac_computes: AtomicU64,
+    mac_verifies: AtomicU64,
+    hashes: AtomicU64,
+    history: Mutex<Vec<OpCounts>>,
+}
+
+impl CryptoStats {
+    /// Creates a fresh, zeroed statistics object.
+    pub fn new() -> Self {
+        CryptoStats::default()
+    }
+
+    /// Records one operation.
+    pub fn record(&self, op: CryptoOp) {
+        let counter = match op {
+            CryptoOp::Sign => &self.inner.signs,
+            CryptoOp::Verify => &self.inner.verifies,
+            CryptoOp::MacCompute => &self.inner.mac_computes,
+            CryptoOp::MacVerify => &self.inner.mac_verifies,
+            CryptoOp::Hash => &self.inner.hashes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `count` operations of the same kind at once.
+    pub fn record_many(&self, op: CryptoOp, count: u64) {
+        let counter = match op {
+            CryptoOp::Sign => &self.inner.signs,
+            CryptoOp::Verify => &self.inner.verifies,
+            CryptoOp::MacCompute => &self.inner.mac_computes,
+            CryptoOp::MacVerify => &self.inner.mac_verifies,
+            CryptoOp::Hash => &self.inner.hashes,
+        };
+        counter.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Returns the current counts.
+    pub fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            signs: self.inner.signs.load(Ordering::Relaxed),
+            verifies: self.inner.verifies.load(Ordering::Relaxed),
+            mac_computes: self.inner.mac_computes.load(Ordering::Relaxed),
+            mac_verifies: self.inner.mac_verifies.load(Ordering::Relaxed),
+            hashes: self.inner.hashes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stores the current snapshot in the internal history (used by harnesses
+    /// that sample counts per measurement interval).
+    pub fn checkpoint(&self) {
+        let snap = self.snapshot();
+        self.inner.history.lock().push(snap);
+    }
+
+    /// Returns the stored history of snapshots.
+    pub fn history(&self) -> Vec<OpCounts> {
+        self.inner.history.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let stats = CryptoStats::new();
+        stats.record(CryptoOp::Sign);
+        stats.record(CryptoOp::Sign);
+        stats.record(CryptoOp::Verify);
+        stats.record_many(CryptoOp::Hash, 10);
+        let snap = stats.snapshot();
+        assert_eq!(snap.signs, 2);
+        assert_eq!(snap.verifies, 1);
+        assert_eq!(snap.hashes, 10);
+        assert_eq!(snap.total(), 13);
+    }
+
+    #[test]
+    fn clones_share_the_same_counters() {
+        let stats = CryptoStats::new();
+        let clone = stats.clone();
+        clone.record(CryptoOp::MacCompute);
+        assert_eq!(stats.snapshot().mac_computes, 1);
+    }
+
+    #[test]
+    fn since_computes_interval_deltas() {
+        let stats = CryptoStats::new();
+        stats.record(CryptoOp::Sign);
+        let first = stats.snapshot();
+        stats.record_many(CryptoOp::Sign, 5);
+        let second = stats.snapshot();
+        let delta = second.since(&first);
+        assert_eq!(delta.signs, 5);
+        assert_eq!(delta.verifies, 0);
+    }
+
+    #[test]
+    fn history_records_checkpoints_in_order() {
+        let stats = CryptoStats::new();
+        stats.record(CryptoOp::Verify);
+        stats.checkpoint();
+        stats.record(CryptoOp::Verify);
+        stats.checkpoint();
+        let hist = stats.history();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].verifies, 1);
+        assert_eq!(hist[1].verifies, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_not_lossy() {
+        let stats = CryptoStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let st = stats.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        st.record(CryptoOp::Sign);
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.snapshot().signs, 4000);
+    }
+}

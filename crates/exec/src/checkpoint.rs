@@ -1,0 +1,169 @@
+//! Checkpointing of executed state.
+//!
+//! Every protocol in the paper periodically checkpoints: replicas exchange
+//! `Checkpoint` messages covering the requests committed since the last
+//! checkpoint and mark a checkpoint *stable* once enough replicas vouch for
+//! it (f + 1 for trust-bft protocols, 2f + 1 for PBFT-style protocols).
+//! Stable checkpoints bound the consensus log and let trusted logs truncate.
+//!
+//! The protocol-independent part lives here: which sequence numbers are
+//! checkpoints, what state digest each checkpoint certifies, and which
+//! checkpoint is the current stable low-water mark.
+
+use flexitrust_types::{Digest, ReplicaId, SeqNum};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One checkpoint: a state digest at a sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The last sequence number covered by the checkpoint.
+    pub seq: SeqNum,
+    /// Digest of the RSM state after executing everything up to `seq`.
+    pub state_digest: Digest,
+}
+
+/// Tracks checkpoint votes and the stable low-water mark at one replica.
+#[derive(Debug, Default)]
+pub struct CheckpointLog {
+    interval: u64,
+    quorum: usize,
+    /// Votes per (seq, digest): which replicas certified that state.
+    votes: BTreeMap<(u64, Digest), BTreeSet<ReplicaId>>,
+    stable: Option<Checkpoint>,
+}
+
+impl CheckpointLog {
+    /// Creates a checkpoint log that checkpoints every `interval` sequence
+    /// numbers and declares stability after `quorum` matching votes.
+    pub fn new(interval: u64, quorum: usize) -> Self {
+        CheckpointLog {
+            interval: interval.max(1),
+            quorum: quorum.max(1),
+            votes: BTreeMap::new(),
+            stable: None,
+        }
+    }
+
+    /// The checkpoint interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Returns `true` when `seq` is a checkpoint boundary.
+    pub fn is_checkpoint_seq(&self, seq: SeqNum) -> bool {
+        seq.0 > 0 && seq.0 % self.interval == 0
+    }
+
+    /// The current stable checkpoint, if any.
+    pub fn stable(&self) -> Option<Checkpoint> {
+        self.stable
+    }
+
+    /// The low-water mark: sequence numbers at or below this are covered by
+    /// the stable checkpoint and may be garbage collected.
+    pub fn low_water_mark(&self) -> SeqNum {
+        self.stable.map(|c| c.seq).unwrap_or(SeqNum(0))
+    }
+
+    /// Records a checkpoint vote from `replica` for the state `digest` at
+    /// `seq`. Returns the checkpoint if this vote made it stable (exactly
+    /// once per checkpoint).
+    pub fn record_vote(
+        &mut self,
+        replica: ReplicaId,
+        seq: SeqNum,
+        digest: Digest,
+    ) -> Option<Checkpoint> {
+        if seq <= self.low_water_mark() {
+            return None;
+        }
+        let entry = self.votes.entry((seq.0, digest)).or_default();
+        entry.insert(replica);
+        if entry.len() >= self.quorum {
+            let checkpoint = Checkpoint {
+                seq,
+                state_digest: digest,
+            };
+            self.stable = Some(checkpoint);
+            // Drop votes covered by the new stable checkpoint.
+            self.votes.retain(|(s, _), _| *s > seq.0);
+            Some(checkpoint)
+        } else {
+            None
+        }
+    }
+
+    /// Number of distinct (seq, digest) candidates currently tracked.
+    pub fn tracked_candidates(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_boundaries_follow_interval() {
+        let log = CheckpointLog::new(100, 3);
+        assert!(!log.is_checkpoint_seq(SeqNum(0)));
+        assert!(!log.is_checkpoint_seq(SeqNum(99)));
+        assert!(log.is_checkpoint_seq(SeqNum(100)));
+        assert!(log.is_checkpoint_seq(SeqNum(200)));
+        assert_eq!(log.interval(), 100);
+    }
+
+    #[test]
+    fn stability_requires_quorum_of_matching_votes() {
+        let mut log = CheckpointLog::new(10, 3);
+        let d = Digest::from_u64_tag(1);
+        assert!(log.record_vote(ReplicaId(0), SeqNum(10), d).is_none());
+        assert!(log.record_vote(ReplicaId(1), SeqNum(10), d).is_none());
+        // A mismatching digest does not help the quorum.
+        assert!(log
+            .record_vote(ReplicaId(2), SeqNum(10), Digest::from_u64_tag(2))
+            .is_none());
+        let stable = log.record_vote(ReplicaId(3), SeqNum(10), d).unwrap();
+        assert_eq!(stable.seq, SeqNum(10));
+        assert_eq!(log.low_water_mark(), SeqNum(10));
+    }
+
+    #[test]
+    fn duplicate_votes_from_one_replica_do_not_count_twice() {
+        let mut log = CheckpointLog::new(10, 2);
+        let d = Digest::from_u64_tag(1);
+        assert!(log.record_vote(ReplicaId(0), SeqNum(10), d).is_none());
+        assert!(log.record_vote(ReplicaId(0), SeqNum(10), d).is_none());
+        assert!(log.record_vote(ReplicaId(1), SeqNum(10), d).is_some());
+    }
+
+    #[test]
+    fn votes_below_low_water_mark_are_ignored() {
+        let mut log = CheckpointLog::new(10, 1);
+        log.record_vote(ReplicaId(0), SeqNum(20), Digest::ZERO);
+        assert_eq!(log.low_water_mark(), SeqNum(20));
+        assert!(log
+            .record_vote(ReplicaId(1), SeqNum(10), Digest::ZERO)
+            .is_none());
+        assert_eq!(log.low_water_mark(), SeqNum(20));
+    }
+
+    #[test]
+    fn stale_candidates_are_garbage_collected() {
+        let mut log = CheckpointLog::new(10, 2);
+        log.record_vote(ReplicaId(0), SeqNum(10), Digest::from_u64_tag(1));
+        log.record_vote(ReplicaId(0), SeqNum(20), Digest::from_u64_tag(2));
+        assert_eq!(log.tracked_candidates(), 2);
+        log.record_vote(ReplicaId(1), SeqNum(20), Digest::from_u64_tag(2));
+        // The candidate at 10 was covered by the stable checkpoint at 20.
+        assert_eq!(log.tracked_candidates(), 0);
+        assert_eq!(log.stable().unwrap().seq, SeqNum(20));
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let log = CheckpointLog::new(0, 0);
+        assert_eq!(log.interval(), 1);
+        assert!(log.is_checkpoint_seq(SeqNum(1)));
+    }
+}

@@ -1,0 +1,233 @@
+//! The in-memory key-value store the workload executes against.
+
+use flexitrust_crypto::sha256;
+use flexitrust_types::{Digest, KvOp, KvResult};
+use std::collections::BTreeMap;
+
+/// A deterministic in-memory key-value store.
+///
+/// The store keeps a cheap incremental fingerprint of its contents so that
+/// replicas can produce a state digest at checkpoints without hashing the
+/// whole store: the fingerprint folds in a hash of every applied mutation,
+/// which is sufficient for two honest replicas that executed the same
+/// mutations in the same order to agree.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    records: BTreeMap<u64, Vec<u8>>,
+    applied_mutations: u64,
+    fingerprint: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Creates a store pre-loaded with `records` (key, value) pairs.
+    pub fn preloaded(records: impl IntoIterator<Item = (u64, Vec<u8>)>) -> Self {
+        let mut store = KvStore::new();
+        for (k, v) in records {
+            store.insert_raw(k, v);
+        }
+        store
+    }
+
+    /// Creates a store with `count` records of `value_size` deterministic
+    /// bytes, mirroring the paper's 600 k-record YCSB table.
+    pub fn with_dataset(count: u64, value_size: usize) -> Self {
+        let mut store = KvStore::new();
+        for key in 0..count {
+            let mut value = vec![0u8; value_size];
+            for (i, b) in value.iter_mut().enumerate() {
+                *b = (key as u8).wrapping_add(i as u8);
+            }
+            store.insert_raw(key, value);
+        }
+        store
+    }
+
+    fn insert_raw(&mut self, key: u64, value: Vec<u8>) {
+        self.fold_mutation(key, &value);
+        self.records.insert(key, value);
+    }
+
+    fn fold_mutation(&mut self, key: u64, value: &[u8]) {
+        self.applied_mutations += 1;
+        let mut h = self.fingerprint ^ key.rotate_left(17);
+        for b in value.iter().take(16) {
+            h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(*b);
+        }
+        self.fingerprint = h.wrapping_add(self.applied_mutations);
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reads a record directly (outside transaction execution).
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.records.get(&key)
+    }
+
+    /// Applies one operation and returns its result.
+    pub fn apply(&mut self, op: &KvOp) -> KvResult {
+        match op {
+            KvOp::Read { key } => KvResult::Value(self.records.get(key).cloned()),
+            KvOp::Update { key, value } | KvOp::Insert { key, value } => {
+                self.insert_raw(*key, value.clone());
+                KvResult::Written
+            }
+            KvOp::ReadModifyWrite { key, value } => {
+                let previous = self.records.get(key).cloned();
+                self.insert_raw(*key, value.clone());
+                KvResult::Value(previous)
+            }
+            KvOp::Scan { start_key, count } => {
+                let range: Vec<(u64, Vec<u8>)> = self
+                    .records
+                    .range(*start_key..)
+                    .take(*count as usize)
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                KvResult::Range(range)
+            }
+            KvOp::Noop => KvResult::Noop,
+        }
+    }
+
+    /// A digest summarising the mutation history of the store; two honest
+    /// replicas that executed the same ordered mutations report the same
+    /// digest, which is what checkpoint agreement compares.
+    pub fn state_digest(&self) -> Digest {
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.fingerprint.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.applied_mutations.to_le_bytes());
+        bytes[16..24].copy_from_slice(&(self.records.len() as u64).to_le_bytes());
+        sha256(&bytes)
+    }
+
+    /// Number of mutations applied since creation.
+    pub fn applied_mutations(&self) -> u64 {
+        self.applied_mutations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_writes() {
+        let mut store = KvStore::new();
+        assert_eq!(store.apply(&KvOp::Read { key: 1 }), KvResult::Value(None));
+        store.apply(&KvOp::Insert {
+            key: 1,
+            value: vec![9, 9],
+        });
+        assert_eq!(
+            store.apply(&KvOp::Read { key: 1 }),
+            KvResult::Value(Some(vec![9, 9]))
+        );
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut store = KvStore::preloaded([(5, vec![1])]);
+        store.apply(&KvOp::Update {
+            key: 5,
+            value: vec![2],
+        });
+        assert_eq!(store.get(5), Some(&vec![2]));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn rmw_returns_previous_value() {
+        let mut store = KvStore::preloaded([(7, vec![1])]);
+        let out = store.apply(&KvOp::ReadModifyWrite {
+            key: 7,
+            value: vec![2],
+        });
+        assert_eq!(out, KvResult::Value(Some(vec![1])));
+        assert_eq!(store.get(7), Some(&vec![2]));
+    }
+
+    #[test]
+    fn scan_returns_sorted_prefix() {
+        let store = {
+            let mut s = KvStore::new();
+            for k in [5u64, 1, 9, 3] {
+                s.apply(&KvOp::Insert {
+                    key: k,
+                    value: vec![k as u8],
+                });
+            }
+            s
+        };
+        let mut s = store.clone();
+        match s.apply(&KvOp::Scan {
+            start_key: 2,
+            count: 2,
+        }) {
+            KvResult::Range(r) => {
+                assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![3, 5]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noop_does_not_change_state_digest() {
+        let mut store = KvStore::with_dataset(10, 4);
+        let before = store.state_digest();
+        assert_eq!(store.apply(&KvOp::Noop), KvResult::Noop);
+        assert_eq!(store.apply(&KvOp::Read { key: 3 }), KvResult::Value(Some(store.get(3).unwrap().clone())));
+        assert_eq!(store.state_digest(), before);
+    }
+
+    #[test]
+    fn same_mutation_sequence_same_digest() {
+        let run = || {
+            let mut s = KvStore::with_dataset(100, 8);
+            for k in 0..50u64 {
+                s.apply(&KvOp::Update {
+                    key: k,
+                    value: vec![k as u8; 8],
+                });
+            }
+            s.state_digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_mutation_order_changes_digest() {
+        let digest_of = |keys: &[u64]| {
+            let mut s = KvStore::new();
+            for k in keys {
+                s.apply(&KvOp::Insert {
+                    key: *k,
+                    value: vec![1],
+                });
+            }
+            s.state_digest()
+        };
+        assert_ne!(digest_of(&[1, 2]), digest_of(&[2, 1]));
+    }
+
+    #[test]
+    fn dataset_constructor_loads_count_records() {
+        let store = KvStore::with_dataset(600, 100);
+        assert_eq!(store.len(), 600);
+        assert!(!store.is_empty());
+        assert_eq!(store.get(599).unwrap().len(), 100);
+        assert_eq!(store.applied_mutations(), 600);
+    }
+}

@@ -1,0 +1,191 @@
+//! Engine outputs: the [`Action`] enum and the [`Outbox`] that collects them.
+
+use crate::engine::TimerKind;
+use crate::messages::{ClientReply, Message};
+use flexitrust_types::{ReplicaId, SeqNum};
+
+/// One effect requested by a protocol engine.
+///
+/// The hosting environment (simulator or threaded runtime) interprets these:
+/// `Send`/`Broadcast` go over the network model, `Reply` goes back to the
+/// client library, timers are scheduled against the host's clock, and
+/// `Executed` is a pure notification used for metrics and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Send a message to one replica.
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        msg: Message,
+    },
+    /// Send a message to every replica, including the sender (the host loops
+    /// the sender's copy back so engines handle their own votes uniformly).
+    Broadcast {
+        /// The message.
+        msg: Message,
+    },
+    /// Send a reply to a client.
+    Reply {
+        /// The reply.
+        reply: ClientReply,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Which timer.
+        timer: TimerKind,
+        /// Delay until expiry, in microseconds.
+        delay_us: u64,
+    },
+    /// Cancel a pending timer, if armed.
+    CancelTimer {
+        /// Which timer.
+        timer: TimerKind,
+    },
+    /// Notification that the batch at `seq` was executed (metrics only).
+    Executed {
+        /// The executed sequence number.
+        seq: SeqNum,
+        /// Number of transactions in the executed batch.
+        txns: usize,
+    },
+}
+
+/// Collects the actions produced while handling one event.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    actions: Vec<Action>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a unicast message.
+    pub fn send(&mut self, to: ReplicaId, msg: Message) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Queues a broadcast to all replicas (the sender included).
+    pub fn broadcast(&mut self, msg: Message) {
+        self.actions.push(Action::Broadcast { msg });
+    }
+
+    /// Queues a client reply.
+    pub fn reply(&mut self, reply: ClientReply) {
+        self.actions.push(Action::Reply { reply });
+    }
+
+    /// Arms a timer.
+    pub fn set_timer(&mut self, timer: TimerKind, delay_us: u64) {
+        self.actions.push(Action::SetTimer { timer, delay_us });
+    }
+
+    /// Cancels a timer.
+    pub fn cancel_timer(&mut self, timer: TimerKind) {
+        self.actions.push(Action::CancelTimer { timer });
+    }
+
+    /// Records an execution notification.
+    pub fn executed(&mut self, seq: SeqNum, txns: usize) {
+        self.actions.push(Action::Executed { seq, txns });
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` when nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Drains the queued actions in emission order.
+    pub fn drain(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Read-only view of the queued actions (used by tests).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Convenience for tests: the queued client replies.
+    pub fn replies(&self) -> Vec<&ClientReply> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Reply { reply } => Some(reply),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Convenience for tests: the queued broadcast messages.
+    pub fn broadcasts(&self) -> Vec<&Message> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast { msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Convenience for tests: the queued unicast messages.
+    pub fn sends(&self) -> Vec<(&ReplicaId, &Message)> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{Digest, View};
+
+    fn msg() -> Message {
+        Message::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            attestation: None,
+        }
+    }
+
+    #[test]
+    fn outbox_preserves_emission_order() {
+        let mut out = Outbox::new();
+        out.broadcast(msg());
+        out.send(ReplicaId(2), msg());
+        out.set_timer(TimerKind::ViewChange, 1000);
+        out.executed(SeqNum(1), 5);
+        let actions = out.drain();
+        assert_eq!(actions.len(), 4);
+        assert!(matches!(actions[0], Action::Broadcast { .. }));
+        assert!(matches!(actions[1], Action::Send { to: ReplicaId(2), .. }));
+        assert!(matches!(actions[2], Action::SetTimer { .. }));
+        assert!(matches!(actions[3], Action::Executed { txns: 5, .. }));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn helpers_filter_by_kind() {
+        let mut out = Outbox::new();
+        out.broadcast(msg());
+        out.send(ReplicaId(1), msg());
+        out.cancel_timer(TimerKind::ViewChange);
+        assert_eq!(out.broadcasts().len(), 1);
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.replies().len(), 0);
+        assert_eq!(out.len(), 3);
+    }
+}

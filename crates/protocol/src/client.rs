@@ -1,0 +1,325 @@
+//! The client-side library.
+//!
+//! The client library sends a signed transaction to the primary and waits
+//! for "enough" matching replies before reporting the result to the
+//! application (§3). How many replies are enough is protocol-specific:
+//! `f + 1` for PBFT, MinBFT and Flexi-BFT; `2f + 1` for Flexi-ZZ; all
+//! `n` for Zyzzyva and MinZZ's single-round fast path. [`ClientLibrary`]
+//! implements that matching/counting logic once, including the retry and
+//! fast-path-fallback behaviour the harnesses need.
+
+use crate::messages::ClientReply;
+use flexitrust_types::{ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig};
+use std::collections::{BTreeSet, HashMap};
+
+/// Progress of one outstanding request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Not enough matching replies yet.
+    Pending {
+        /// Number of matching replies received for the leading result.
+        matching: usize,
+        /// Number required for completion.
+        needed: usize,
+    },
+    /// The request completed.
+    Complete {
+        /// The agreed result.
+        result: KvResult,
+        /// The sequence number it executed at.
+        seq: SeqNum,
+        /// How many matching replies supported it.
+        matching: usize,
+    },
+}
+
+#[derive(Debug, Default)]
+struct PendingRequest {
+    /// Votes per (seq, result) candidate.
+    votes: HashMap<(SeqNum, KvResultKey), BTreeSet<ReplicaId>>,
+    results: HashMap<(SeqNum, KvResultKey), KvResult>,
+    complete: bool,
+}
+
+/// Hashable fingerprint of a [`KvResult`] used for reply matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KvResultKey {
+    Value(Option<Vec<u8>>),
+    Written,
+    RangeLen(usize, u64),
+    Noop,
+}
+
+fn result_key(result: &KvResult) -> KvResultKey {
+    match result {
+        KvResult::Value(v) => KvResultKey::Value(v.clone()),
+        KvResult::Written => KvResultKey::Written,
+        KvResult::Range(r) => {
+            KvResultKey::RangeLen(r.len(), r.iter().map(|(k, _)| *k).sum::<u64>())
+        }
+        KvResult::Noop => KvResultKey::Noop,
+    }
+}
+
+/// Client-side reply collection for one client.
+#[derive(Debug)]
+pub struct ClientLibrary {
+    client: ClientId,
+    needed: usize,
+    fallback_needed: usize,
+    pending: HashMap<RequestId, PendingRequest>,
+    completed: u64,
+}
+
+impl ClientLibrary {
+    /// Creates the library for `client` under the protocol's reply rule.
+    ///
+    /// `fallback_needed` is the threshold accepted after a fast-path timeout
+    /// for all-replica protocols (Zyzzyva commits with `2f + 1` matching
+    /// replies plus an extra round; MinZZ with `f + 1`); for other protocols
+    /// it equals the normal threshold.
+    pub fn new(client: ClientId, config: &SystemConfig, rule: QuorumRule) -> Self {
+        let needed = config.quorum(rule);
+        let fallback_needed = match rule {
+            QuorumRule::AllReplicas => config.large_quorum().min(needed),
+            _ => needed,
+        };
+        ClientLibrary {
+            client,
+            needed,
+            fallback_needed,
+            pending: HashMap::new(),
+            completed: 0,
+        }
+    }
+
+    /// The client this library belongs to.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Number of matching replies required on the normal path.
+    pub fn needed(&self) -> usize {
+        self.needed
+    }
+
+    /// Number of matching replies accepted after a fast-path timeout.
+    pub fn fallback_needed(&self) -> usize {
+        self.fallback_needed
+    }
+
+    /// Number of requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of requests still waiting for replies.
+    pub fn outstanding(&self) -> usize {
+        self.pending.values().filter(|p| !p.complete).count()
+    }
+
+    /// Registers a new outstanding request.
+    pub fn begin(&mut self, request: RequestId) {
+        self.pending.entry(request).or_default();
+    }
+
+    /// Processes one reply; returns the updated status of that request.
+    ///
+    /// Replies for unknown or already completed requests return their status
+    /// without changing anything (late replies are normal in BFT systems).
+    pub fn on_reply(&mut self, reply: &ClientReply) -> RequestStatus {
+        self.on_reply_with_threshold(reply, self.needed)
+    }
+
+    /// Like [`Self::on_reply`], but checks against the fallback threshold.
+    /// Harnesses call this after a fast-path timeout for protocols whose
+    /// normal rule is "all replicas" (Zyzzyva, MinZZ).
+    pub fn on_reply_fallback(&mut self, reply: &ClientReply) -> RequestStatus {
+        self.on_reply_with_threshold(reply, self.fallback_needed)
+    }
+
+    fn on_reply_with_threshold(&mut self, reply: &ClientReply, needed: usize) -> RequestStatus {
+        debug_assert_eq!(reply.client, self.client);
+        let entry = self.pending.entry(reply.request).or_default();
+        let key = (reply.seq, result_key(&reply.result));
+        if !entry.complete {
+            entry.results.entry(key.clone()).or_insert_with(|| reply.result.clone());
+            entry.votes.entry(key.clone()).or_default().insert(reply.replica);
+        }
+        let matching = entry.votes.get(&key).map(BTreeSet::len).unwrap_or(0);
+        if entry.complete {
+            return RequestStatus::Complete {
+                result: reply.result.clone(),
+                seq: reply.seq,
+                matching,
+            };
+        }
+        if matching >= needed {
+            entry.complete = true;
+            self.completed += 1;
+            RequestStatus::Complete {
+                result: entry.results[&key].clone(),
+                seq: reply.seq,
+                matching,
+            }
+        } else {
+            RequestStatus::Pending {
+                matching,
+                needed,
+            }
+        }
+    }
+
+    /// Checks whether an outstanding request would complete under the
+    /// fallback threshold given the replies already received; used by the
+    /// harnesses when a fast-path timer expires.
+    pub fn try_fallback_complete(&mut self, request: RequestId) -> Option<RequestStatus> {
+        let entry = self.pending.get_mut(&request)?;
+        if entry.complete {
+            return None;
+        }
+        let best = entry
+            .votes
+            .iter()
+            .max_by_key(|(_, voters)| voters.len())
+            .map(|(k, voters)| (k.clone(), voters.len()))?;
+        if best.1 >= self.fallback_needed {
+            entry.complete = true;
+            self.completed += 1;
+            let (seq, _) = best.0;
+            Some(RequestStatus::Complete {
+                result: entry.results[&best.0].clone(),
+                seq,
+                matching: best.1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Drops state for a completed request (bounded-memory clients).
+    pub fn forget(&mut self, request: RequestId) {
+        self.pending.remove(&request);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{ProtocolId, View};
+
+    fn reply(replica: u32, request: u64, seq: u64, value: u8) -> ClientReply {
+        ClientReply {
+            client: ClientId(1),
+            request: RequestId(request),
+            seq: SeqNum(seq),
+            view: View(0),
+            replica: ReplicaId(replica),
+            result: KvResult::Value(Some(vec![value])),
+            speculative: false,
+        }
+    }
+
+    fn library(protocol: ProtocolId, rule: QuorumRule) -> ClientLibrary {
+        let cfg = SystemConfig::for_protocol(protocol, 2);
+        ClientLibrary::new(ClientId(1), &cfg, rule)
+    }
+
+    #[test]
+    fn completes_at_f_plus_one_matching_replies() {
+        // Flexi-BFT / PBFT-style rule with f = 2: needs 3 matching replies.
+        let mut lib = library(ProtocolId::FlexiBft, QuorumRule::FPlusOne);
+        lib.begin(RequestId(1));
+        assert_eq!(
+            lib.on_reply(&reply(0, 1, 5, 9)),
+            RequestStatus::Pending { matching: 1, needed: 3 }
+        );
+        assert_eq!(
+            lib.on_reply(&reply(1, 1, 5, 9)),
+            RequestStatus::Pending { matching: 2, needed: 3 }
+        );
+        let status = lib.on_reply(&reply(2, 1, 5, 9));
+        assert!(matches!(status, RequestStatus::Complete { matching: 3, .. }));
+        assert_eq!(lib.completed(), 1);
+    }
+
+    #[test]
+    fn mismatching_results_do_not_count_together() {
+        let mut lib = library(ProtocolId::FlexiBft, QuorumRule::FPlusOne);
+        lib.begin(RequestId(1));
+        lib.on_reply(&reply(0, 1, 5, 1));
+        lib.on_reply(&reply(1, 1, 5, 2)); // different value
+        lib.on_reply(&reply(2, 1, 6, 1)); // different seq
+        let status = lib.on_reply(&reply(3, 1, 5, 1));
+        // Only replicas 0 and 3 agree exactly; still pending.
+        assert_eq!(status, RequestStatus::Pending { matching: 2, needed: 3 });
+    }
+
+    #[test]
+    fn duplicate_replies_from_one_replica_count_once() {
+        let mut lib = library(ProtocolId::FlexiBft, QuorumRule::FPlusOne);
+        lib.begin(RequestId(1));
+        lib.on_reply(&reply(0, 1, 5, 1));
+        let status = lib.on_reply(&reply(0, 1, 5, 1));
+        assert_eq!(status, RequestStatus::Pending { matching: 1, needed: 3 });
+    }
+
+    #[test]
+    fn all_replica_rule_needs_every_replica_on_fast_path() {
+        // MinZZ with f = 2 → n = 5 replies needed; fallback 2f+1 = 5 too
+        // (clamped to n... for 2f+1 protocols large_quorum == n).
+        let mut lib = library(ProtocolId::MinZz, QuorumRule::AllReplicas);
+        assert_eq!(lib.needed(), 5);
+        lib.begin(RequestId(1));
+        for r in 0..4 {
+            lib.on_reply(&reply(r, 1, 1, 1));
+        }
+        assert_eq!(lib.outstanding(), 1);
+        assert!(matches!(
+            lib.on_reply(&reply(4, 1, 1, 1)),
+            RequestStatus::Complete { .. }
+        ));
+    }
+
+    #[test]
+    fn zyzzyva_fallback_completes_with_2f_plus_1_after_timeout() {
+        // Zyzzyva with f = 2 → fast path needs n = 7, fallback 2f+1 = 5.
+        let mut lib = library(ProtocolId::Zyzzyva, QuorumRule::AllReplicas);
+        assert_eq!(lib.needed(), 7);
+        assert_eq!(lib.fallback_needed(), 5);
+        lib.begin(RequestId(1));
+        for r in 0..5 {
+            lib.on_reply(&reply(r, 1, 1, 1));
+        }
+        assert_eq!(lib.outstanding(), 1);
+        let status = lib.try_fallback_complete(RequestId(1)).unwrap();
+        assert!(matches!(status, RequestStatus::Complete { matching: 5, .. }));
+        assert!(lib.try_fallback_complete(RequestId(1)).is_none());
+    }
+
+    #[test]
+    fn fallback_does_not_fire_below_threshold() {
+        let mut lib = library(ProtocolId::Zyzzyva, QuorumRule::AllReplicas);
+        lib.begin(RequestId(1));
+        for r in 0..4 {
+            lib.on_reply(&reply(r, 1, 1, 1));
+        }
+        assert!(lib.try_fallback_complete(RequestId(1)).is_none());
+    }
+
+    #[test]
+    fn late_replies_after_completion_report_complete() {
+        let mut lib = library(ProtocolId::FlexiBft, QuorumRule::FPlusOne);
+        lib.begin(RequestId(1));
+        for r in 0..3 {
+            lib.on_reply(&reply(r, 1, 1, 1));
+        }
+        assert!(matches!(
+            lib.on_reply(&reply(3, 1, 1, 1)),
+            RequestStatus::Complete { .. }
+        ));
+        assert_eq!(lib.completed(), 1);
+        lib.forget(RequestId(1));
+        assert_eq!(lib.outstanding(), 0);
+    }
+}

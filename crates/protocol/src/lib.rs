@@ -1,0 +1,40 @@
+//! Protocol-agnostic consensus infrastructure.
+//!
+//! Every protocol in this repository — the FlexiTrust suite in
+//! `flexitrust-core` and the BFT / trust-BFT baselines in
+//! `flexitrust-baselines` — is written as a pure, event-driven state machine
+//! implementing the [`ConsensusEngine`] trait: it receives client requests,
+//! peer messages and timer expirations, and emits [`Action`]s (sends,
+//! broadcasts, client replies, timer updates). Engines never touch the
+//! network, clocks or threads, which lets the *same* protocol code run under
+//! the real threaded runtime (`flexitrust-runtime`) for correctness and under
+//! the discrete-event simulator (`flexitrust-sim`) for the paper's
+//! performance evaluation.
+//!
+//! The crate also hosts the building blocks the protocols share: the unified
+//! message vocabulary ([`messages::Message`]), quorum certificates
+//! ([`quorum::CertificateTracker`]), request batching ([`batcher::Batcher`]),
+//! the per-replica common state ([`replica::ReplicaCore`]), the client-side
+//! library ([`client::ClientLibrary`]), view-change planning
+//! ([`viewchange`]) and the Figure 1 protocol property table
+//! ([`properties::ProtocolProperties`]).
+
+pub mod actions;
+pub mod batcher;
+pub mod client;
+pub mod engine;
+pub mod messages;
+pub mod properties;
+pub mod quorum;
+pub mod replica;
+pub mod viewchange;
+
+pub use actions::{Action, Outbox};
+pub use batcher::Batcher;
+pub use client::{ClientLibrary, RequestStatus};
+pub use engine::{ConsensusEngine, TimerKind};
+pub use messages::{ClientReply, Message, PreparedProof};
+pub use properties::{MemoryFootprint, ProtocolProperties, TrustedAbstraction};
+pub use quorum::CertificateTracker;
+pub use replica::ReplicaCore;
+pub use viewchange::NewViewPlanner;

@@ -1,0 +1,352 @@
+//! Static protocol properties — the rows of Figure 1 of the paper.
+//!
+//! Figure 1 compares the protocols along five axes: the trusted abstraction
+//! they need, whether they preserve the liveness guarantees of plain BFT
+//! protocols, whether they support out-of-order (parallel) consensus, how
+//! much trusted memory they require, and whether only the primary needs an
+//! *active* trusted component. [`ProtocolProperties`] encodes those axes so
+//! that the Figure 1 reproduction is generated from the same metadata the
+//! engines report, and so the simulator/client harnesses can read the reply
+//! quorum and phase count from one place.
+
+use flexitrust_types::{ProtocolId, QuorumRule, ReplicationFactor};
+use std::fmt;
+
+/// The trusted abstraction a protocol requires at replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrustedAbstraction {
+    /// No trusted component (plain BFT: PBFT, Zyzzyva).
+    None,
+    /// Append-only trusted logs (PBFT-EA, HotStuff-M).
+    Log,
+    /// Monotonic counters plus a bounded log (Trinc, Hybster, Damysus).
+    CounterAndLog,
+    /// Monotonic counters only (MinBFT, MinZZ, CheapBFT, FlexiTrust).
+    Counter,
+}
+
+impl fmt::Display for TrustedAbstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrustedAbstraction::None => "-",
+            TrustedAbstraction::Log => "Log",
+            TrustedAbstraction::CounterAndLog => "Counter + Log",
+            TrustedAbstraction::Counter => "Counter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How much memory the trusted component needs (Figure 1, column 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryFootprint {
+    /// No trusted state at all.
+    None,
+    /// A handful of counters.
+    Low,
+    /// Proportional to a bounded log of recent requests.
+    OrderOfLogSize,
+    /// Proportional to the full request log since the last checkpoint.
+    High,
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryFootprint::None => "-",
+            MemoryFootprint::Low => "Low",
+            MemoryFootprint::OrderOfLogSize => "Order of Log-size",
+            MemoryFootprint::High => "High",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static, per-protocol properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolProperties {
+    /// Which protocol this describes.
+    pub id: ProtocolId,
+    /// Replication factor regime (`2f+1` or `3f+1`).
+    pub replication: ReplicationFactor,
+    /// Trusted abstraction required at replicas.
+    pub trusted_abstraction: TrustedAbstraction,
+    /// Whether the protocol preserves BFT liveness for clients (Figure 1
+    /// column 2; trust-bft protocols do not, per §5).
+    pub bft_liveness: bool,
+    /// Whether consensus instances may proceed out of order / in parallel.
+    pub out_of_order: bool,
+    /// Trusted memory requirement.
+    pub trusted_memory: MemoryFootprint,
+    /// Whether only the primary needs an active trusted component.
+    pub primary_only_tc: bool,
+    /// Number of message phases in the failure-free common case
+    /// (PrePrepare counts as the first phase).
+    pub phases: u8,
+    /// How many matching replies a client needs to accept a result.
+    pub reply_quorum: QuorumRule,
+    /// Whether replicas execute speculatively before commit (Zyzzyva-style).
+    pub speculative: bool,
+}
+
+impl ProtocolProperties {
+    /// The properties of every protocol in the repository, matching Figure 1
+    /// (plus the plain BFT protocols and the `oFlexi` ablations).
+    pub fn for_protocol(id: ProtocolId) -> Self {
+        use flexitrust_types::ProtocolId as P;
+        match id {
+            P::Pbft => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::ThreeFPlusOne,
+                trusted_abstraction: TrustedAbstraction::None,
+                bft_liveness: true,
+                out_of_order: true,
+                trusted_memory: MemoryFootprint::None,
+                primary_only_tc: false,
+                phases: 3,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::Zyzzyva => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::ThreeFPlusOne,
+                trusted_abstraction: TrustedAbstraction::None,
+                bft_liveness: true,
+                out_of_order: true,
+                trusted_memory: MemoryFootprint::None,
+                primary_only_tc: false,
+                phases: 1,
+                reply_quorum: QuorumRule::AllReplicas,
+                speculative: true,
+            },
+            P::PbftEa => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::TwoFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Log,
+                bft_liveness: false,
+                out_of_order: false,
+                trusted_memory: MemoryFootprint::High,
+                primary_only_tc: false,
+                phases: 3,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::OpbftEa => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::TwoFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Log,
+                bft_liveness: false,
+                out_of_order: true,
+                trusted_memory: MemoryFootprint::High,
+                primary_only_tc: false,
+                phases: 3,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::MinBft => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::TwoFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Counter,
+                bft_liveness: false,
+                out_of_order: false,
+                trusted_memory: MemoryFootprint::Low,
+                primary_only_tc: false,
+                phases: 2,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::MinZz => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::TwoFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Counter,
+                bft_liveness: false,
+                out_of_order: false,
+                trusted_memory: MemoryFootprint::Low,
+                primary_only_tc: false,
+                phases: 1,
+                reply_quorum: QuorumRule::AllReplicas,
+                speculative: true,
+            },
+            P::CheapBft => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::TwoFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Counter,
+                bft_liveness: false,
+                out_of_order: false,
+                trusted_memory: MemoryFootprint::Low,
+                primary_only_tc: false,
+                phases: 2,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::FlexiBft | P::OFlexiBft => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::ThreeFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Counter,
+                bft_liveness: true,
+                out_of_order: id == P::FlexiBft,
+                trusted_memory: MemoryFootprint::Low,
+                primary_only_tc: true,
+                phases: 2,
+                reply_quorum: QuorumRule::FPlusOne,
+                speculative: false,
+            },
+            P::FlexiZz | P::OFlexiZz => ProtocolProperties {
+                id,
+                replication: ReplicationFactor::ThreeFPlusOne,
+                trusted_abstraction: TrustedAbstraction::Counter,
+                bft_liveness: true,
+                out_of_order: id == P::FlexiZz,
+                trusted_memory: MemoryFootprint::Low,
+                primary_only_tc: true,
+                phases: 1,
+                reply_quorum: QuorumRule::TwoFPlusOne,
+                speculative: true,
+            },
+        }
+    }
+
+    /// The full Figure 1 table (one row per protocol the figure lists, plus
+    /// the plain BFT baselines).
+    pub fn figure1_rows() -> Vec<ProtocolProperties> {
+        ProtocolId::ALL
+            .iter()
+            .map(|p| Self::for_protocol(*p))
+            .collect()
+    }
+}
+
+impl fmt::Display for ProtocolProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<11} | {:>5} | {:<13} | {:^8} | {:^12} | {:<17} | {:^10} | {} phase(s)",
+            self.id.name(),
+            match self.replication {
+                ReplicationFactor::TwoFPlusOne => "2f+1",
+                ReplicationFactor::ThreeFPlusOne => "3f+1",
+            },
+            self.trusted_abstraction.to_string(),
+            if self.bft_liveness { "yes" } else { "no" },
+            if self.out_of_order { "yes" } else { "no" },
+            self.trusted_memory.to_string(),
+            if self.primary_only_tc { "yes" } else { "no" },
+            self.phases
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::ProtocolId as P;
+
+    #[test]
+    fn figure1_trusted_abstractions_match_paper() {
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::PbftEa).trusted_abstraction,
+            TrustedAbstraction::Log
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::MinBft).trusted_abstraction,
+            TrustedAbstraction::Counter
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::FlexiZz).trusted_abstraction,
+            TrustedAbstraction::Counter
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::Pbft).trusted_abstraction,
+            TrustedAbstraction::None
+        );
+    }
+
+    #[test]
+    fn only_flexitrust_needs_primary_only_tc() {
+        for p in P::ALL {
+            let props = ProtocolProperties::for_protocol(p);
+            assert_eq!(
+                props.primary_only_tc,
+                p.is_flexitrust(),
+                "primary-only TC flag wrong for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn trust_bft_protocols_lose_bft_liveness() {
+        for p in [P::PbftEa, P::MinBft, P::MinZz, P::CheapBft, P::OpbftEa] {
+            assert!(!ProtocolProperties::for_protocol(p).bft_liveness, "{p}");
+        }
+        for p in [P::Pbft, P::Zyzzyva, P::FlexiBft, P::FlexiZz] {
+            assert!(ProtocolProperties::for_protocol(p).bft_liveness, "{p}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_matches_parallelism_column() {
+        assert!(ProtocolProperties::for_protocol(P::FlexiBft).out_of_order);
+        assert!(ProtocolProperties::for_protocol(P::FlexiZz).out_of_order);
+        assert!(!ProtocolProperties::for_protocol(P::OFlexiBft).out_of_order);
+        assert!(!ProtocolProperties::for_protocol(P::MinBft).out_of_order);
+    }
+
+    #[test]
+    fn phase_counts_match_protocol_descriptions() {
+        assert_eq!(ProtocolProperties::for_protocol(P::Pbft).phases, 3);
+        assert_eq!(ProtocolProperties::for_protocol(P::PbftEa).phases, 3);
+        assert_eq!(ProtocolProperties::for_protocol(P::MinBft).phases, 2);
+        assert_eq!(ProtocolProperties::for_protocol(P::MinZz).phases, 1);
+        assert_eq!(ProtocolProperties::for_protocol(P::FlexiBft).phases, 2);
+        assert_eq!(ProtocolProperties::for_protocol(P::FlexiZz).phases, 1);
+        assert_eq!(ProtocolProperties::for_protocol(P::Zyzzyva).phases, 1);
+    }
+
+    #[test]
+    fn reply_quorums_match_paper() {
+        use flexitrust_types::QuorumRule as Q;
+        assert_eq!(ProtocolProperties::for_protocol(P::Zyzzyva).reply_quorum, Q::AllReplicas);
+        assert_eq!(ProtocolProperties::for_protocol(P::MinZz).reply_quorum, Q::AllReplicas);
+        assert_eq!(ProtocolProperties::for_protocol(P::FlexiZz).reply_quorum, Q::TwoFPlusOne);
+        assert_eq!(ProtocolProperties::for_protocol(P::FlexiBft).reply_quorum, Q::FPlusOne);
+        assert_eq!(ProtocolProperties::for_protocol(P::MinBft).reply_quorum, Q::FPlusOne);
+    }
+
+    #[test]
+    fn memory_footprints_match_figure1() {
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::PbftEa).trusted_memory,
+            MemoryFootprint::High
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::MinBft).trusted_memory,
+            MemoryFootprint::Low
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::FlexiZz).trusted_memory,
+            MemoryFootprint::Low
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::Pbft).trusted_memory,
+            MemoryFootprint::None
+        );
+    }
+
+    #[test]
+    fn figure1_rows_cover_every_protocol_and_render() {
+        let rows = ProtocolProperties::figure1_rows();
+        assert_eq!(rows.len(), P::ALL.len());
+        for row in rows {
+            assert!(!row.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn speculative_flags() {
+        assert!(ProtocolProperties::for_protocol(P::Zyzzyva).speculative);
+        assert!(ProtocolProperties::for_protocol(P::MinZz).speculative);
+        assert!(ProtocolProperties::for_protocol(P::FlexiZz).speculative);
+        assert!(!ProtocolProperties::for_protocol(P::FlexiBft).speculative);
+        assert!(!ProtocolProperties::for_protocol(P::Pbft).speculative);
+    }
+}

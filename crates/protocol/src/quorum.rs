@@ -1,0 +1,168 @@
+//! Quorum certificate tracking.
+//!
+//! Every phase of every protocol boils down to "collect `q` matching votes
+//! from distinct replicas, then act exactly once". [`CertificateTracker`]
+//! implements that pattern generically: votes are keyed by an arbitrary key
+//! (typically `(view, seq, digest)`), duplicate votes from the same replica
+//! are ignored, and the tracker reports the moment the threshold is crossed
+//! exactly once per key.
+
+use flexitrust_types::ReplicaId;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// Tracks votes per key and fires once when a key reaches the threshold.
+#[derive(Debug, Clone)]
+pub struct CertificateTracker<K: Eq + Hash + Clone> {
+    threshold: usize,
+    votes: HashMap<K, BTreeSet<ReplicaId>>,
+    completed: HashMap<K, bool>,
+}
+
+impl<K: Eq + Hash + Clone> CertificateTracker<K> {
+    /// Creates a tracker that completes a key at `threshold` distinct voters.
+    pub fn new(threshold: usize) -> Self {
+        CertificateTracker {
+            threshold: threshold.max(1),
+            votes: HashMap::new(),
+            completed: HashMap::new(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Records a vote. Returns `true` exactly once per key: on the vote that
+    /// brings the key to the threshold.
+    pub fn vote(&mut self, key: K, voter: ReplicaId) -> bool {
+        if self.completed.get(&key).copied().unwrap_or(false) {
+            // Late votes after completion are counted but never re-fire.
+            self.votes.entry(key).or_default().insert(voter);
+            return false;
+        }
+        let entry = self.votes.entry(key.clone()).or_default();
+        entry.insert(voter);
+        if entry.len() >= self.threshold {
+            self.completed.insert(key, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct voters recorded for `key`.
+    pub fn count(&self, key: &K) -> usize {
+        self.votes.get(key).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Whether `key` has reached the threshold.
+    pub fn is_complete(&self, key: &K) -> bool {
+        self.completed.get(key).copied().unwrap_or(false)
+    }
+
+    /// The distinct voters recorded for `key`.
+    pub fn voters(&self, key: &K) -> Vec<ReplicaId> {
+        self.votes
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Forgets every key for which `retain` returns `false`; used for
+    /// garbage collection below the checkpoint low-water mark.
+    pub fn retain<F: Fn(&K) -> bool>(&mut self, retain: F) {
+        self.votes.retain(|k, _| retain(k));
+        self.completed.retain(|k, _| retain(k));
+    }
+
+    /// Number of keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{Digest, SeqNum, View};
+
+    type Key = (View, SeqNum, Digest);
+
+    fn key(seq: u64) -> Key {
+        (View(0), SeqNum(seq), Digest::from_u64_tag(seq))
+    }
+
+    #[test]
+    fn fires_exactly_once_at_threshold() {
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(3);
+        assert!(!t.vote(key(1), ReplicaId(0)));
+        assert!(!t.vote(key(1), ReplicaId(1)));
+        assert!(t.vote(key(1), ReplicaId(2)));
+        // Further votes never re-fire.
+        assert!(!t.vote(key(1), ReplicaId(3)));
+        assert!(t.is_complete(&key(1)));
+        assert_eq!(t.count(&key(1)), 4);
+    }
+
+    #[test]
+    fn duplicate_voters_do_not_advance_the_count() {
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(2);
+        assert!(!t.vote(key(1), ReplicaId(0)));
+        assert!(!t.vote(key(1), ReplicaId(0)));
+        assert_eq!(t.count(&key(1)), 1);
+        assert!(t.vote(key(1), ReplicaId(1)));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(2);
+        t.vote(key(1), ReplicaId(0));
+        t.vote(key(2), ReplicaId(0));
+        assert_eq!(t.count(&key(1)), 1);
+        assert_eq!(t.count(&key(2)), 1);
+        assert!(!t.is_complete(&key(1)));
+    }
+
+    #[test]
+    fn conflicting_digests_count_separately() {
+        // A Byzantine voter voting for two different digests at the same slot
+        // must not help either reach a quorum faster.
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(2);
+        let a = (View(0), SeqNum(1), Digest::from_u64_tag(1));
+        let b = (View(0), SeqNum(1), Digest::from_u64_tag(2));
+        t.vote(a, ReplicaId(0));
+        t.vote(b, ReplicaId(0));
+        assert_eq!(t.count(&a), 1);
+        assert_eq!(t.count(&b), 1);
+    }
+
+    #[test]
+    fn retain_garbage_collects() {
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(1);
+        t.vote(key(1), ReplicaId(0));
+        t.vote(key(5), ReplicaId(0));
+        assert_eq!(t.tracked_keys(), 2);
+        t.retain(|k| k.1 > SeqNum(2));
+        assert_eq!(t.tracked_keys(), 1);
+        assert!(!t.is_complete(&key(1)));
+        assert!(t.is_complete(&key(5)));
+    }
+
+    #[test]
+    fn voters_are_reported_sorted_and_deduplicated() {
+        let mut t: CertificateTracker<Key> = CertificateTracker::new(10);
+        t.vote(key(1), ReplicaId(3));
+        t.vote(key(1), ReplicaId(1));
+        t.vote(key(1), ReplicaId(3));
+        assert_eq!(t.voters(&key(1)), vec![ReplicaId(1), ReplicaId(3)]);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut t: CertificateTracker<u64> = CertificateTracker::new(0);
+        assert_eq!(t.threshold(), 1);
+        assert!(t.vote(9, ReplicaId(0)));
+    }
+}

@@ -1,0 +1,299 @@
+//! Per-replica state shared by every protocol engine.
+//!
+//! [`ReplicaCore`] bundles the pieces every engine needs regardless of the
+//! protocol: configuration, current view, the execution queue (in-order
+//! execution against the KV store), the primary-side batcher, the per-client
+//! reply cache (for retransmitted requests) and checkpoint tracking. Protocol
+//! engines embed a `ReplicaCore` and add their own phase state on top.
+
+use crate::actions::Outbox;
+use crate::batcher::Batcher;
+use crate::messages::{ClientReply, Message};
+use flexitrust_exec::{CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
+use flexitrust_types::{
+    Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View,
+};
+use std::collections::HashMap;
+
+/// Common replica state embedded by every protocol engine.
+pub struct ReplicaCore {
+    config: SystemConfig,
+    id: ReplicaId,
+    view: View,
+    exec: ExecutionQueue,
+    batcher: Batcher,
+    checkpoints: CheckpointLog,
+    reply_cache: HashMap<ClientId, (RequestId, ClientReply)>,
+    executed_txns: u64,
+}
+
+impl ReplicaCore {
+    /// Creates the core state for replica `id` under `config`, executing
+    /// against an empty key-value store.
+    pub fn new(config: SystemConfig, id: ReplicaId) -> Self {
+        Self::with_store(config, id, KvStore::new())
+    }
+
+    /// Creates the core state with a pre-loaded store (e.g. the 600 k-record
+    /// YCSB table).
+    pub fn with_store(config: SystemConfig, id: ReplicaId, store: KvStore) -> Self {
+        let checkpoint_quorum = config.small_quorum();
+        ReplicaCore {
+            batcher: Batcher::new(config.batch_size),
+            checkpoints: CheckpointLog::new(config.checkpoint_interval, checkpoint_quorum),
+            exec: ExecutionQueue::with_store(store),
+            reply_cache: HashMap::new(),
+            executed_txns: 0,
+            view: View::ZERO,
+            config,
+            id,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Moves to `view` (monotonically; going backwards is ignored).
+    pub fn enter_view(&mut self, view: View) {
+        if view > self.view {
+            self.view = view;
+        }
+    }
+
+    /// The primary of the current view.
+    pub fn primary(&self) -> ReplicaId {
+        self.view.primary(self.config.n)
+    }
+
+    /// Returns `true` when this replica is the primary of the current view.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// The primary-side batcher.
+    pub fn batcher_mut(&mut self) -> &mut Batcher {
+        &mut self.batcher
+    }
+
+    /// The highest executed sequence number.
+    pub fn last_executed(&self) -> SeqNum {
+        self.exec.last_executed()
+    }
+
+    /// Total transactions executed by this replica.
+    pub fn executed_txns(&self) -> u64 {
+        self.executed_txns
+    }
+
+    /// Digest of the current RSM state.
+    pub fn state_digest(&self) -> Digest {
+        self.exec.state_digest()
+    }
+
+    /// Read-only access to the execution queue.
+    pub fn exec(&self) -> &ExecutionQueue {
+        &self.exec
+    }
+
+    /// Mutable access to the execution queue (used by speculative protocols
+    /// for rollback and by state transfer).
+    pub fn exec_mut(&mut self) -> &mut ExecutionQueue {
+        &mut self.exec
+    }
+
+    /// The checkpoint log.
+    pub fn checkpoints(&self) -> &CheckpointLog {
+        &self.checkpoints
+    }
+
+    /// Looks up a cached reply for a retransmitted client request.
+    pub fn cached_reply(&self, client: ClientId, request: RequestId) -> Option<&ClientReply> {
+        self.reply_cache
+            .get(&client)
+            .filter(|(req, _)| *req == request)
+            .map(|(_, reply)| reply)
+    }
+
+    /// Submits a committed (or speculatively executable) batch at `seq`:
+    /// executes everything now in order, emits one reply per transaction and
+    /// an `Executed` notification per batch, and returns the executed
+    /// batches so the engine can trigger protocol-specific follow-ups
+    /// (checkpoint messages, speculative bookkeeping, ...).
+    pub fn commit_batch(
+        &mut self,
+        seq: SeqNum,
+        batch: Batch,
+        speculative: bool,
+        out: &mut Outbox,
+    ) -> Vec<ExecutedBatch> {
+        let executed = self.exec.submit(seq, batch);
+        for done in &executed {
+            self.executed_txns += done.outcomes.len() as u64;
+            out.executed(done.seq, done.outcomes.len());
+            for outcome in &done.outcomes {
+                // No-op filler transactions have no real client to answer.
+                if outcome.client == ClientId(u64::MAX) {
+                    continue;
+                }
+                let reply = ClientReply {
+                    client: outcome.client,
+                    request: outcome.request,
+                    seq: done.seq,
+                    view: self.view,
+                    replica: self.id,
+                    result: outcome.result.clone(),
+                    speculative,
+                };
+                self.reply_cache
+                    .insert(outcome.client, (outcome.request, reply.clone()));
+                out.reply(reply);
+            }
+        }
+        executed
+    }
+
+    /// Emits a `Checkpoint` broadcast if `seq` crosses a checkpoint boundary.
+    pub fn maybe_emit_checkpoint(&mut self, seq: SeqNum, out: &mut Outbox) {
+        if self.checkpoints.is_checkpoint_seq(seq) {
+            out.broadcast(Message::Checkpoint {
+                seq,
+                state_digest: self.state_digest(),
+                attestation: None,
+            });
+        }
+    }
+
+    /// Records a checkpoint vote; returns the newly stable checkpoint
+    /// sequence number when this vote made it stable.
+    pub fn record_checkpoint_vote(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNum,
+        state_digest: Digest,
+    ) -> Option<SeqNum> {
+        self.checkpoints
+            .record_vote(from, seq, state_digest)
+            .map(|c| c.seq)
+    }
+
+    /// The stable low-water mark (sequence numbers at or below this may be
+    /// garbage collected).
+    pub fn low_water_mark(&self) -> SeqNum {
+        self.checkpoints.low_water_mark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{KvOp, ProtocolId, Transaction};
+
+    fn core() -> ReplicaCore {
+        let cfg = SystemConfig::for_protocol(ProtocolId::FlexiBft, 1);
+        ReplicaCore::new(cfg, ReplicaId(1))
+    }
+
+    fn batch(tag: u64) -> Batch {
+        Batch::new(
+            vec![Transaction::new(
+                ClientId(3),
+                RequestId(tag),
+                KvOp::Update {
+                    key: tag,
+                    value: vec![1],
+                },
+            )],
+            Digest::from_u64_tag(tag),
+        )
+    }
+
+    #[test]
+    fn primary_is_derived_from_view() {
+        let mut c = core();
+        assert_eq!(c.primary(), ReplicaId(0));
+        assert!(!c.is_primary());
+        c.enter_view(View(1));
+        assert!(c.is_primary());
+        // Views never go backwards.
+        c.enter_view(View(0));
+        assert_eq!(c.view(), View(1));
+    }
+
+    #[test]
+    fn commit_batch_executes_in_order_and_replies() {
+        let mut c = core();
+        let mut out = Outbox::new();
+        assert!(c.commit_batch(SeqNum(2), batch(2), false, &mut out).is_empty());
+        assert_eq!(out.replies().len(), 0);
+        let executed = c.commit_batch(SeqNum(1), batch(1), false, &mut out);
+        assert_eq!(executed.len(), 2);
+        assert_eq!(c.last_executed(), SeqNum(2));
+        assert_eq!(c.executed_txns(), 2);
+        assert_eq!(out.replies().len(), 2);
+        assert_eq!(out.replies()[0].replica, ReplicaId(1));
+    }
+
+    #[test]
+    fn reply_cache_returns_latest_reply_per_client() {
+        let mut c = core();
+        let mut out = Outbox::new();
+        c.commit_batch(SeqNum(1), batch(1), false, &mut out);
+        c.commit_batch(SeqNum(2), batch(2), false, &mut out);
+        assert!(c.cached_reply(ClientId(3), RequestId(2)).is_some());
+        assert!(c.cached_reply(ClientId(3), RequestId(1)).is_none());
+        assert!(c.cached_reply(ClientId(9), RequestId(2)).is_none());
+    }
+
+    #[test]
+    fn noop_transactions_are_not_replied_to() {
+        let mut c = core();
+        let mut out = Outbox::new();
+        c.commit_batch(SeqNum(1), Batch::noop(1), false, &mut out);
+        assert_eq!(out.replies().len(), 0);
+        assert_eq!(c.last_executed(), SeqNum(1));
+    }
+
+    #[test]
+    fn checkpoint_vote_quorum_advances_low_water_mark() {
+        let mut c = core();
+        let digest = Digest::from_u64_tag(5);
+        assert!(c
+            .record_checkpoint_vote(ReplicaId(0), SeqNum(1000), digest)
+            .is_none());
+        assert!(c
+            .record_checkpoint_vote(ReplicaId(2), SeqNum(1000), digest)
+            .is_some());
+        assert_eq!(c.low_water_mark(), SeqNum(1000));
+    }
+
+    #[test]
+    fn checkpoint_broadcast_fires_only_on_boundaries() {
+        let mut c = core();
+        let mut out = Outbox::new();
+        c.maybe_emit_checkpoint(SeqNum(999), &mut out);
+        assert!(out.is_empty());
+        c.maybe_emit_checkpoint(SeqNum(1000), &mut out);
+        assert_eq!(out.broadcasts().len(), 1);
+        assert_eq!(out.broadcasts()[0].kind(), "Checkpoint");
+    }
+
+    #[test]
+    fn speculative_flag_propagates_to_replies() {
+        let mut c = core();
+        let mut out = Outbox::new();
+        c.commit_batch(SeqNum(1), batch(1), true, &mut out);
+        assert!(out.replies()[0].speculative);
+    }
+}

@@ -1,0 +1,248 @@
+//! View-change planning shared by the protocol engines.
+//!
+//! When the primary of view `v` is suspected faulty, replicas broadcast
+//! `ViewChange` messages carrying the batches they have prepared (or, for
+//! speculative protocols, executed), and the primary of view `v + 1` gathers
+//! a quorum of those messages into a `NewView` announcement that re-proposes
+//! every batch that may have committed, filling sequence-number gaps with
+//! no-ops (§8.2, §8.3 and the PBFT view change they inherit from).
+//!
+//! [`NewViewPlanner`] implements the quorum gathering and the merge: it is
+//! protocol-agnostic (the quorum size and what counts as a "prepared proof"
+//! differ per protocol and are supplied by the engine).
+
+use crate::messages::PreparedProof;
+use crate::quorum::CertificateTracker;
+use flexitrust_types::{Batch, ReplicaId, SeqNum, View};
+use std::collections::BTreeMap;
+
+/// The merged re-proposal plan for a new view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewViewPlan {
+    /// The view this plan starts.
+    pub view: View,
+    /// How many `ViewChange` messages back the plan.
+    pub supporting_votes: usize,
+    /// The re-proposals in contiguous sequence order starting right after
+    /// the highest stable checkpoint among the votes; gaps are no-op batches.
+    pub proposals: Vec<(SeqNum, Batch)>,
+    /// The sequence number right after which the new primary must continue
+    /// proposing fresh batches.
+    pub next_seq: SeqNum,
+    /// The highest stable checkpoint reported by the quorum.
+    pub stable_seq: SeqNum,
+}
+
+/// Collects `ViewChange` messages for one target view and produces the
+/// [`NewViewPlan`] once a quorum is reached.
+#[derive(Debug)]
+pub struct NewViewPlanner {
+    target_view: View,
+    votes: CertificateTracker<View>,
+    /// Best prepared proof seen per sequence number (highest view, then most
+    /// prepare votes wins).
+    best: BTreeMap<u64, PreparedProof>,
+    highest_stable: SeqNum,
+    produced: bool,
+}
+
+impl NewViewPlanner {
+    /// Creates a planner for `target_view` requiring `quorum` view-change
+    /// votes.
+    pub fn new(target_view: View, quorum: usize) -> Self {
+        NewViewPlanner {
+            target_view,
+            votes: CertificateTracker::new(quorum.max(1)),
+            best: BTreeMap::new(),
+            highest_stable: SeqNum(0),
+            produced: false,
+        }
+    }
+
+    /// The view this planner is building.
+    pub fn target_view(&self) -> View {
+        self.target_view
+    }
+
+    /// Number of distinct view-change votes received so far.
+    pub fn votes(&self) -> usize {
+        self.votes.count(&self.target_view)
+    }
+
+    /// Whether the plan has already been produced.
+    pub fn produced(&self) -> bool {
+        self.produced
+    }
+
+    /// Records one `ViewChange` message. Returns the plan exactly once, on
+    /// the message that completes the quorum.
+    pub fn record_view_change(
+        &mut self,
+        from: ReplicaId,
+        last_stable: SeqNum,
+        prepared: Vec<PreparedProof>,
+    ) -> Option<NewViewPlan> {
+        if self.produced {
+            return None;
+        }
+        self.highest_stable = self.highest_stable.max(last_stable);
+        for proof in prepared {
+            let slot = proof.seq.0;
+            match self.best.get(&slot) {
+                Some(existing)
+                    if (existing.view, existing.prepare_votes)
+                        >= (proof.view, proof.prepare_votes) => {}
+                _ => {
+                    self.best.insert(slot, proof);
+                }
+            }
+        }
+        if self.votes.vote(self.target_view, from) {
+            self.produced = true;
+            Some(self.build_plan())
+        } else {
+            None
+        }
+    }
+
+    fn build_plan(&self) -> NewViewPlan {
+        let start = self.highest_stable.0 + 1;
+        let max_seq = self
+            .best
+            .keys()
+            .copied()
+            .filter(|s| *s >= start)
+            .max()
+            .unwrap_or(self.highest_stable.0);
+        let mut proposals = Vec::new();
+        for seq in start..=max_seq {
+            match self.best.get(&seq) {
+                Some(proof) => proposals.push((SeqNum(seq), proof.batch.clone())),
+                // Gap between re-proposed requests: fill with a no-op so the
+                // execution order has no holes.
+                None => proposals.push((SeqNum(seq), Batch::noop(seq))),
+            }
+        }
+        NewViewPlan {
+            view: self.target_view,
+            supporting_votes: self.votes(),
+            next_seq: SeqNum(max_seq + 1),
+            stable_seq: self.highest_stable,
+            proposals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{ClientId, Digest, KvOp, RequestId, Transaction};
+
+    fn proof(view: u64, seq: u64, votes: usize, tag: u64) -> PreparedProof {
+        PreparedProof {
+            view: View(view),
+            seq: SeqNum(seq),
+            digest: Digest::from_u64_tag(tag),
+            batch: Batch::new(
+                vec![Transaction::new(
+                    ClientId(1),
+                    RequestId(tag),
+                    KvOp::Read { key: tag },
+                )],
+                Digest::from_u64_tag(tag),
+            ),
+            attestation: None,
+            prepare_votes: votes,
+        }
+    }
+
+    #[test]
+    fn plan_is_produced_exactly_once_at_quorum() {
+        let mut planner = NewViewPlanner::new(View(1), 3);
+        assert!(planner
+            .record_view_change(ReplicaId(0), SeqNum(0), vec![proof(0, 1, 3, 1)])
+            .is_none());
+        assert!(planner
+            .record_view_change(ReplicaId(1), SeqNum(0), vec![])
+            .is_none());
+        let plan = planner
+            .record_view_change(ReplicaId(2), SeqNum(0), vec![])
+            .unwrap();
+        assert_eq!(plan.view, View(1));
+        assert_eq!(plan.supporting_votes, 3);
+        assert_eq!(plan.proposals.len(), 1);
+        assert!(planner
+            .record_view_change(ReplicaId(3), SeqNum(0), vec![])
+            .is_none());
+        assert!(planner.produced());
+    }
+
+    #[test]
+    fn duplicate_votes_do_not_count_toward_quorum() {
+        let mut planner = NewViewPlanner::new(View(1), 2);
+        assert!(planner
+            .record_view_change(ReplicaId(0), SeqNum(0), vec![])
+            .is_none());
+        assert!(planner
+            .record_view_change(ReplicaId(0), SeqNum(0), vec![])
+            .is_none());
+        assert!(planner
+            .record_view_change(ReplicaId(1), SeqNum(0), vec![])
+            .is_some());
+    }
+
+    #[test]
+    fn gaps_are_filled_with_noops() {
+        let mut planner = NewViewPlanner::new(View(2), 1);
+        let plan = planner
+            .record_view_change(
+                ReplicaId(0),
+                SeqNum(0),
+                vec![proof(1, 1, 3, 1), proof(1, 4, 3, 4)],
+            )
+            .unwrap();
+        let seqs: Vec<u64> = plan.proposals.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        assert!(plan.proposals[1].1.is_noop());
+        assert!(plan.proposals[2].1.is_noop());
+        assert!(!plan.proposals[3].1.is_noop());
+        assert_eq!(plan.next_seq, SeqNum(5));
+    }
+
+    #[test]
+    fn higher_view_proof_wins_per_slot() {
+        let mut planner = NewViewPlanner::new(View(3), 2);
+        planner.record_view_change(ReplicaId(0), SeqNum(0), vec![proof(1, 1, 3, 10)]);
+        let plan = planner
+            .record_view_change(ReplicaId(1), SeqNum(0), vec![proof(2, 1, 2, 20)])
+            .unwrap();
+        assert_eq!(plan.proposals[0].1.digest, Digest::from_u64_tag(20));
+    }
+
+    #[test]
+    fn slots_below_stable_checkpoint_are_dropped() {
+        let mut planner = NewViewPlanner::new(View(1), 2);
+        planner.record_view_change(
+            ReplicaId(0),
+            SeqNum(3),
+            vec![proof(0, 2, 3, 2), proof(0, 5, 3, 5)],
+        );
+        let plan = planner
+            .record_view_change(ReplicaId(1), SeqNum(1), vec![])
+            .unwrap();
+        let seqs: Vec<u64> = plan.proposals.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(plan.stable_seq, SeqNum(3));
+        assert!(plan.proposals[0].1.is_noop());
+    }
+
+    #[test]
+    fn empty_quorum_produces_empty_plan() {
+        let mut planner = NewViewPlanner::new(View(1), 1);
+        let plan = planner
+            .record_view_change(ReplicaId(0), SeqNum(7), vec![])
+            .unwrap();
+        assert!(plan.proposals.is_empty());
+        assert_eq!(plan.next_seq, SeqNum(8));
+    }
+}

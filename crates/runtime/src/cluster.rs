@@ -1,0 +1,330 @@
+//! A threaded cluster: one thread per replica, channels as the network.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzyva};
+use flexitrust_core::{FlexiBft, FlexiZz};
+use flexitrust_protocol::{
+    Action, ClientLibrary, ClientReply, ConsensusEngine, Message, Outbox, RequestStatus, TimerKind,
+};
+use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry};
+use flexitrust_types::{
+    ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction,
+};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Messages flowing into a replica thread.
+enum Input {
+    Peer(ReplicaId, Message),
+    Client(Vec<Transaction>),
+    Shutdown,
+}
+
+/// Summary of a workload run against the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Transactions whose reply quorum was reached.
+    pub completed_txns: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Observed throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Number of replicas in the cluster.
+    pub n: usize,
+}
+
+/// A running in-process cluster for one protocol.
+pub struct Cluster {
+    config: SystemConfig,
+    inboxes: Vec<Sender<Input>>,
+    replies: Receiver<ClientReply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+fn build_engine(
+    protocol: ProtocolId,
+    config: &SystemConfig,
+    id: ReplicaId,
+    registry: &EnclaveRegistry,
+) -> Box<dyn ConsensusEngine> {
+    let counter_enclave =
+        || Enclave::shared(EnclaveConfig::counter_only(id, AttestationMode::Real));
+    let log_enclave = || Enclave::shared(EnclaveConfig::log_based(id, AttestationMode::Real));
+    match protocol {
+        ProtocolId::Pbft => Box::new(Pbft::engine(config.clone(), id)),
+        ProtocolId::Zyzzyva => Box::new(Zyzzyva::engine(config.clone(), id)),
+        ProtocolId::PbftEa => Box::new(PbftEa::engine(
+            config.clone(),
+            id,
+            log_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::OpbftEa => Box::new(OpbftEa::engine(
+            config.clone(),
+            id,
+            log_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::MinBft => Box::new(MinBft::engine(
+            config.clone(),
+            id,
+            counter_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::MinZz => Box::new(MinZz::engine(
+            config.clone(),
+            id,
+            counter_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::CheapBft => Box::new(CheapBft::engine(
+            config.clone(),
+            id,
+            counter_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::FlexiBft | ProtocolId::OFlexiBft => Box::new(FlexiBft::new(
+            config.clone(),
+            id,
+            counter_enclave(),
+            registry.clone(),
+        )),
+        ProtocolId::FlexiZz | ProtocolId::OFlexiZz => Box::new(FlexiZz::new(
+            config.clone(),
+            id,
+            counter_enclave(),
+            registry.clone(),
+        )),
+    }
+}
+
+impl Cluster {
+    /// Starts a cluster of `n` replica threads for `protocol` with fault
+    /// threshold `f` and the given batch size, using real Ed25519
+    /// attestations.
+    pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> Self {
+        let mut config = SystemConfig::for_protocol(protocol, f);
+        config.batch_size = batch_size;
+        // Keep view-change timers long: the threaded runtime is used for
+        // failure-free correctness runs and examples.
+        config.view_timeout_us = 30_000_000;
+        let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
+
+        let (reply_tx, reply_rx) = bounded::<ClientReply>(1 << 16);
+        let mut inbox_txs = Vec::with_capacity(config.n);
+        let mut inbox_rxs = Vec::with_capacity(config.n);
+        for _ in 0..config.n {
+            let (tx, rx) = bounded::<Input>(1 << 16);
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+
+        let mut handles = Vec::with_capacity(config.n);
+        for (i, rx) in inbox_rxs.into_iter().enumerate() {
+            let id = ReplicaId(i as u32);
+            let mut engine = build_engine(protocol, &config, id, &registry);
+            let peers = inbox_txs.clone();
+            let replies = reply_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                replica_loop(&mut *engine, id, rx, peers, replies);
+            }));
+        }
+
+        Cluster {
+            config,
+            inboxes: inbox_txs,
+            replies: reply_rx,
+            handles,
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Submits transactions to the primary replica.
+    pub fn submit(&self, txns: Vec<Transaction>) {
+        let _ = self.inboxes[0].send(Input::Client(txns));
+    }
+
+    /// Runs `total_txns` transactions (from `clients` logical clients)
+    /// through the cluster and waits until each has reached the protocol's
+    /// reply quorum, or until `timeout` expires.
+    pub fn run_workload(
+        &self,
+        total_txns: usize,
+        clients: usize,
+        timeout: Duration,
+    ) -> ClusterSummary {
+        let properties_quorum = {
+            // The reply rule follows the protocol (Figure 1 column mapping).
+            use flexitrust_protocol::ProtocolProperties;
+            ProtocolProperties::for_protocol(self.config.protocol).reply_quorum
+        };
+        let mut libraries: HashMap<u64, ClientLibrary> = (0..clients as u64)
+            .map(|c| {
+                (
+                    c,
+                    ClientLibrary::new(ClientId(c), &self.config, properties_quorum),
+                )
+            })
+            .collect();
+
+        let start = Instant::now();
+        let mut submitted = Vec::with_capacity(total_txns);
+        for i in 0..total_txns {
+            let client = ClientId((i % clients) as u64);
+            let request = RequestId((i / clients) as u64 + 1);
+            let txn = Transaction::new(
+                client,
+                request,
+                flexitrust_types::KvOp::Update {
+                    key: i as u64,
+                    value: vec![i as u8; 16],
+                },
+            );
+            libraries.get_mut(&client.0).expect("library exists").begin(request);
+            submitted.push(txn);
+        }
+        for chunk in submitted.chunks(self.config.batch_size.max(1)) {
+            self.submit(chunk.to_vec());
+        }
+
+        let mut completed = 0u64;
+        while completed < total_txns as u64 && start.elapsed() < timeout {
+            match self.replies.recv_timeout(Duration::from_millis(50)) {
+                Ok(reply) => {
+                    if let Some(library) = libraries.get_mut(&reply.client.0) {
+                        if let RequestStatus::Complete { matching, .. } = library.on_reply(&reply)
+                        {
+                            if matching == library.needed() {
+                                completed += 1;
+                            }
+                        }
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        let elapsed = start.elapsed();
+        ClusterSummary {
+            completed_txns: completed,
+            throughput_tps: completed as f64 / elapsed.as_secs_f64(),
+            elapsed,
+            n: self.config.n,
+        }
+    }
+
+    /// Stops every replica thread.
+    pub fn shutdown(self) {
+        for tx in &self.inboxes {
+            let _ = tx.send(Input::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn replica_loop(
+    engine: &mut dyn ConsensusEngine,
+    id: ReplicaId,
+    rx: Receiver<Input>,
+    peers: Vec<Sender<Input>>,
+    replies: Sender<ClientReply>,
+) {
+    let mut timers: Vec<(Instant, TimerKind)> = Vec::new();
+    loop {
+        // Work out how long we may sleep before the next timer fires.
+        let now = Instant::now();
+        let next_deadline = timers.iter().map(|(at, _)| *at).min();
+        let wait = next_deadline
+            .map(|at| at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+
+        let mut out = Outbox::new();
+        match rx.recv_timeout(wait) {
+            Ok(Input::Peer(from, msg)) => engine.on_message(from, msg, &mut out),
+            Ok(Input::Client(txns)) => engine.on_client_request(txns, &mut out),
+            Ok(Input::Shutdown) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+
+        // Fire any due timers.
+        let now = Instant::now();
+        let due: Vec<TimerKind> = timers
+            .iter()
+            .filter(|(at, _)| *at <= now)
+            .map(|(_, t)| *t)
+            .collect();
+        timers.retain(|(at, _)| *at > now);
+        for timer in due {
+            engine.on_timer(timer, &mut out);
+        }
+
+        for action in out.drain() {
+            match action {
+                Action::Send { to, msg } => {
+                    let _ = peers[to.as_usize()].send(Input::Peer(id, msg));
+                }
+                Action::Broadcast { msg } => {
+                    for peer in &peers {
+                        let _ = peer.send(Input::Peer(id, msg.clone()));
+                    }
+                }
+                Action::Reply { reply } => {
+                    let _ = replies.send(reply);
+                }
+                Action::SetTimer { timer, delay_us } => {
+                    timers.retain(|(_, t)| *t != timer);
+                    timers.push((Instant::now() + Duration::from_micros(delay_us), timer));
+                }
+                Action::CancelTimer { timer } => {
+                    timers.retain(|(_, t)| *t != timer);
+                }
+                Action::Executed { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(protocol: ProtocolId, txns: usize) -> ClusterSummary {
+        let cluster = Cluster::start(protocol, 1, 10);
+        let summary = cluster.run_workload(txns, 4, Duration::from_secs(30));
+        cluster.shutdown();
+        summary
+    }
+
+    #[test]
+    fn flexi_bft_commits_real_crypto_workload() {
+        let summary = run(ProtocolId::FlexiBft, 100);
+        assert_eq!(summary.completed_txns, 100);
+        assert!(summary.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn flexi_zz_commits_real_crypto_workload() {
+        let summary = run(ProtocolId::FlexiZz, 100);
+        assert_eq!(summary.completed_txns, 100);
+    }
+
+    #[test]
+    fn minbft_commits_real_crypto_workload() {
+        let summary = run(ProtocolId::MinBft, 50);
+        assert_eq!(summary.completed_txns, 50);
+    }
+
+    #[test]
+    fn pbft_commits_real_crypto_workload() {
+        let summary = run(ProtocolId::Pbft, 50);
+        assert_eq!(summary.completed_txns, 50);
+    }
+}

@@ -1,0 +1,13 @@
+//! Real in-process deployment of the consensus engines.
+//!
+//! While `flexitrust-sim` models time to reproduce the paper's performance
+//! figures, this crate actually *runs* the protocols: one OS thread per
+//! replica, crossbeam channels as the (reliable, authenticated) network,
+//! real Ed25519 attestations from the software enclaves, and a real client
+//! that collects replies through the protocol's reply quorum. It exists to
+//! validate end-to-end correctness of the engines at small scale (n = 4…13)
+//! and to power the runnable examples.
+
+pub mod cluster;
+
+pub use cluster::{Cluster, ClusterSummary};

@@ -1,0 +1,163 @@
+//! Fault and adversary modelling for simulations.
+//!
+//! The evaluation needs two kinds of misbehaviour: crashed/unresponsive
+//! replicas (Figure 7) and adversarial message scheduling (the §5
+//! responsiveness attack, where Byzantine replicas withhold messages from a
+//! subset of honest replicas and the network delays one honest replica's
+//! messages). [`FaultPlan`] captures both declaratively so scenarios remain
+//! serialisable and reproducible.
+
+use flexitrust_protocol::Message;
+use flexitrust_types::ReplicaId;
+use std::collections::BTreeSet;
+
+/// What happens to one message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFate {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver after an extra delay (microseconds).
+    Delay(u64),
+    /// Never deliver.
+    Drop,
+}
+
+/// A declarative fault/adversary plan applied to every message.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Replicas that have crashed: they receive nothing and send nothing.
+    pub failed: BTreeSet<ReplicaId>,
+    /// Byzantine replicas that silently withhold all their messages from the
+    /// replicas in [`FaultPlan::victims`] (the §5/§6 adversary).
+    pub withholding: BTreeSet<ReplicaId>,
+    /// The replicas being kept in the dark by the withholding set.
+    pub victims: BTreeSet<ReplicaId>,
+    /// Honest replicas whose outgoing messages are delayed (partial
+    /// synchrony); the delay is [`FaultPlan::delay_us`].
+    pub delayed_senders: BTreeSet<ReplicaId>,
+    /// Extra delay applied to messages from `delayed_senders` to `victims`.
+    pub delay_us: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single crashed (unresponsive) non-primary replica, as in Figure 7.
+    pub fn single_failure(replica: ReplicaId) -> Self {
+        FaultPlan {
+            failed: BTreeSet::from([replica]),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The §5 responsiveness scenario: the Byzantine set `byzantine`
+    /// withholds everything from the honest set `victims`, and the one
+    /// remaining honest replica's (`delayed`) messages to the victims are
+    /// delayed by `delay_us`.
+    pub fn responsiveness_attack(
+        byzantine: impl IntoIterator<Item = ReplicaId>,
+        victims: impl IntoIterator<Item = ReplicaId>,
+        delayed: ReplicaId,
+        delay_us: u64,
+    ) -> Self {
+        FaultPlan {
+            failed: BTreeSet::new(),
+            withholding: byzantine.into_iter().collect(),
+            victims: victims.into_iter().collect(),
+            delayed_senders: BTreeSet::from([delayed]),
+            delay_us,
+        }
+    }
+
+    /// Returns `true` when the replica has crashed.
+    pub fn is_failed(&self, replica: ReplicaId) -> bool {
+        self.failed.contains(&replica)
+    }
+
+    /// Decides the fate of a message from `from` to `to`.
+    pub fn fate(&self, from: ReplicaId, to: ReplicaId, _msg: &Message) -> DeliveryFate {
+        if self.failed.contains(&from) || self.failed.contains(&to) {
+            return DeliveryFate::Drop;
+        }
+        if self.withholding.contains(&from) && self.victims.contains(&to) {
+            return DeliveryFate::Drop;
+        }
+        if self.delayed_senders.contains(&from) && self.victims.contains(&to) {
+            return DeliveryFate::Delay(self.delay_us);
+        }
+        DeliveryFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{Digest, SeqNum, View};
+
+    fn msg() -> Message {
+        Message::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            attestation: None,
+        }
+    }
+
+    #[test]
+    fn no_faults_delivers_everything() {
+        let plan = FaultPlan::none();
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(1), &msg()),
+            DeliveryFate::Deliver
+        );
+        assert!(!plan.is_failed(ReplicaId(0)));
+    }
+
+    #[test]
+    fn failed_replicas_neither_send_nor_receive() {
+        let plan = FaultPlan::single_failure(ReplicaId(2));
+        assert_eq!(
+            plan.fate(ReplicaId(2), ReplicaId(0), &msg()),
+            DeliveryFate::Drop
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(2), &msg()),
+            DeliveryFate::Drop
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(1), &msg()),
+            DeliveryFate::Deliver
+        );
+    }
+
+    #[test]
+    fn responsiveness_attack_partitions_the_victims() {
+        // MinBFT with f = 1, n = 3: byzantine primary r0, victim r2,
+        // delayed honest replica r1.
+        let plan = FaultPlan::responsiveness_attack(
+            [ReplicaId(0)],
+            [ReplicaId(2)],
+            ReplicaId(1),
+            5_000_000,
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(2), &msg()),
+            DeliveryFate::Drop
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(1), ReplicaId(2), &msg()),
+            DeliveryFate::Delay(5_000_000)
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(1), &msg()),
+            DeliveryFate::Deliver
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(1), ReplicaId(0), &msg()),
+            DeliveryFate::Deliver
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulator for the paper's evaluation.
+//!
+//! The paper's numbers come from a 97-replica Oracle Cloud deployment with
+//! up to 80 k closed-loop clients. This crate reproduces the *shape* of that
+//! evaluation on a laptop: the same protocol engines that run under the
+//! threaded runtime are driven by a discrete-event loop that models
+//!
+//! * **network latency** — a single-region LAN or the paper's six-region WAN
+//!   layout ([`net::NetworkModel`]),
+//! * **replica CPU** — a configurable number of worker threads per replica,
+//!   each message charged for MAC checks, signature/attestation
+//!   verifications, hashing and execution ([`cost::CostModel`]),
+//! * **trusted-component latency** — every enclave access observed during a
+//!   message is serialized on the replica's trusted component and charged
+//!   the hardware's access latency (Figure 8's knob), and
+//! * **closed-loop client load** — a configurable number of logical clients,
+//!   each with one outstanding transaction, completing when the protocol's
+//!   reply quorum of replicas has executed it ([`spec::ScenarioSpec`]).
+//!
+//! Scenarios are described by [`ScenarioSpec`], run by [`runner::Simulation`]
+//! and summarised in a [`metrics::SimReport`]. [`registry`] builds engine
+//! clusters for every protocol in the repository.
+
+pub mod cost;
+pub mod faults;
+pub mod metrics;
+pub mod net;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use cost::CostModel;
+pub use faults::{DeliveryFate, FaultPlan};
+pub use metrics::SimReport;
+pub use net::NetworkModel;
+pub use registry::{build_replicas, ReplicaSetup};
+pub use runner::Simulation;
+pub use spec::ScenarioSpec;

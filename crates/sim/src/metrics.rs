@@ -1,0 +1,116 @@
+//! Simulation output: throughput, latency distribution, resource usage.
+
+use flexitrust_types::ProtocolId;
+
+/// The summary a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The protocol that was simulated.
+    pub protocol: ProtocolId,
+    /// Fault threshold.
+    pub f: usize,
+    /// Number of replicas.
+    pub n: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Measured (post-warm-up) duration in seconds.
+    pub duration_s: f64,
+    /// Transactions completed at clients during the measured window.
+    pub completed_txns: u64,
+    /// Client-observed throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Mean client latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Median client latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile client latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Protocol messages delivered during the whole run.
+    pub messages_delivered: u64,
+    /// Total trusted-component accesses across all replicas.
+    pub tc_accesses_total: u64,
+    /// Trusted-component accesses at the (initial) primary.
+    pub tc_accesses_primary: u64,
+    /// Total transactions executed at the busiest replica (sanity check that
+    /// execution kept up with client completion).
+    pub max_replica_executed: u64,
+}
+
+impl SimReport {
+    /// Throughput normalised per replica ("throughput-per-machine",
+    /// Figure 9).
+    pub fn throughput_per_machine(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.throughput_tps / self.n as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<11} f={:<2} n={:<3} clients={:<6} tput={:>10.0} tx/s lat(avg/p50/p99)={:>7.2}/{:>7.2}/{:>7.2} ms tc={}",
+            self.protocol.name(),
+            self.f,
+            self.n,
+            self.clients,
+            self.throughput_tps,
+            self.avg_latency_ms,
+            self.p50_latency_ms,
+            self.p99_latency_ms,
+            self.tc_accesses_total,
+        )
+    }
+}
+
+/// Computes latency statistics (in milliseconds) from nanosecond samples.
+pub(crate) fn latency_stats_ms(samples: &mut Vec<u64>) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    samples.sort_unstable();
+    let to_ms = |ns: u64| ns as f64 / 1_000_000.0;
+    let avg = samples.iter().map(|s| *s as f64).sum::<f64>() / samples.len() as f64 / 1_000_000.0;
+    let p50 = to_ms(samples[samples.len() / 2]);
+    let p99_idx = ((samples.len() - 1) as f64 * 0.99) as usize;
+    let p99 = to_ms(samples[p99_idx]);
+    (avg, p50, p99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            protocol: ProtocolId::FlexiZz,
+            f: 8,
+            n: 25,
+            clients: 1000,
+            duration_s: 1.0,
+            completed_txns: 50_000,
+            throughput_tps: 50_000.0,
+            avg_latency_ms: 1.5,
+            p50_latency_ms: 1.2,
+            p99_latency_ms: 4.0,
+            messages_delivered: 100_000,
+            tc_accesses_total: 500,
+            tc_accesses_primary: 500,
+            max_replica_executed: 50_000,
+        }
+    }
+
+    #[test]
+    fn per_machine_divides_by_n() {
+        let r = report();
+        assert!((r.throughput_per_machine() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_line_contains_protocol_and_throughput() {
+        let line = report().summary_line();
+        assert!(line.contains("Flexi-ZZ"));
+        assert!(line.contains("50000"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Network latency model.
+
+use flexitrust_types::{RegionMap, ReplicaId, WanMatrix};
+
+/// One-way latencies between replicas and between clients and replicas.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    regions: RegionMap,
+    wan: WanMatrix,
+    /// One-way latency between co-located nodes (same region / same rack).
+    local_one_way_us: u64,
+    /// One-way latency between a client and its nearest replica.
+    client_one_way_us: u64,
+}
+
+impl NetworkModel {
+    /// A single-datacenter (LAN) deployment of `n` replicas, matching the
+    /// paper's default setup: ~250 µs one-way within the region.
+    pub fn lan(n: usize) -> Self {
+        NetworkModel {
+            regions: RegionMap::single_region(n),
+            wan: WanMatrix::uniform(250),
+            local_one_way_us: 250,
+            client_one_way_us: 250,
+        }
+    }
+
+    /// The paper's WAN deployment: `n` replicas spread round-robin over the
+    /// first `region_count` of the six Oracle Cloud regions (§9.7). Clients
+    /// are co-located with the primary's region.
+    pub fn wan(n: usize, region_count: usize) -> Self {
+        NetworkModel {
+            regions: RegionMap::round_robin(n, region_count),
+            wan: WanMatrix::oracle_cloud(),
+            local_one_way_us: 250,
+            client_one_way_us: 250,
+        }
+    }
+
+    /// The region map in use.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// One-way latency between two replicas, in microseconds.
+    pub fn replica_latency_us(&self, from: ReplicaId, to: ReplicaId) -> u64 {
+        if from == to {
+            return 1;
+        }
+        let a = self.regions.region_of(from);
+        let b = self.regions.region_of(to);
+        if a == b {
+            self.local_one_way_us
+        } else {
+            self.wan.latency_us(a, b)
+        }
+    }
+
+    /// One-way latency between a client and a replica, in microseconds.
+    ///
+    /// Clients are modelled as co-located with the first region (where the
+    /// initial primary lives), as in the paper's WAN experiment.
+    pub fn client_latency_us(&self, replica: ReplicaId) -> u64 {
+        let client_region = self.regions.region_of(ReplicaId(0));
+        let replica_region = self.regions.region_of(replica);
+        if client_region == replica_region {
+            self.client_one_way_us
+        } else {
+            self.wan.latency_us(client_region, replica_region)
+        }
+    }
+
+    /// The slowest one-way replica-to-replica latency in the deployment;
+    /// useful for sizing timeouts.
+    pub fn max_latency_us(&self, n: usize) -> u64 {
+        let mut max = self.local_one_way_us;
+        for a in 0..n {
+            for b in 0..n {
+                max = max.max(self.replica_latency_us(
+                    ReplicaId(a as u32),
+                    ReplicaId(b as u32),
+                ));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_latencies_are_flat() {
+        let net = NetworkModel::lan(4);
+        assert_eq!(net.replica_latency_us(ReplicaId(0), ReplicaId(3)), 250);
+        assert_eq!(net.replica_latency_us(ReplicaId(1), ReplicaId(1)), 1);
+        assert_eq!(net.client_latency_us(ReplicaId(2)), 250);
+        assert_eq!(net.max_latency_us(4), 250);
+    }
+
+    #[test]
+    fn wan_latencies_depend_on_regions() {
+        let net = NetworkModel::wan(12, 6);
+        // Replica 0 (San Jose) to replica 1 (Ashburn) crosses the continent.
+        let cross = net.replica_latency_us(ReplicaId(0), ReplicaId(1));
+        assert!(cross >= 30_000, "got {cross}");
+        // Replica 0 to replica 6 (both San Jose) stays local.
+        assert_eq!(net.replica_latency_us(ReplicaId(0), ReplicaId(6)), 250);
+        assert!(net.max_latency_us(12) >= 150_000);
+    }
+
+    #[test]
+    fn more_regions_increase_worst_case_latency() {
+        let two = NetworkModel::wan(12, 2).max_latency_us(12);
+        let six = NetworkModel::wan(12, 6).max_latency_us(12);
+        assert!(six > two);
+    }
+
+    #[test]
+    fn clients_are_near_the_first_region() {
+        let net = NetworkModel::wan(12, 6);
+        assert_eq!(net.client_latency_us(ReplicaId(0)), 250);
+        assert!(net.client_latency_us(ReplicaId(2)) > 10_000);
+    }
+}

@@ -1,0 +1,180 @@
+//! Builds engine clusters for every protocol in the repository.
+
+use crate::spec::ScenarioSpec;
+use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzyva};
+use flexitrust_core::{FlexiBft, FlexiZz};
+use flexitrust_protocol::ConsensusEngine;
+use flexitrust_trusted::{
+    AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave,
+};
+use flexitrust_types::{ProtocolId, ReplicaId};
+
+/// One simulated replica: its engine and (when the protocol uses one) its
+/// trusted component, which the simulator observes to charge access latency.
+pub struct ReplicaSetup {
+    /// The protocol engine.
+    pub engine: Box<dyn ConsensusEngine>,
+    /// The replica's trusted component, if the protocol uses one.
+    pub enclave: Option<SharedEnclave>,
+}
+
+/// Builds the full replica set for a scenario.
+///
+/// All enclaves use counting-mode attestations (structurally checked but not
+/// cryptographically signed) so that simulating millions of messages stays
+/// cheap; the *cost* of signing/verifying is charged by the
+/// [`crate::cost::CostModel`] instead.
+pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
+    let config = spec.system_config();
+    let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Counting);
+    let make_enclave = |id: ReplicaId, logs: bool| -> SharedEnclave {
+        let base = if logs {
+            EnclaveConfig::log_based(id, AttestationMode::Counting)
+        } else {
+            EnclaveConfig::counter_only(id, AttestationMode::Counting)
+        };
+        Enclave::shared(base.with_hardware(spec.hardware))
+    };
+
+    (0..config.n)
+        .map(|i| {
+            let id = ReplicaId(i as u32);
+            match spec.protocol {
+                ProtocolId::Pbft => ReplicaSetup {
+                    engine: Box::new(Pbft::engine(config.clone(), id)),
+                    enclave: None,
+                },
+                ProtocolId::Zyzzyva => ReplicaSetup {
+                    engine: Box::new(Zyzzyva::engine(config.clone(), id)),
+                    enclave: None,
+                },
+                ProtocolId::PbftEa => {
+                    let enclave = make_enclave(id, true);
+                    ReplicaSetup {
+                        engine: Box::new(PbftEa::engine(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::OpbftEa => {
+                    let enclave = make_enclave(id, true);
+                    ReplicaSetup {
+                        engine: Box::new(OpbftEa::engine(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::MinBft => {
+                    let enclave = make_enclave(id, false);
+                    ReplicaSetup {
+                        engine: Box::new(MinBft::engine(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::MinZz => {
+                    let enclave = make_enclave(id, false);
+                    ReplicaSetup {
+                        engine: Box::new(MinZz::engine(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::CheapBft => {
+                    let enclave = make_enclave(id, false);
+                    ReplicaSetup {
+                        engine: Box::new(CheapBft::engine(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::FlexiBft | ProtocolId::OFlexiBft => {
+                    let enclave = make_enclave(id, false);
+                    ReplicaSetup {
+                        engine: Box::new(FlexiBft::new(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+                ProtocolId::FlexiZz | ProtocolId::OFlexiZz => {
+                    let enclave = make_enclave(id, false);
+                    ReplicaSetup {
+                        engine: Box::new(FlexiZz::new(
+                            config.clone(),
+                            id,
+                            enclave.clone(),
+                            registry.clone(),
+                        )),
+                        enclave: Some(enclave),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_protocol_builds_the_right_cluster_size() {
+        for protocol in ProtocolId::ALL {
+            let spec = ScenarioSpec::quick_test(protocol);
+            let replicas = build_replicas(&spec);
+            assert_eq!(replicas.len(), spec.replicas(), "{protocol}");
+            assert_eq!(replicas[0].engine.id(), ReplicaId(0));
+            assert_eq!(
+                replicas[0].enclave.is_some(),
+                protocol.uses_trusted_component(),
+                "{protocol}"
+            );
+        }
+    }
+
+    #[test]
+    fn enclaves_inherit_the_scenario_hardware() {
+        let mut spec = ScenarioSpec::quick_test(ProtocolId::MinBft);
+        spec.hardware = flexitrust_trusted::TrustedHardware::Custom {
+            access_us: 5_000,
+            rollback_protected: true,
+        };
+        let replicas = build_replicas(&spec);
+        assert_eq!(
+            replicas[0].enclave.as_ref().unwrap().access_latency_us(),
+            5_000
+        );
+    }
+
+    #[test]
+    fn oflexi_variants_are_sequential() {
+        let spec = ScenarioSpec::quick_test(ProtocolId::OFlexiZz);
+        assert_eq!(spec.system_config().max_in_flight, 1);
+        let replicas = build_replicas(&spec);
+        assert!(!replicas[0].engine.properties().out_of_order);
+    }
+}

@@ -1,0 +1,666 @@
+//! The discrete-event simulation loop.
+//!
+//! The simulator drives the same [`ConsensusEngine`] implementations used by
+//! the threaded runtime, but instead of real threads and sockets it keeps a
+//! global event queue ordered by simulated time (nanoseconds). Each replica
+//! is modelled as:
+//!
+//! * a set of **worker threads** (one per `workers_per_replica`, except that
+//!   protocols without out-of-order consensus effectively use a single
+//!   worker — the paper's observation that sequential protocols leave their
+//!   threads under-saturated);
+//! * a **trusted component** whose accesses (observed through the enclave's
+//!   statistics) are serialised and charged the hardware access latency plus
+//!   in-enclave signing cost; and
+//! * the **engine** itself, whose emitted actions are turned into new events
+//!   (message deliveries after network latency, timer expirations) or into
+//!   client accounting (replies).
+//!
+//! Clients are closed-loop and modelled in aggregate: each of the
+//! `spec.clients` logical clients keeps exactly one transaction outstanding;
+//! a transaction completes when the protocol's reply quorum of distinct
+//! replicas has replied (with the Zyzzyva/MinZZ fallback path modelled as a
+//! timeout plus an extra round trip when the full-replica quorum cannot be
+//! reached), after which the client immediately submits a fresh transaction.
+
+use crate::faults::DeliveryFate;
+use crate::metrics::{latency_stats_ms, SimReport};
+use crate::net::NetworkModel;
+use crate::registry::{build_replicas, ReplicaSetup};
+use crate::spec::ScenarioSpec;
+use flexitrust_protocol::{Action, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_trusted::SharedEnclave;
+use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, Transaction};
+use flexitrust_workload::WorkloadGenerator;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+type Ns = u64;
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver {
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+    },
+    Timer {
+        replica: ReplicaId,
+        timer: TimerKind,
+        token: u64,
+    },
+    ClientArrival {
+        txns: Vec<Transaction>,
+    },
+    FallbackComplete {
+        client: ClientId,
+        request: RequestId,
+    },
+}
+
+struct Event {
+    at: Ns,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Host {
+    engine: Box<dyn ConsensusEngine>,
+    enclave: Option<SharedEnclave>,
+    workers: Vec<Ns>,
+    tc_free: Ns,
+    tc_seen: u64,
+    timer_tokens: HashMap<TimerKind, u64>,
+}
+
+struct RequestTracker {
+    submit: Ns,
+    replies: BTreeSet<ReplicaId>,
+    completed: bool,
+    fallback_scheduled: bool,
+}
+
+/// A single simulation run.
+pub struct Simulation {
+    spec: ScenarioSpec,
+    net: NetworkModel,
+    hosts: Vec<Host>,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    now: Ns,
+    requests: HashMap<(u64, u64), RequestTracker>,
+    next_request_id: Vec<u64>,
+    op_generator: WorkloadGenerator,
+    latencies: Vec<Ns>,
+    completed_txns: u64,
+    messages_delivered: u64,
+    reply_quorum: usize,
+    fallback_quorum: usize,
+    all_replicas_rule: bool,
+    timer_token_counter: u64,
+    pending_resubmits: Vec<Transaction>,
+    pending_resubmit_at: Ns,
+}
+
+impl Simulation {
+    /// Builds a simulation from a scenario, constructing the engines via the
+    /// protocol registry.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        let replicas = build_replicas(&spec);
+        Self::with_replicas(spec, replicas)
+    }
+
+    /// Builds a simulation over externally constructed replicas (used by the
+    /// Figure 5 ablation, which wires non-standard engine/enclave
+    /// combinations).
+    pub fn with_replicas(spec: ScenarioSpec, replicas: Vec<ReplicaSetup>) -> Self {
+        let config = spec.system_config();
+        let properties = replicas[0].engine.properties();
+        let workers = if properties.out_of_order {
+            spec.workers_per_replica.max(1)
+        } else {
+            1
+        };
+        let net = if spec.regions <= 1 {
+            NetworkModel::lan(config.n)
+        } else {
+            NetworkModel::wan(config.n, spec.regions)
+        };
+        let reply_quorum = config.quorum(properties.reply_quorum);
+        // Slow-path threshold for all-replica fast paths: Zyzzyva clients
+        // gather a commit certificate from 2f + 1 speculative responses;
+        // MinZZ (n = 2f + 1) needs f + 1.
+        let fallback_quorum = match properties.reply_quorum {
+            QuorumRule::AllReplicas => {
+                if config.n == config.large_quorum() {
+                    config.small_quorum()
+                } else {
+                    config.large_quorum()
+                }
+            }
+            _ => reply_quorum,
+        };
+        let hosts = replicas
+            .into_iter()
+            .map(|setup| Host {
+                engine: setup.engine,
+                enclave: setup.enclave,
+                workers: vec![0; workers],
+                tc_free: 0,
+                tc_seen: 0,
+                timer_tokens: HashMap::new(),
+            })
+            .collect();
+        Simulation {
+            op_generator: WorkloadGenerator::new(spec.workload.clone(), ClientId(0), spec.seed),
+            next_request_id: vec![1; spec.clients],
+            net,
+            hosts,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            requests: HashMap::new(),
+            latencies: Vec::new(),
+            completed_txns: 0,
+            messages_delivered: 0,
+            reply_quorum,
+            fallback_quorum,
+            all_replicas_rule: properties.reply_quorum == QuorumRule::AllReplicas,
+            timer_token_counter: 0,
+            pending_resubmits: Vec::new(),
+            pending_resubmit_at: 0,
+            spec,
+        }
+    }
+
+    fn push_event(&mut self, at: Ns, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    fn fresh_txn(&mut self, client: usize) -> Transaction {
+        let request = self.next_request_id[client];
+        self.next_request_id[client] += 1;
+        let template = self.op_generator.next_transaction();
+        Transaction::new(ClientId(client as u64), RequestId(request), template.op)
+    }
+
+    fn current_primary(&self) -> ReplicaId {
+        // Use the view of the first live replica to locate the primary.
+        let n = self.hosts.len();
+        for (i, host) in self.hosts.iter().enumerate() {
+            if !self.spec.faults.is_failed(ReplicaId(i as u32)) {
+                return host.engine.view().primary(n);
+            }
+        }
+        ReplicaId(0)
+    }
+
+    /// Runs the scenario to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let total_ns = self.spec.total_time_us() * 1_000;
+        let warmup_ns = self.spec.warmup_us * 1_000;
+        // Initial client load: every logical client submits one transaction.
+        let initial: Vec<Transaction> = (0..self.spec.clients)
+            .map(|c| self.fresh_txn(c))
+            .collect();
+        self.push_event(1_000, EventKind::ClientArrival { txns: initial });
+
+        while let Some(Reverse(event)) = self.events.pop() {
+            if event.at > total_ns {
+                break;
+            }
+            self.now = event.at;
+            match event.kind {
+                EventKind::Deliver { to, from, msg } => self.on_deliver(to, from, msg),
+                EventKind::Timer {
+                    replica,
+                    timer,
+                    token,
+                } => self.on_timer(replica, timer, token),
+                EventKind::ClientArrival { txns } => self.on_client_arrival(txns),
+                EventKind::FallbackComplete { client, request } => {
+                    self.on_fallback(client, request)
+                }
+            }
+            self.flush_resubmits();
+        }
+
+        self.report(total_ns, warmup_ns)
+    }
+
+    fn flush_resubmits(&mut self) {
+        if self.pending_resubmits.is_empty() {
+            return;
+        }
+        let txns = std::mem::take(&mut self.pending_resubmits);
+        let at = self.pending_resubmit_at.max(self.now + 1);
+        self.push_event(at, EventKind::ClientArrival { txns });
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    fn on_client_arrival(&mut self, txns: Vec<Transaction>) {
+        let primary = self.current_primary();
+        if self.spec.faults.is_failed(primary) {
+            return;
+        }
+        for txn in &txns {
+            self.requests.insert(
+                (txn.client.0, txn.request.0),
+                RequestTracker {
+                    submit: self.now,
+                    replies: BTreeSet::new(),
+                    completed: false,
+                    fallback_scheduled: false,
+                },
+            );
+        }
+        let base_cost = self.spec.cost.client_request_cost_ns(txns.len());
+        let (departure, actions) = self.invoke(primary, base_cost, |engine, out| {
+            engine.on_client_request(txns, out)
+        });
+        self.handle_actions(primary, actions, departure);
+    }
+
+    fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {
+        if self.spec.faults.is_failed(to) {
+            return;
+        }
+        self.messages_delivered += 1;
+        let base_cost = self.spec.cost.receive_cost_ns(&msg);
+        let (departure, actions) =
+            self.invoke(to, base_cost, |engine, out| engine.on_message(from, msg, out));
+        self.handle_actions(to, actions, departure);
+    }
+
+    fn on_timer(&mut self, replica: ReplicaId, timer: TimerKind, token: u64) {
+        if self.spec.faults.is_failed(replica) {
+            return;
+        }
+        let armed = self.hosts[replica.as_usize()]
+            .timer_tokens
+            .get(&timer)
+            .copied();
+        if armed != Some(token) {
+            return;
+        }
+        self.hosts[replica.as_usize()].timer_tokens.remove(&timer);
+        let base_cost = self.spec.cost.base_receive_ns;
+        let (departure, actions) =
+            self.invoke(replica, base_cost, |engine, out| engine.on_timer(timer, out));
+        self.handle_actions(replica, actions, departure);
+    }
+
+    fn on_fallback(&mut self, client: ClientId, request: RequestId) {
+        let key = (client.0, request.0);
+        let Some(tracker) = self.requests.get(&key) else {
+            return;
+        };
+        if tracker.completed || tracker.replies.len() < self.fallback_quorum {
+            return;
+        }
+        self.complete_request(key, self.now);
+    }
+
+    // ------------------------------------------------------------------
+    // Host invocation: CPU, trusted-component and action accounting.
+    // ------------------------------------------------------------------
+
+    fn invoke(
+        &mut self,
+        replica: ReplicaId,
+        base_cost_ns: Ns,
+        f: impl FnOnce(&mut dyn ConsensusEngine, &mut Outbox),
+    ) -> (Ns, Vec<Action>) {
+        let tc_access_ns = self.spec.hardware.access_latency_us() * 1_000
+            + self.spec.cost.attestation_generation_ns();
+        let cost = self.spec.cost.clone();
+        let now = self.now;
+        let host = &mut self.hosts[replica.as_usize()];
+
+        // Pick the earliest-available worker thread.
+        let (widx, free_at) = host
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, t)| (i, *t))
+            .expect("hosts always have at least one worker");
+        let start = now.max(free_at);
+
+        // Run the engine logic (logically instantaneous; we charge the time
+        // below).
+        let mut out = Outbox::new();
+        f(host.engine.as_mut(), &mut out);
+        let actions = out.drain();
+
+        // Trusted-component accesses observed during this invocation are
+        // serialised on the component and charged its access latency.
+        let mut tc_end = start + base_cost_ns;
+        if let Some(enclave) = &host.enclave {
+            let total = enclave.stats().snapshot().total_accesses();
+            let delta = total.saturating_sub(host.tc_seen);
+            host.tc_seen = total;
+            if delta > 0 {
+                let tc_start = (start + base_cost_ns).max(host.tc_free);
+                host.tc_free = tc_start + delta * tc_access_ns;
+                tc_end = host.tc_free;
+            }
+        }
+
+        // Charge the CPU for the work the actions imply (sends, execution).
+        let mut extra = 0;
+        for action in &actions {
+            match action {
+                Action::Send { msg, .. } => extra += cost.send_cost_ns(msg, 1),
+                Action::Broadcast { msg } => {
+                    extra += cost.send_cost_ns(msg, self.hosts.len().max(1) - 1)
+                }
+                Action::Executed { txns, .. } => extra += cost.execution_cost_ns(*txns),
+                _ => {}
+            }
+        }
+        let host = &mut self.hosts[replica.as_usize()];
+        let departure = tc_end.max(start + base_cost_ns) + extra;
+        host.workers[widx] = departure;
+        (departure, actions)
+    }
+
+    fn handle_actions(&mut self, from: ReplicaId, actions: Vec<Action>, at: Ns) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.schedule_message(from, to, msg, at),
+                Action::Broadcast { msg } => {
+                    for i in 0..self.hosts.len() {
+                        self.schedule_message(from, ReplicaId(i as u32), msg.clone(), at);
+                    }
+                }
+                Action::Reply { reply } => {
+                    let arrive = at + self.net.client_latency_us(from) * 1_000;
+                    self.record_reply(from, reply.client, reply.request, arrive);
+                }
+                Action::SetTimer { timer, delay_us } => {
+                    self.timer_token_counter += 1;
+                    let token = self.timer_token_counter;
+                    self.hosts[from.as_usize()].timer_tokens.insert(timer, token);
+                    self.push_event(
+                        at + delay_us * 1_000,
+                        EventKind::Timer {
+                            replica: from,
+                            timer,
+                            token,
+                        },
+                    );
+                }
+                Action::CancelTimer { timer } => {
+                    self.hosts[from.as_usize()].timer_tokens.remove(&timer);
+                }
+                Action::Executed { .. } => {}
+            }
+        }
+    }
+
+    fn schedule_message(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, at: Ns) {
+        let fate = self.spec.faults.fate(from, to, &msg);
+        let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
+        let arrival = match fate {
+            DeliveryFate::Drop => return,
+            DeliveryFate::Deliver => at + latency_ns,
+            DeliveryFate::Delay(extra_us) => at + latency_ns + extra_us * 1_000,
+        };
+        self.push_event(arrival, EventKind::Deliver { to, from, msg });
+    }
+
+    // ------------------------------------------------------------------
+    // Client accounting.
+    // ------------------------------------------------------------------
+
+    fn record_reply(&mut self, replica: ReplicaId, client: ClientId, request: RequestId, at: Ns) {
+        let key = (client.0, request.0);
+        let Some(tracker) = self.requests.get_mut(&key) else {
+            return;
+        };
+        if tracker.completed {
+            return;
+        }
+        tracker.replies.insert(replica);
+        let count = tracker.replies.len();
+        if count >= self.reply_quorum {
+            self.complete_request(key, at);
+        } else if self.all_replicas_rule
+            && count >= self.fallback_quorum
+            && !tracker.fallback_scheduled
+        {
+            // Zyzzyva / MinZZ: the fast path needs every replica; if that
+            // never happens the client falls back after a timeout plus an
+            // extra round trip (gathering/distributing a commit certificate).
+            tracker.fallback_scheduled = true;
+            let timeout_ns = self.spec.system_config().client_timeout_us * 1_000;
+            let rtt_ns = 2 * self.net.client_latency_us(ReplicaId(0)) * 1_000;
+            self.push_event(
+                at + timeout_ns + rtt_ns,
+                EventKind::FallbackComplete { client, request },
+            );
+        }
+    }
+
+    fn complete_request(&mut self, key: (u64, u64), at: Ns) {
+        let warmup_ns = self.spec.warmup_us * 1_000;
+        let total_ns = self.spec.total_time_us() * 1_000;
+        let Some(tracker) = self.requests.get_mut(&key) else {
+            return;
+        };
+        tracker.completed = true;
+        let submit = tracker.submit;
+        if submit >= warmup_ns && at <= total_ns {
+            self.latencies.push(at - submit);
+            self.completed_txns += 1;
+        }
+        // The closed-loop client immediately submits its next transaction
+        // after one client round trip.
+        let client = key.0 as usize;
+        if client < self.spec.clients {
+            let txn = self.fresh_txn(client);
+            self.pending_resubmits.push(txn);
+            self.pending_resubmit_at = at + 2 * self.net.client_latency_us(ReplicaId(0)) * 1_000;
+        }
+        self.requests.remove(&key);
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting.
+    // ------------------------------------------------------------------
+
+    fn report(mut self, total_ns: Ns, warmup_ns: Ns) -> SimReport {
+        let measured_s = (total_ns - warmup_ns) as f64 / 1e9;
+        let (avg, p50, p99) = latency_stats_ms(&mut self.latencies);
+        let tc_accesses: Vec<u64> = self
+            .hosts
+            .iter()
+            .map(|h| {
+                h.enclave
+                    .as_ref()
+                    .map(|e| e.stats().snapshot().total_accesses())
+                    .unwrap_or(0)
+            })
+            .collect();
+        let config = self.spec.system_config();
+        SimReport {
+            protocol: self.spec.protocol,
+            f: self.spec.f,
+            n: config.n,
+            clients: self.spec.clients,
+            duration_s: measured_s,
+            completed_txns: self.completed_txns,
+            throughput_tps: self.completed_txns as f64 / measured_s,
+            avg_latency_ms: avg,
+            p50_latency_ms: p50,
+            p99_latency_ms: p99,
+            messages_delivered: self.messages_delivered,
+            tc_accesses_total: tc_accesses.iter().sum(),
+            tc_accesses_primary: tc_accesses.first().copied().unwrap_or(0),
+            max_replica_executed: self
+                .hosts
+                .iter()
+                .map(|h| h.engine.executed_txns())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::ProtocolId;
+
+    fn run_quick(protocol: ProtocolId) -> SimReport {
+        let spec = ScenarioSpec::quick_test(protocol);
+        Simulation::new(spec).run()
+    }
+
+    #[test]
+    fn flexi_zz_quick_scenario_makes_progress() {
+        let report = run_quick(ProtocolId::FlexiZz);
+        assert!(report.completed_txns > 0, "{report:?}");
+        assert!(report.throughput_tps > 0.0);
+        assert!(report.avg_latency_ms > 0.0);
+        assert!(report.max_replica_executed > 0);
+    }
+
+    #[test]
+    fn every_protocol_completes_transactions_in_simulation() {
+        for protocol in ProtocolId::ALL {
+            let report = run_quick(protocol);
+            assert!(
+                report.completed_txns > 0,
+                "{protocol} completed no transactions: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed() {
+        let a = run_quick(ProtocolId::FlexiBft);
+        let b = run_quick(ProtocolId::FlexiBft);
+        assert_eq!(a.completed_txns, b.completed_txns);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+    }
+
+    #[test]
+    fn flexitrust_touches_the_trusted_component_once_per_batch_at_the_primary() {
+        let report = run_quick(ProtocolId::FlexiZz);
+        // All TC accesses happen at the primary.
+        assert_eq!(report.tc_accesses_total, report.tc_accesses_primary);
+        // Roughly one access per executed batch (allowing for the final
+        // partially processed batch).
+        let batches = report.max_replica_executed / 10; // batch_size = 10 in quick_test
+        assert!(
+            report.tc_accesses_primary >= batches.saturating_sub(2)
+                && report.tc_accesses_primary <= batches + 25,
+            "accesses {} vs batches {batches}",
+            report.tc_accesses_primary
+        );
+    }
+
+    #[test]
+    fn minbft_touches_trusted_components_at_every_replica() {
+        let report = run_quick(ProtocolId::MinBft);
+        assert!(report.tc_accesses_total > report.tc_accesses_primary);
+    }
+
+    #[test]
+    fn wan_deployment_increases_latency() {
+        let slow_enough = |regions: usize| {
+            let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+            spec.regions = regions;
+            spec.duration_us = 1_200_000;
+            spec.warmup_us = 300_000;
+            Simulation::new(spec).run()
+        };
+        let lan = slow_enough(1);
+        let wan = slow_enough(6);
+        assert!(wan.completed_txns > 0);
+        assert!(
+            wan.avg_latency_ms > lan.avg_latency_ms,
+            "wan {} <= lan {}",
+            wan.avg_latency_ms,
+            lan.avg_latency_ms
+        );
+    }
+
+    #[test]
+    fn single_non_primary_failure_hurts_minzz_more_than_flexi_zz() {
+        let run = |protocol, fail: bool| {
+            let mut spec = ScenarioSpec::quick_test(protocol);
+            spec.duration_us = 400_000;
+            spec.warmup_us = 100_000;
+            if fail {
+                let victim = ReplicaId((spec.replicas() - 1) as u32);
+                spec.faults = crate::faults::FaultPlan::single_failure(victim);
+            }
+            Simulation::new(spec).run()
+        };
+        let healthy_minzz = run(ProtocolId::MinZz, false);
+        let failed_minzz = run(ProtocolId::MinZz, true);
+        let healthy_flexi = run(ProtocolId::FlexiZz, false);
+        let failed_flexi = run(ProtocolId::FlexiZz, true);
+        // MinZZ loses its all-replica fast path: every request pays the
+        // slow-path timeout, so latency rises sharply and throughput drops.
+        assert!(
+            failed_minzz.avg_latency_ms > healthy_minzz.avg_latency_ms * 2.0,
+            "minzz failed {} vs healthy {}",
+            failed_minzz.avg_latency_ms,
+            healthy_minzz.avg_latency_ms
+        );
+        // Flexi-ZZ keeps its fast path (2f + 1 of 3f + 1 replies suffice).
+        assert!(
+            failed_flexi.avg_latency_ms < healthy_flexi.avg_latency_ms * 2.0,
+            "flexi failed {} vs healthy {}",
+            failed_flexi.avg_latency_ms,
+            healthy_flexi.avg_latency_ms
+        );
+        assert!(failed_flexi.throughput_tps > 0.5 * healthy_flexi.throughput_tps);
+    }
+
+    #[test]
+    fn slower_trusted_hardware_reduces_minbft_throughput() {
+        let fast = run_quick(ProtocolId::MinBft);
+        let mut slow_spec = ScenarioSpec::quick_test(ProtocolId::MinBft);
+        slow_spec.hardware = flexitrust_trusted::TrustedHardware::Custom {
+            access_us: 10_000,
+            rollback_protected: true,
+        };
+        let slow = Simulation::new(slow_spec).run();
+        assert!(
+            slow.throughput_tps < fast.throughput_tps,
+            "slow {} >= fast {}",
+            slow.throughput_tps,
+            fast.throughput_tps
+        );
+    }
+}

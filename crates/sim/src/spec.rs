@@ -1,0 +1,135 @@
+//! Scenario specifications.
+
+use crate::cost::CostModel;
+use crate::faults::FaultPlan;
+use flexitrust_trusted::TrustedHardware;
+use flexitrust_types::{ProtocolId, SystemConfig};
+use flexitrust_workload::WorkloadConfig;
+
+/// Everything needed to run one simulated experiment.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The protocol under test.
+    pub protocol: ProtocolId,
+    /// Fault threshold `f` (the replica count follows from the protocol).
+    pub f: usize,
+    /// Transactions per consensus batch.
+    pub batch_size: usize,
+    /// Number of closed-loop clients (each keeps one transaction in flight).
+    pub clients: usize,
+    /// Number of worker threads per replica.
+    pub workers_per_replica: usize,
+    /// Trusted hardware at each replica (access latency / rollback model).
+    pub hardware: TrustedHardware,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Number of WAN regions (1 = single-datacenter LAN).
+    pub regions: usize,
+    /// Simulated duration to measure, in microseconds.
+    pub duration_us: u64,
+    /// Simulated warm-up excluded from measurement, in microseconds.
+    pub warmup_us: u64,
+    /// Workload mix.
+    pub workload: WorkloadConfig,
+    /// Fault / adversary plan.
+    pub faults: FaultPlan,
+    /// Random seed for workload generation.
+    pub seed: u64,
+    /// Overrides the protocol's default in-flight window when set (used to
+    /// turn the `oFlexi-*` ablations on and off explicitly).
+    pub max_in_flight: Option<usize>,
+    /// Overrides the client retry/fallback timeout (microseconds); short
+    /// simulations lower it so that the Zyzzyva/MinZZ slow path fits inside
+    /// the simulated window.
+    pub client_timeout_us: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// The paper's default setup scaled to simulation length: f = 8,
+    /// batch size 100, LAN, SGX-enclave counters, YCSB, 16 workers.
+    pub fn paper_default(protocol: ProtocolId) -> Self {
+        ScenarioSpec {
+            protocol,
+            f: 8,
+            batch_size: 100,
+            clients: 20_000,
+            workers_per_replica: 16,
+            hardware: TrustedHardware::default_enclave(),
+            cost: CostModel::calibrated(),
+            regions: 1,
+            duration_us: 400_000,
+            warmup_us: 100_000,
+            workload: WorkloadConfig::tiny(),
+            faults: FaultPlan::none(),
+            seed: 42,
+            max_in_flight: None,
+            client_timeout_us: None,
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests.
+    pub fn quick_test(protocol: ProtocolId) -> Self {
+        ScenarioSpec {
+            f: 1,
+            batch_size: 10,
+            clients: 200,
+            duration_us: 150_000,
+            warmup_us: 30_000,
+            client_timeout_us: Some(20_000),
+            ..Self::paper_default(protocol)
+        }
+    }
+
+    /// The derived system configuration for the protocol engines.
+    pub fn system_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::for_protocol(self.protocol, self.f);
+        cfg.batch_size = self.batch_size;
+        if let Some(mif) = self.max_in_flight {
+            cfg.max_in_flight = mif;
+        }
+        if let Some(timeout) = self.client_timeout_us {
+            cfg.client_timeout_us = timeout;
+        }
+        cfg
+    }
+
+    /// Total number of replicas in the deployment.
+    pub fn replicas(&self) -> usize {
+        self.system_config().n
+    }
+
+    /// Total simulated time (warm-up + measurement) in microseconds.
+    pub fn total_time_us(&self) -> u64 {
+        self.duration_us + self.warmup_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let spec = ScenarioSpec::paper_default(ProtocolId::FlexiZz);
+        assert_eq!(spec.f, 8);
+        assert_eq!(spec.batch_size, 100);
+        assert_eq!(spec.replicas(), 25);
+        assert_eq!(spec.workers_per_replica, 16);
+        let minbft = ScenarioSpec::paper_default(ProtocolId::MinBft);
+        assert_eq!(minbft.replicas(), 17);
+    }
+
+    #[test]
+    fn max_in_flight_override_applies() {
+        let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        assert!(spec.system_config().max_in_flight > 1);
+        spec.max_in_flight = Some(1);
+        assert_eq!(spec.system_config().max_in_flight, 1);
+    }
+
+    #[test]
+    fn total_time_includes_warmup() {
+        let spec = ScenarioSpec::quick_test(ProtocolId::Pbft);
+        assert_eq!(spec.total_time_us(), spec.duration_us + spec.warmup_us);
+    }
+}

@@ -1,0 +1,400 @@
+//! System and protocol configuration.
+//!
+//! The central object is [`SystemConfig`], which fixes the fault threshold
+//! `f`, the replication factor (`2f + 1` for trust-bft protocols, `3f + 1`
+//! for bft and FlexiTrust protocols), batching, timeouts and checkpointing.
+//! Quorum sizes are derived here in one place so that every protocol engine
+//! uses exactly the thresholds the paper describes.
+
+use crate::error::{Error, Result};
+use crate::ids::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one of the protocols implemented in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolId {
+    /// PBFT (Castro & Liskov), the classic three-phase 3f+1 protocol.
+    Pbft,
+    /// Zyzzyva, speculative single-phase 3f+1 protocol (client needs all n
+    /// matching replies for the fast path).
+    Zyzzyva,
+    /// PBFT-EA (attested append-only memory), three-phase 2f+1 trust-bft.
+    PbftEa,
+    /// MinBFT, two-phase 2f+1 trust-bft using trusted counters.
+    MinBft,
+    /// MinZZ, speculative single-phase 2f+1 trust-bft.
+    MinZz,
+    /// OPBFT-EA: the authors' PBFT-EA variant with parallel consensus
+    /// invocations.
+    OpbftEa,
+    /// CheapBFT: f+1 active replicas in the failure-free case (related work).
+    CheapBft,
+    /// Flexi-BFT: the paper's two-phase FlexiTrust protocol.
+    FlexiBft,
+    /// Flexi-ZZ: the paper's single-phase speculative FlexiTrust protocol.
+    FlexiZz,
+    /// oFlexi-BFT: Flexi-BFT with parallel consensus invocations disabled.
+    OFlexiBft,
+    /// oFlexi-ZZ: Flexi-ZZ with parallel consensus invocations disabled.
+    OFlexiZz,
+}
+
+impl ProtocolId {
+    /// All protocols evaluated in the paper's figures.
+    pub const ALL: [ProtocolId; 11] = [
+        ProtocolId::Pbft,
+        ProtocolId::Zyzzyva,
+        ProtocolId::PbftEa,
+        ProtocolId::MinBft,
+        ProtocolId::MinZz,
+        ProtocolId::OpbftEa,
+        ProtocolId::CheapBft,
+        ProtocolId::FlexiBft,
+        ProtocolId::FlexiZz,
+        ProtocolId::OFlexiBft,
+        ProtocolId::OFlexiZz,
+    ];
+
+    /// Returns the canonical display name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolId::Pbft => "Pbft",
+            ProtocolId::Zyzzyva => "Zyzzyva",
+            ProtocolId::PbftEa => "Pbft-EA",
+            ProtocolId::MinBft => "MinBFT",
+            ProtocolId::MinZz => "MinZZ",
+            ProtocolId::OpbftEa => "Opbft-ea",
+            ProtocolId::CheapBft => "CheapBFT",
+            ProtocolId::FlexiBft => "Flexi-BFT",
+            ProtocolId::FlexiZz => "Flexi-ZZ",
+            ProtocolId::OFlexiBft => "oFlexi-BFT",
+            ProtocolId::OFlexiZz => "oFlexi-ZZ",
+        }
+    }
+
+    /// Returns the replication factor the protocol is designed for.
+    pub fn replication_factor(self) -> ReplicationFactor {
+        match self {
+            ProtocolId::Pbft
+            | ProtocolId::Zyzzyva
+            | ProtocolId::FlexiBft
+            | ProtocolId::FlexiZz
+            | ProtocolId::OFlexiBft
+            | ProtocolId::OFlexiZz => ReplicationFactor::ThreeFPlusOne,
+            ProtocolId::PbftEa
+            | ProtocolId::MinBft
+            | ProtocolId::MinZz
+            | ProtocolId::OpbftEa
+            | ProtocolId::CheapBft => ReplicationFactor::TwoFPlusOne,
+        }
+    }
+
+    /// Returns `true` for the protocols that rely on trusted components.
+    pub fn uses_trusted_component(self) -> bool {
+        !matches!(self, ProtocolId::Pbft | ProtocolId::Zyzzyva)
+    }
+
+    /// Returns `true` for the FlexiTrust protocols introduced by the paper.
+    pub fn is_flexitrust(self) -> bool {
+        matches!(
+            self,
+            ProtocolId::FlexiBft
+                | ProtocolId::FlexiZz
+                | ProtocolId::OFlexiBft
+                | ProtocolId::OFlexiZz
+        )
+    }
+
+    /// Parses a protocol name (case-insensitive, accepts both paper and
+    /// code spellings).
+    pub fn parse(name: &str) -> Option<ProtocolId> {
+        let lower = name.to_ascii_lowercase().replace(['-', '_'], "");
+        Some(match lower.as_str() {
+            "pbft" => ProtocolId::Pbft,
+            "zyzzyva" => ProtocolId::Zyzzyva,
+            "pbftea" => ProtocolId::PbftEa,
+            "minbft" => ProtocolId::MinBft,
+            "minzz" => ProtocolId::MinZz,
+            "opbftea" => ProtocolId::OpbftEa,
+            "cheapbft" => ProtocolId::CheapBft,
+            "flexibft" => ProtocolId::FlexiBft,
+            "flexizz" => ProtocolId::FlexiZz,
+            "oflexibft" => ProtocolId::OFlexiBft,
+            "oflexizz" => ProtocolId::OFlexiZz,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Replication factor regimes studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicationFactor {
+    /// `n = 2f + 1`: the regime targeted by existing trust-bft protocols.
+    TwoFPlusOne,
+    /// `n = 3f + 1`: the regime of classic BFT and the FlexiTrust protocols.
+    ThreeFPlusOne,
+}
+
+impl ReplicationFactor {
+    /// Number of replicas for a given fault threshold `f`.
+    pub fn replicas(self, f: usize) -> usize {
+        match self {
+            ReplicationFactor::TwoFPlusOne => 2 * f + 1,
+            ReplicationFactor::ThreeFPlusOne => 3 * f + 1,
+        }
+    }
+}
+
+/// Named quorum rules used by the protocols; centralised so quorum math is
+/// written (and tested) exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuorumRule {
+    /// `f + 1` matching messages (trust-bft prepare/commit quorums, client
+    /// reply threshold of 3f+1 protocols).
+    FPlusOne,
+    /// `2f + 1` matching messages (PBFT prepare/commit quorums, FlexiTrust
+    /// quorums, Flexi-ZZ client reply threshold).
+    TwoFPlusOne,
+    /// All `n` replicas (Zyzzyva / MinZZ fast-path reply threshold).
+    AllReplicas,
+}
+
+/// Static configuration of one deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The protocol being run.
+    pub protocol: ProtocolId,
+    /// Maximum number of Byzantine replicas tolerated.
+    pub f: usize,
+    /// Total number of replicas (`2f + 1` or `3f + 1` depending on protocol).
+    pub n: usize,
+    /// Number of transactions per consensus batch.
+    pub batch_size: usize,
+    /// How many consensus instances may be in flight concurrently at the
+    /// primary. Sequential protocols use 1.
+    pub max_in_flight: usize,
+    /// Checkpoint period in sequence numbers.
+    pub checkpoint_interval: u64,
+    /// View-change timeout in microseconds (simulated or real).
+    pub view_timeout_us: u64,
+    /// Client retry timeout in microseconds.
+    pub client_timeout_us: u64,
+}
+
+impl SystemConfig {
+    /// Builds the default configuration the paper uses for a protocol at
+    /// fault threshold `f`: the replication factor implied by the protocol,
+    /// batch size 100, checkpointing every 1000 sequence numbers.
+    pub fn for_protocol(protocol: ProtocolId, f: usize) -> Self {
+        let n = protocol.replication_factor().replicas(f);
+        let max_in_flight = if protocol_is_parallel(protocol) { 256 } else { 1 };
+        SystemConfig {
+            protocol,
+            f,
+            n,
+            batch_size: 100,
+            max_in_flight,
+            checkpoint_interval: 1000,
+            view_timeout_us: 2_000_000,
+            client_timeout_us: 1_000_000,
+        }
+    }
+
+    /// Validates the internal consistency of the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.f == 0 {
+            return Err(Error::config("f must be at least 1"));
+        }
+        let required = self.protocol.replication_factor().replicas(self.f);
+        if self.n < required {
+            return Err(Error::config(format!(
+                "protocol {} with f = {} requires at least {} replicas, got {}",
+                self.protocol.name(),
+                self.f,
+                required,
+                self.n
+            )));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::config("batch size must be positive"));
+        }
+        if self.max_in_flight == 0 {
+            return Err(Error::config("max_in_flight must be positive"));
+        }
+        if self.checkpoint_interval == 0 {
+            return Err(Error::config("checkpoint interval must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Iterator over all replica ids of the deployment.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.n as u32).map(ReplicaId)
+    }
+
+    /// Size of an `f + 1` quorum.
+    pub fn small_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Size of a `2f + 1` quorum.
+    pub fn large_quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Number of messages that satisfies the given quorum rule.
+    pub fn quorum(&self, rule: QuorumRule) -> usize {
+        match rule {
+            QuorumRule::FPlusOne => self.small_quorum(),
+            QuorumRule::TwoFPlusOne => self.large_quorum(),
+            QuorumRule::AllReplicas => self.n,
+        }
+    }
+
+    /// Returns `true` when `replica` is within the configured replica set.
+    pub fn contains(&self, replica: ReplicaId) -> bool {
+        replica.as_usize() < self.n
+    }
+}
+
+/// Whether a protocol supports out-of-order (parallel) consensus invocations.
+///
+/// This mirrors Figure 1 of the paper: only PBFT, Zyzzyva and the (non-`o`)
+/// FlexiTrust protocols process consensus instances concurrently; every
+/// trust-bft protocol and the `oFlexi-*` ablations are sequential.
+pub fn protocol_is_parallel(protocol: ProtocolId) -> bool {
+    matches!(
+        protocol,
+        ProtocolId::Pbft
+            | ProtocolId::Zyzzyva
+            | ProtocolId::FlexiBft
+            | ProtocolId::FlexiZz
+            | ProtocolId::OpbftEa
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_factor_math() {
+        assert_eq!(ReplicationFactor::TwoFPlusOne.replicas(8), 17);
+        assert_eq!(ReplicationFactor::ThreeFPlusOne.replicas(8), 25);
+        assert_eq!(ReplicationFactor::TwoFPlusOne.replicas(20), 41);
+        assert_eq!(ReplicationFactor::ThreeFPlusOne.replicas(20), 61);
+    }
+
+    #[test]
+    fn protocol_replication_factor_matches_paper() {
+        assert_eq!(
+            ProtocolId::Pbft.replication_factor(),
+            ReplicationFactor::ThreeFPlusOne
+        );
+        assert_eq!(
+            ProtocolId::MinBft.replication_factor(),
+            ReplicationFactor::TwoFPlusOne
+        );
+        assert_eq!(
+            ProtocolId::FlexiZz.replication_factor(),
+            ReplicationFactor::ThreeFPlusOne
+        );
+        assert_eq!(
+            ProtocolId::OpbftEa.replication_factor(),
+            ReplicationFactor::TwoFPlusOne
+        );
+    }
+
+    #[test]
+    fn trusted_component_usage_matches_paper() {
+        assert!(!ProtocolId::Pbft.uses_trusted_component());
+        assert!(!ProtocolId::Zyzzyva.uses_trusted_component());
+        for p in [
+            ProtocolId::PbftEa,
+            ProtocolId::MinBft,
+            ProtocolId::MinZz,
+            ProtocolId::FlexiBft,
+            ProtocolId::FlexiZz,
+        ] {
+            assert!(p.uses_trusted_component(), "{p} should use a TC");
+        }
+    }
+
+    #[test]
+    fn quorum_sizes_for_f8() {
+        let cfg = SystemConfig::for_protocol(ProtocolId::FlexiBft, 8);
+        assert_eq!(cfg.n, 25);
+        assert_eq!(cfg.small_quorum(), 9);
+        assert_eq!(cfg.large_quorum(), 17);
+        assert_eq!(cfg.quorum(QuorumRule::AllReplicas), 25);
+
+        let cfg = SystemConfig::for_protocol(ProtocolId::MinBft, 8);
+        assert_eq!(cfg.n, 17);
+        assert_eq!(cfg.quorum(QuorumRule::FPlusOne), 9);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_configs() {
+        let mut cfg = SystemConfig::for_protocol(ProtocolId::Pbft, 4);
+        assert!(cfg.validate().is_ok());
+        cfg.n = 10; // 3f + 1 = 13 required.
+        assert!(cfg.validate().is_err());
+        cfg = SystemConfig::for_protocol(ProtocolId::Pbft, 4);
+        cfg.batch_size = 0;
+        assert!(cfg.validate().is_err());
+        cfg = SystemConfig::for_protocol(ProtocolId::Pbft, 4);
+        cfg.f = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_matches_figure_1() {
+        assert!(protocol_is_parallel(ProtocolId::Pbft));
+        assert!(protocol_is_parallel(ProtocolId::FlexiBft));
+        assert!(protocol_is_parallel(ProtocolId::FlexiZz));
+        assert!(protocol_is_parallel(ProtocolId::OpbftEa));
+        assert!(!protocol_is_parallel(ProtocolId::MinBft));
+        assert!(!protocol_is_parallel(ProtocolId::MinZz));
+        assert!(!protocol_is_parallel(ProtocolId::PbftEa));
+        assert!(!protocol_is_parallel(ProtocolId::OFlexiBft));
+        assert!(!protocol_is_parallel(ProtocolId::OFlexiZz));
+    }
+
+    #[test]
+    fn sequential_protocols_get_in_flight_of_one() {
+        assert_eq!(SystemConfig::for_protocol(ProtocolId::MinBft, 4).max_in_flight, 1);
+        assert!(SystemConfig::for_protocol(ProtocolId::FlexiZz, 4).max_in_flight > 1);
+    }
+
+    #[test]
+    fn parse_accepts_paper_spellings() {
+        assert_eq!(ProtocolId::parse("Flexi-ZZ"), Some(ProtocolId::FlexiZz));
+        assert_eq!(ProtocolId::parse("pbft_ea"), Some(ProtocolId::PbftEa));
+        assert_eq!(ProtocolId::parse("oFlexi-BFT"), Some(ProtocolId::OFlexiBft));
+        assert_eq!(ProtocolId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn all_protocols_have_unique_names() {
+        let mut names: Vec<&str> = ProtocolId::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ProtocolId::ALL.len());
+    }
+
+    #[test]
+    fn replicas_iterator_covers_all() {
+        let cfg = SystemConfig::for_protocol(ProtocolId::Pbft, 1);
+        let ids: Vec<ReplicaId> = cfg.replicas().collect();
+        assert_eq!(ids.len(), 4);
+        assert!(cfg.contains(ReplicaId(3)));
+        assert!(!cfg.contains(ReplicaId(4)));
+    }
+}

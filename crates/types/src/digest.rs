@@ -1,0 +1,97 @@
+//! Fixed-size message digests.
+//!
+//! The digest *data type* lives here so that it can appear in transactions,
+//! batches and protocol messages without pulling in the crypto crate; the
+//! actual SHA-256 computation is provided by `flexitrust-crypto`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte collision-resistant digest (`Hash(v)` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used for no-op slots and empty payloads.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Returns `true` when this is the all-zero digest.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Builds a deterministic "tag" digest from a 64-bit value; useful in
+    /// tests and for no-op markers where a real hash is unnecessary.
+    pub fn from_u64_tag(tag: u64) -> Self {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&tag.to_le_bytes());
+        Digest(bytes)
+    }
+
+    /// Short hexadecimal prefix used in log and debug output.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_digest_is_zero() {
+        assert!(Digest::ZERO.is_zero());
+        assert!(!Digest::from_u64_tag(1).is_zero());
+    }
+
+    #[test]
+    fn tag_digests_are_distinct_and_deterministic() {
+        assert_eq!(Digest::from_u64_tag(7), Digest::from_u64_tag(7));
+        assert_ne!(Digest::from_u64_tag(7), Digest::from_u64_tag(8));
+    }
+
+    #[test]
+    fn display_is_64_hex_chars() {
+        let d = Digest::from_u64_tag(0xdead_beef);
+        assert_eq!(d.to_string().len(), 64);
+        assert_eq!(d.short_hex().len(), 8);
+    }
+
+    #[test]
+    fn as_ref_exposes_all_bytes() {
+        let d = Digest::from_u64_tag(3);
+        assert_eq!(d.as_ref().len(), 32);
+        assert_eq!(d.as_bytes()[0], 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Common identifiers, transactions, batches, configuration and error types
+//! shared by every crate of the FlexiTrust reproduction.
+//!
+//! This crate is intentionally free of any protocol or I/O logic: it only
+//! defines the *data* vocabulary of the system so that the crypto substrate,
+//! the trusted-component substrate, the protocol engines, the simulator and
+//! the threaded runtime can all speak the same language.
+//!
+//! The terminology follows the paper ("Dissecting BFT Consensus: In Trusted
+//! Components we Trust!", EuroSys 2023): replicas are identified by
+//! [`ReplicaId`], clients by [`ClientId`], consensus slots by [`SeqNum`],
+//! leadership epochs by [`View`], and client operations are [`Transaction`]s
+//! grouped into [`Batch`]es.
+
+pub mod config;
+pub mod digest;
+pub mod error;
+pub mod ids;
+pub mod region;
+pub mod transaction;
+
+pub use config::{ProtocolId, QuorumRule, ReplicationFactor, SystemConfig};
+pub use digest::Digest;
+pub use error::{Error, Result};
+pub use ids::{ClientId, NodeId, ReplicaId, RequestId, SeqNum, View};
+pub use region::{Region, RegionMap, WanMatrix};
+pub use transaction::{Batch, KvOp, KvResult, Transaction, TxnOutcome};

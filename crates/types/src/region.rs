@@ -1,0 +1,248 @@
+//! Geographic regions and wide-area latency matrices.
+//!
+//! The paper's WAN experiment (Figure 6(vi)/(vii)) distributes replicas over
+//! six Oracle Cloud regions: San Jose, Ashburn, Sydney, São Paulo, Montreal
+//! and Marseille, assigned round-robin in that order. [`WanMatrix`] captures
+//! representative one-way latencies between those regions; [`RegionMap`]
+//! assigns replicas to regions the same way the paper does.
+
+use crate::ids::ReplicaId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six deployment regions used in the paper's WAN experiment, in the
+/// order the paper adds them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Oracle Cloud us-sanjose-1.
+    SanJose,
+    /// Oracle Cloud us-ashburn-1.
+    Ashburn,
+    /// Oracle Cloud ap-sydney-1.
+    Sydney,
+    /// Oracle Cloud sa-saopaulo-1.
+    SaoPaulo,
+    /// Oracle Cloud ca-montreal-1.
+    Montreal,
+    /// Oracle Cloud eu-marseille-1.
+    Marseille,
+}
+
+impl Region {
+    /// All regions, in the order the paper enables them (1 region → 6).
+    pub const ALL: [Region; 6] = [
+        Region::SanJose,
+        Region::Ashburn,
+        Region::Sydney,
+        Region::SaoPaulo,
+        Region::Montreal,
+        Region::Marseille,
+    ];
+
+    /// Index of this region in [`Region::ALL`].
+    pub fn index(self) -> usize {
+        Region::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("region is a member of ALL")
+    }
+
+    /// Returns `true` for the North-American regions; the paper observes that
+    /// quorums are satisfied by the NA replicas alone, which is why WAN
+    /// throughput stays roughly flat.
+    pub fn is_north_america(self) -> bool {
+        matches!(self, Region::SanJose | Region::Ashburn | Region::Montreal)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Region::SanJose => "San Jose",
+            Region::Ashburn => "Ashburn",
+            Region::Sydney => "Sydney",
+            Region::SaoPaulo => "Sao Paulo",
+            Region::Montreal => "Montreal",
+            Region::Marseille => "Marseille",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One-way latencies (in microseconds) between deployment regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WanMatrix {
+    /// `latency_us[a][b]` is the one-way latency from region `a` to `b`,
+    /// indexed by [`Region::index`].
+    latency_us: [[u64; 6]; 6],
+}
+
+impl WanMatrix {
+    /// Representative one-way latencies between the six Oracle Cloud regions,
+    /// derived from public inter-region RTT measurements (half the RTT).
+    ///
+    /// Values are in microseconds.
+    pub fn oracle_cloud() -> Self {
+        // Rows/columns: SanJose, Ashburn, Sydney, SaoPaulo, Montreal, Marseille.
+        let ms = |v: f64| (v * 1000.0) as u64;
+        let latency_us = [
+            // San Jose
+            [ms(0.25), ms(31.0), ms(74.0), ms(97.0), ms(37.0), ms(74.0)],
+            // Ashburn
+            [ms(31.0), ms(0.25), ms(102.0), ms(59.0), ms(8.0), ms(41.0)],
+            // Sydney
+            [ms(74.0), ms(102.0), ms(0.25), ms(158.0), ms(104.0), ms(140.0)],
+            // Sao Paulo
+            [ms(97.0), ms(59.0), ms(158.0), ms(0.25), ms(65.0), ms(101.0)],
+            // Montreal
+            [ms(37.0), ms(8.0), ms(104.0), ms(65.0), ms(0.25), ms(45.0)],
+            // Marseille
+            [ms(74.0), ms(41.0), ms(140.0), ms(101.0), ms(45.0), ms(0.25)],
+        ];
+        WanMatrix { latency_us }
+    }
+
+    /// A uniform single-datacenter matrix with the given one-way latency.
+    pub fn uniform(latency_us: u64) -> Self {
+        WanMatrix {
+            latency_us: [[latency_us; 6]; 6],
+        }
+    }
+
+    /// One-way latency in microseconds from `a` to `b`.
+    pub fn latency_us(&self, a: Region, b: Region) -> u64 {
+        self.latency_us[a.index()][b.index()]
+    }
+}
+
+/// Assignment of replicas to regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+    assignment: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Places all `n` replicas in a single region (LAN deployment).
+    pub fn single_region(n: usize) -> Self {
+        RegionMap {
+            regions: vec![Region::SanJose],
+            assignment: vec![Region::SanJose; n],
+        }
+    }
+
+    /// Distributes `n` replicas round-robin over the first `region_count`
+    /// regions in paper order, exactly as §9.7 does.
+    pub fn round_robin(n: usize, region_count: usize) -> Self {
+        let count = region_count.clamp(1, Region::ALL.len());
+        let regions: Vec<Region> = Region::ALL[..count].to_vec();
+        let assignment = (0..n).map(|i| regions[i % count]).collect();
+        RegionMap {
+            regions,
+            assignment,
+        }
+    }
+
+    /// Region hosting the given replica.
+    pub fn region_of(&self, replica: ReplicaId) -> Region {
+        self.assignment
+            .get(replica.as_usize())
+            .copied()
+            .unwrap_or(Region::SanJose)
+    }
+
+    /// The distinct regions in use.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of replicas assigned to `region`.
+    pub fn count_in(&self, region: Region) -> usize {
+        self.assignment.iter().filter(|r| **r == region).count()
+    }
+
+    /// Total number of replicas covered by the map.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns `true` when the map covers no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_indices_are_consistent() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn north_america_classification() {
+        assert!(Region::SanJose.is_north_america());
+        assert!(Region::Ashburn.is_north_america());
+        assert!(Region::Montreal.is_north_america());
+        assert!(!Region::Sydney.is_north_america());
+        assert!(!Region::SaoPaulo.is_north_america());
+        assert!(!Region::Marseille.is_north_america());
+    }
+
+    #[test]
+    fn wan_matrix_is_symmetric_and_local_is_fast() {
+        let m = WanMatrix::oracle_cloud();
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(m.latency_us(a, b), m.latency_us(b, a));
+            }
+            assert!(m.latency_us(a, a) < 1000);
+        }
+        // Sydney <-> Sao Paulo should be the slowest pair.
+        assert!(m.latency_us(Region::Sydney, Region::SaoPaulo) > m.latency_us(Region::SanJose, Region::Ashburn));
+    }
+
+    #[test]
+    fn uniform_matrix_is_flat() {
+        let m = WanMatrix::uniform(150);
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(m.latency_us(a, b), 150);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment_matches_paper_layout() {
+        // 61 replicas over 6 regions => regions get ceil/floor(61/6) replicas.
+        let map = RegionMap::round_robin(61, 6);
+        assert_eq!(map.len(), 61);
+        let total: usize = Region::ALL.iter().map(|r| map.count_in(*r)).sum();
+        assert_eq!(total, 61);
+        assert_eq!(map.count_in(Region::SanJose), 11);
+        assert_eq!(map.count_in(Region::Marseille), 10);
+        assert_eq!(map.region_of(ReplicaId(0)), Region::SanJose);
+        assert_eq!(map.region_of(ReplicaId(1)), Region::Ashburn);
+        assert_eq!(map.region_of(ReplicaId(6)), Region::SanJose);
+    }
+
+    #[test]
+    fn single_region_puts_everyone_in_san_jose() {
+        let map = RegionMap::single_region(5);
+        assert_eq!(map.regions(), &[Region::SanJose]);
+        assert_eq!(map.count_in(Region::SanJose), 5);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn round_robin_clamps_region_count() {
+        let map = RegionMap::round_robin(10, 0);
+        assert_eq!(map.regions().len(), 1);
+        let map = RegionMap::round_robin(10, 99);
+        assert_eq!(map.regions().len(), 6);
+    }
+}

@@ -1,0 +1,359 @@
+//! Client transactions, key-value operations and request batches.
+//!
+//! The paper evaluates the protocols on a YCSB-style key-value workload
+//! (600 k records, read/update operations). [`KvOp`] is the operation
+//! vocabulary, [`Transaction`] is one signed client request, and [`Batch`]
+//! is the unit of consensus (ResilientDB-style client/server batching).
+
+use crate::digest::Digest;
+use crate::ids::{ClientId, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// A single key-value store operation, mirroring the YCSB core workloads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read the value stored under `key`.
+    Read {
+        /// Record key.
+        key: u64,
+    },
+    /// Overwrite the value stored under `key`.
+    Update {
+        /// Record key.
+        key: u64,
+        /// New record value.
+        value: Vec<u8>,
+    },
+    /// Insert a new record.
+    Insert {
+        /// Record key.
+        key: u64,
+        /// Record value.
+        value: Vec<u8>,
+    },
+    /// Read-modify-write: read the record, then overwrite it.
+    ReadModifyWrite {
+        /// Record key.
+        key: u64,
+        /// New record value.
+        value: Vec<u8>,
+    },
+    /// Scan `count` records starting at `start_key`.
+    Scan {
+        /// First key of the scan.
+        start_key: u64,
+        /// Number of records to return.
+        count: u32,
+    },
+    /// A no-op operation; used by view changes to fill sequence-number gaps.
+    Noop,
+}
+
+impl KvOp {
+    /// Returns `true` when the operation does not modify state.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, KvOp::Read { .. } | KvOp::Scan { .. } | KvOp::Noop)
+    }
+
+    /// Approximate wire size of the operation in bytes, used by the
+    /// simulator's bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            KvOp::Read { .. } => 16,
+            KvOp::Update { value, .. } | KvOp::Insert { value, .. } => 16 + value.len(),
+            KvOp::ReadModifyWrite { value, .. } => 16 + value.len(),
+            KvOp::Scan { .. } => 20,
+            KvOp::Noop => 1,
+        }
+    }
+
+    /// Returns the primary key touched by the operation, if any.
+    pub fn key(&self) -> Option<u64> {
+        match self {
+            KvOp::Read { key }
+            | KvOp::Update { key, .. }
+            | KvOp::Insert { key, .. }
+            | KvOp::ReadModifyWrite { key, .. } => Some(*key),
+            KvOp::Scan { start_key, .. } => Some(*start_key),
+            KvOp::Noop => None,
+        }
+    }
+}
+
+/// The result of executing a [`KvOp`] against the state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvResult {
+    /// The value read, or `None` if the key did not exist.
+    Value(Option<Vec<u8>>),
+    /// The write was applied.
+    Written,
+    /// The records returned by a scan.
+    Range(Vec<(u64, Vec<u8>)>),
+    /// No-op acknowledged.
+    Noop,
+}
+
+/// One client request: a key-value operation tagged with the issuing client
+/// and a per-client monotonically increasing request id.
+///
+/// The client-side signature is modelled by the crypto substrate; engines
+/// treat requests whose envelope passed verification as well-formed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Per-client request id (used for reply matching and deduplication).
+    pub request: RequestId,
+    /// The operation to execute.
+    pub op: KvOp,
+}
+
+impl Transaction {
+    /// Creates a new transaction.
+    pub fn new(client: ClientId, request: RequestId, op: KvOp) -> Self {
+        Transaction {
+            client,
+            request,
+            op,
+        }
+    }
+
+    /// Creates a no-op transaction (used by view change gap filling).
+    pub fn noop() -> Self {
+        Transaction {
+            client: ClientId(u64::MAX),
+            request: RequestId(0),
+            op: KvOp::Noop,
+        }
+    }
+
+    /// Returns `true` when this is a no-op filler transaction.
+    pub fn is_noop(&self) -> bool {
+        matches!(self.op, KvOp::Noop) && self.client == ClientId(u64::MAX)
+    }
+
+    /// Approximate wire size in bytes of this transaction.
+    pub fn wire_size(&self) -> usize {
+        // Client id + request id + op payload + client signature (64 B Ed25519).
+        8 + 8 + self.op.wire_size() + 64
+    }
+
+    /// Stable byte encoding used as input to digests and signatures.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        out.extend_from_slice(&self.client.0.to_le_bytes());
+        out.extend_from_slice(&self.request.0.to_le_bytes());
+        match &self.op {
+            KvOp::Read { key } => {
+                out.push(0);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            KvOp::Update { key, value } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            KvOp::Insert { key, value } => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            KvOp::ReadModifyWrite { key, value } => {
+                out.push(3);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            KvOp::Scan { start_key, count } => {
+                out.push(4);
+                out.extend_from_slice(&start_key.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            KvOp::Noop => out.push(5),
+        }
+        out
+    }
+}
+
+/// Outcome of a transaction as reported back to the client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnOutcome {
+    /// The client that issued the transaction.
+    pub client: ClientId,
+    /// The request id the client attached.
+    pub request: RequestId,
+    /// The execution result.
+    pub result: KvResult,
+}
+
+/// A batch of transactions: the unit over which consensus is run.
+///
+/// ResilientDB batches client requests both at the client library and at the
+/// primary; the protocols in this repository order whole batches, exactly as
+/// the evaluation section of the paper does (the "batch size" knob of
+/// Figure 6(iv)/(v)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// The transactions in proposal order.
+    pub txns: Vec<Transaction>,
+    /// Digest of the canonical encoding of all transactions (Δ in the paper).
+    pub digest: Digest,
+}
+
+impl Batch {
+    /// Builds a batch from transactions and a pre-computed digest.
+    ///
+    /// The digest is computed by the crypto substrate; this constructor only
+    /// packages the two together.
+    pub fn new(txns: Vec<Transaction>, digest: Digest) -> Self {
+        Batch { txns, digest }
+    }
+
+    /// Builds an empty no-op batch for the given tag (used to fill sequence
+    /// number gaps during view changes).
+    pub fn noop(tag: u64) -> Self {
+        Batch {
+            txns: vec![Transaction::noop()],
+            digest: Digest::from_u64_tag(tag),
+        }
+    }
+
+    /// Returns `true` when the batch consists solely of no-op transactions.
+    pub fn is_noop(&self) -> bool {
+        self.txns.iter().all(Transaction::is_noop)
+    }
+
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Returns `true` when the batch holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Approximate wire size of the batch in bytes.
+    pub fn wire_size(&self) -> usize {
+        32 + self.txns.iter().map(Transaction::wire_size).sum::<usize>()
+    }
+
+    /// Concatenated canonical bytes of all member transactions; the input to
+    /// the batch digest.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for t in &self.txns {
+            out.extend_from_slice(&t.canonical_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(c: u64, r: u64, key: u64) -> Transaction {
+        Transaction::new(ClientId(c), RequestId(r), KvOp::Read { key })
+    }
+
+    #[test]
+    fn read_ops_are_read_only_and_writes_are_not() {
+        assert!(KvOp::Read { key: 1 }.is_read_only());
+        assert!(KvOp::Scan {
+            start_key: 1,
+            count: 5
+        }
+        .is_read_only());
+        assert!(KvOp::Noop.is_read_only());
+        assert!(!KvOp::Update {
+            key: 1,
+            value: vec![1]
+        }
+        .is_read_only());
+        assert!(!KvOp::Insert {
+            key: 1,
+            value: vec![1]
+        }
+        .is_read_only());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_transactions() {
+        let a = txn(1, 1, 10);
+        let b = txn(1, 2, 10);
+        let c = txn(2, 1, 10);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+        assert_eq!(a.canonical_bytes(), txn(1, 1, 10).canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_op_kinds() {
+        let read = Transaction::new(ClientId(1), RequestId(1), KvOp::Read { key: 5 });
+        let update = Transaction::new(
+            ClientId(1),
+            RequestId(1),
+            KvOp::Update {
+                key: 5,
+                value: vec![],
+            },
+        );
+        assert_ne!(read.canonical_bytes(), update.canonical_bytes());
+    }
+
+    #[test]
+    fn noop_transaction_and_batch_are_flagged() {
+        assert!(Transaction::noop().is_noop());
+        assert!(!txn(1, 1, 1).is_noop());
+        assert!(Batch::noop(7).is_noop());
+        let real = Batch::new(vec![txn(1, 1, 1)], Digest::from_u64_tag(1));
+        assert!(!real.is_noop());
+    }
+
+    #[test]
+    fn batch_sizes_accumulate() {
+        let b = Batch::new(vec![txn(1, 1, 1), txn(1, 2, 2)], Digest::from_u64_tag(9));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(b.wire_size() > 2 * 80);
+        assert_eq!(
+            b.canonical_bytes().len(),
+            txn(1, 1, 1).canonical_bytes().len() * 2
+        );
+    }
+
+    #[test]
+    fn wire_size_grows_with_value_length() {
+        let small = KvOp::Update {
+            key: 1,
+            value: vec![0; 10],
+        };
+        let big = KvOp::Update {
+            key: 1,
+            value: vec![0; 1000],
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn op_key_extraction() {
+        assert_eq!(KvOp::Read { key: 3 }.key(), Some(3));
+        assert_eq!(KvOp::Noop.key(), None);
+        assert_eq!(
+            KvOp::Scan {
+                start_key: 8,
+                count: 2
+            }
+            .key(),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = Batch::new(vec![txn(3, 4, 5)], Digest::from_u64_tag(2));
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Batch = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,13 @@
+//! YCSB-style workload generation.
+//!
+//! The paper evaluates every protocol on the Yahoo! Cloud Serving Benchmark
+//! (YCSB) over a 600 k-record key-value store. This crate reproduces that
+//! workload: a configurable mix of reads, updates, inserts, read-modify-write
+//! and scans over keys drawn from a uniform or zipfian distribution, with
+//! deterministic seeding so simulations and tests are reproducible.
+
+pub mod generator;
+pub mod zipfian;
+
+pub use generator::{KeyDistribution, WorkloadConfig, WorkloadGenerator};
+pub use zipfian::ZipfianGenerator;

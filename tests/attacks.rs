@@ -1,0 +1,52 @@
+//! Integration tests for the paper's three analytical claims (§5, §6, §7),
+//! exercised across crates: attack scenarios built in `flexitrust-attacks`,
+//! engines from `flexitrust-core`/`flexitrust-baselines`, trusted components
+//! from `flexitrust-trusted`.
+
+use flexitrust::attacks::{
+    out_of_order_probe, responsiveness_attack, rollback_attack_flexibft, rollback_attack_minbft,
+};
+use flexitrust::prelude::*;
+
+#[test]
+fn section5_weak_quorums_break_responsiveness_only_for_2f_plus_1_protocols() {
+    for f in [1usize, 2, 3] {
+        let minbft = responsiveness_attack(ProtocolId::MinBft, f);
+        assert!(minbft.client_stuck(), "MinBFT f={f} should leave the client stuck");
+
+        let flexibft = responsiveness_attack(ProtocolId::FlexiBft, f);
+        assert!(
+            flexibft.client_responsive(),
+            "Flexi-BFT f={f} should stay responsive"
+        );
+
+        let pbft = responsiveness_attack(ProtocolId::Pbft, f);
+        assert!(pbft.client_responsive(), "PBFT f={f} should stay responsive");
+    }
+}
+
+#[test]
+fn section6_rollback_breaks_minbft_safety_but_not_flexibft() {
+    let minbft = rollback_attack_minbft(2, TrustedHardware::default_enclave());
+    assert!(minbft.safety_violated);
+    assert_ne!(minbft.digests.0, minbft.digests.1);
+
+    let flexibft = rollback_attack_flexibft(2, TrustedHardware::default_enclave());
+    assert!(!flexibft.safety_violated);
+
+    // Rollback-protected hardware stops the attack outright (at the cost of
+    // its access latency — the Figure 8 trade-off).
+    let protected = rollback_attack_minbft(2, TrustedHardware::typical_persistent_counter());
+    assert!(!protected.rollback_succeeded);
+    assert!(!protected.safety_violated);
+}
+
+#[test]
+fn section7_out_of_order_proposals_are_rejected_by_trust_bft_counters_only() {
+    for f in [1usize, 2] {
+        let (minbft, flexizz) = out_of_order_probe(f);
+        assert!(minbft.tc_rejections >= 1, "MinBFT f={f}");
+        assert_eq!(flexizz.tc_rejections, 0, "Flexi-ZZ f={f}");
+        assert!(flexizz.both_executed, "Flexi-ZZ f={f}");
+    }
+}

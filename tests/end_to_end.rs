@@ -1,0 +1,44 @@
+//! End-to-end integration tests: every protocol commits a real workload on
+//! the threaded runtime with real Ed25519 crypto and software enclaves.
+
+use flexitrust::prelude::*;
+use std::time::Duration;
+
+fn run(protocol: ProtocolId, txns: usize) -> ClusterSummary {
+    let cluster = Cluster::start(protocol, 1, 10);
+    let summary = cluster.run_workload(txns, 5, Duration::from_secs(60));
+    cluster.shutdown();
+    summary
+}
+
+#[test]
+fn flexitrust_protocols_commit_end_to_end() {
+    for protocol in [ProtocolId::FlexiBft, ProtocolId::FlexiZz] {
+        let summary = run(protocol, 200);
+        assert_eq!(summary.completed_txns, 200, "{protocol}");
+    }
+}
+
+#[test]
+fn trust_bft_baselines_commit_end_to_end() {
+    for protocol in [ProtocolId::MinBft, ProtocolId::MinZz, ProtocolId::PbftEa] {
+        let summary = run(protocol, 100);
+        assert_eq!(summary.completed_txns, 100, "{protocol}");
+    }
+}
+
+#[test]
+fn bft_baselines_commit_end_to_end() {
+    for protocol in [ProtocolId::Pbft, ProtocolId::Zyzzyva] {
+        let summary = run(protocol, 100);
+        assert_eq!(summary.completed_txns, 100, "{protocol}");
+    }
+}
+
+#[test]
+fn sequential_ablations_commit_end_to_end() {
+    for protocol in [ProtocolId::OFlexiBft, ProtocolId::OFlexiZz, ProtocolId::OpbftEa] {
+        let summary = run(protocol, 60);
+        assert_eq!(summary.completed_txns, 60, "{protocol}");
+    }
+}

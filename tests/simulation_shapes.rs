@@ -1,0 +1,124 @@
+//! Integration tests asserting the qualitative *shapes* of the paper's
+//! evaluation, as produced by the discrete-event simulator. Absolute numbers
+//! are irrelevant here; orderings and crossovers are what the paper claims.
+
+use flexitrust::prelude::*;
+use flexitrust::sim::FaultPlan;
+
+fn quick(protocol: ProtocolId, f: usize) -> SimReport {
+    let mut spec = ScenarioSpec::quick_test(protocol);
+    spec.f = f;
+    spec.batch_size = 20;
+    spec.clients = 1_500;
+    spec.duration_us = 250_000;
+    spec.warmup_us = 60_000;
+    Simulation::new(spec).run()
+}
+
+#[test]
+fn flexitrust_outperforms_its_trust_bft_counterparts() {
+    let flexi_bft = quick(ProtocolId::FlexiBft, 2);
+    let minbft = quick(ProtocolId::MinBft, 2);
+    let flexi_zz = quick(ProtocolId::FlexiZz, 2);
+    let minzz = quick(ProtocolId::MinZz, 2);
+    assert!(
+        flexi_bft.throughput_tps > minbft.throughput_tps,
+        "Flexi-BFT {} <= MinBFT {}",
+        flexi_bft.throughput_tps,
+        minbft.throughput_tps
+    );
+    assert!(
+        flexi_zz.throughput_tps > minzz.throughput_tps,
+        "Flexi-ZZ {} <= MinZZ {}",
+        flexi_zz.throughput_tps,
+        minzz.throughput_tps
+    );
+}
+
+#[test]
+fn pbft_ea_is_the_slowest_protocol_of_the_lineup() {
+    let pbft_ea = quick(ProtocolId::PbftEa, 2);
+    for other in [ProtocolId::MinBft, ProtocolId::MinZz, ProtocolId::FlexiZz, ProtocolId::Pbft] {
+        let report = quick(other, 2);
+        assert!(
+            report.throughput_tps >= pbft_ea.throughput_tps,
+            "{other} ({}) should not be slower than Pbft-EA ({})",
+            report.throughput_tps,
+            pbft_ea.throughput_tps
+        );
+    }
+}
+
+#[test]
+fn flexitrust_uses_the_trusted_component_once_per_batch_primary_only() {
+    let report = quick(ProtocolId::FlexiZz, 2);
+    assert_eq!(report.tc_accesses_total, report.tc_accesses_primary);
+    let minbft = quick(ProtocolId::MinBft, 2);
+    assert!(minbft.tc_accesses_total > minbft.tc_accesses_primary);
+}
+
+#[test]
+fn slow_trusted_hardware_collapses_all_protocols_to_the_same_bound() {
+    // Figure 8's right-hand side: at 30 ms per access every protocol is
+    // bounded by batch/access-latency, so MinZZ and Flexi-ZZ converge.
+    let run_with = |protocol| {
+        let mut spec = ScenarioSpec::quick_test(protocol);
+        spec.f = 1;
+        spec.batch_size = 20;
+        spec.hardware = TrustedHardware::Custom {
+            access_us: 30_000,
+            rollback_protected: true,
+        };
+        spec.duration_us = 1_000_000;
+        spec.warmup_us = 200_000;
+        Simulation::new(spec).run()
+    };
+    let flexi = run_with(ProtocolId::FlexiZz);
+    let minzz = run_with(ProtocolId::MinZz);
+    assert!(flexi.throughput_tps > 0.0 && minzz.throughput_tps > 0.0);
+    let ratio = flexi.throughput_tps / minzz.throughput_tps;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "expected convergence, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn single_replica_failure_only_hurts_all_reply_protocols() {
+    let with_failure = |protocol| {
+        let mut spec = ScenarioSpec::quick_test(protocol);
+        spec.duration_us = 400_000;
+        spec.warmup_us = 100_000;
+        let victim = ReplicaId((spec.replicas() - 1) as u32);
+        spec.faults = FaultPlan::single_failure(victim);
+        Simulation::new(spec).run()
+    };
+    let healthy_flexi = quick(ProtocolId::FlexiZz, 1);
+    let failed_flexi = with_failure(ProtocolId::FlexiZz);
+    assert!(failed_flexi.throughput_tps > 0.4 * healthy_flexi.throughput_tps);
+
+    let healthy_minzz = quick(ProtocolId::MinZz, 1);
+    let failed_minzz = with_failure(ProtocolId::MinZz);
+    assert!(
+        failed_minzz.avg_latency_ms > healthy_minzz.avg_latency_ms,
+        "MinZZ latency should rise under a failure"
+    );
+}
+
+#[test]
+fn wan_keeps_throughput_roughly_flat_for_quorum_protocols() {
+    // Figure 6(vi): quorums are satisfied by the nearest replicas, so adding
+    // far-away regions mostly affects latency, not throughput.
+    let run_regions = |regions| {
+        let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        spec.regions = regions;
+        spec.duration_us = 1_000_000;
+        spec.warmup_us = 250_000;
+        spec.clients = 1_000;
+        Simulation::new(spec).run()
+    };
+    let one = run_regions(1);
+    let six = run_regions(6);
+    assert!(six.completed_txns > 0);
+    assert!(six.avg_latency_ms > one.avg_latency_ms);
+}
