@@ -1,7 +1,14 @@
 //! A small synchronous harness that drives a set of engines under an
 //! adversarial delivery plan and records what each client would observe.
+//!
+//! The harness is the third host of the shared engine-hosting layer: like
+//! the simulator and the threaded runtime it drives engines through
+//! [`flexitrust_host::Dispatcher`], implementing only its environment
+//! primitives — routing messages through the adversary's [`FaultPlan`] into
+//! per-replica queues and recording client-visible observations.
 
-use flexitrust_protocol::{Action, ClientReply, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_host::{Dispatcher, EngineHost, TimerToken};
+use flexitrust_protocol::{ClientReply, ConsensusEngine, Message, TimerKind};
 use flexitrust_sim::{DeliveryFate, FaultPlan};
 use flexitrust_types::{ReplicaId, Transaction};
 
@@ -18,6 +25,62 @@ pub struct Observations {
     pub view_change_votes: u64,
 }
 
+/// The harness's [`EngineHost`]: the adversary's network. Sends are routed
+/// through the fault plan into prompt or delayed queues (or dropped); the
+/// synchronous harness has no clock, so timers are never scheduled — the
+/// driver fires them explicitly to model client complaints.
+struct RecordingEnv<'a> {
+    faults: &'a FaultPlan,
+    queues: Vec<Vec<(ReplicaId, Message)>>,
+    delayed: Vec<Vec<(ReplicaId, Message)>>,
+    obs: Observations,
+}
+
+impl RecordingEnv<'_> {
+    fn route(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        match self.faults.fate(from, to, &msg) {
+            DeliveryFate::Deliver => self.queues[to.as_usize()].push((from, msg)),
+            DeliveryFate::Delay(_) => self.delayed[to.as_usize()].push((from, msg)),
+            DeliveryFate::Drop => self.obs.dropped_messages += 1,
+        }
+    }
+}
+
+impl EngineHost for RecordingEnv<'_> {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        if msg.kind() == "ViewChange" {
+            self.obs.view_change_votes += 1;
+        }
+        self.route(from, to, msg);
+    }
+
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+        // A broadcast counts as one vote on the wire regardless of fan-out,
+        // which is why the harness overrides the default per-destination
+        // expansion.
+        if msg.kind() == "ViewChange" {
+            self.obs.view_change_votes += 1;
+        }
+        for to in 0..replicas {
+            self.route(from, ReplicaId(to as u32), msg.clone());
+        }
+    }
+
+    fn reply(&mut self, _from: ReplicaId, reply: ClientReply) {
+        self.obs.replies.push(reply);
+    }
+
+    fn schedule_timer(
+        &mut self,
+        _replica: ReplicaId,
+        _timer: TimerKind,
+        _delay_us: u64,
+        _token: TimerToken,
+    ) {
+        // No clock: the driver fires timers explicitly via `fire_timers`.
+    }
+}
+
 /// Drives `engines` until quiescence, delivering messages according to
 /// `faults` (delayed messages are treated as arriving after everything else;
 /// dropped messages never arrive). Client requests in `inject` are handed to
@@ -32,75 +95,32 @@ pub fn drive(
     max_rounds: usize,
 ) -> Observations {
     let n = engines.len();
-    let mut obs = Observations::default();
-    let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
-    let mut delayed: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
-
-    let mut route = |from: ReplicaId,
-                     actions: Vec<Action>,
-                     queues: &mut Vec<Vec<(ReplicaId, Message)>>,
-                     delayed: &mut Vec<Vec<(ReplicaId, Message)>>,
-                     obs: &mut Observations| {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    if msg.kind() == "ViewChange" {
-                        obs.view_change_votes += 1;
-                    }
-                    match faults.fate(from, to, &msg) {
-                        DeliveryFate::Deliver => queues[to.as_usize()].push((from, msg)),
-                        DeliveryFate::Delay(_) => delayed[to.as_usize()].push((from, msg)),
-                        DeliveryFate::Drop => obs.dropped_messages += 1,
-                    }
-                }
-                Action::Broadcast { msg } => {
-                    if msg.kind() == "ViewChange" {
-                        obs.view_change_votes += 1;
-                    }
-                    for to in 0..n {
-                        let to_id = ReplicaId(to as u32);
-                        match faults.fate(from, to_id, &msg) {
-                            DeliveryFate::Deliver => queues[to].push((from, msg.clone())),
-                            DeliveryFate::Delay(_) => delayed[to].push((from, msg.clone())),
-                            DeliveryFate::Drop => obs.dropped_messages += 1,
-                        }
-                    }
-                }
-                Action::Reply { reply } => obs.replies.push(reply),
-                _ => {}
-            }
-        }
+    let mut dispatcher = Dispatcher::new(n);
+    let mut env = RecordingEnv {
+        faults,
+        queues: vec![Vec::new(); n],
+        delayed: vec![Vec::new(); n],
+        obs: Observations::default(),
     };
 
     for (target, txns) in inject {
-        let mut out = Outbox::new();
-        engines[target].on_client_request(txns, &mut out);
-        route(
-            engines[target].id(),
-            out.drain(),
-            &mut queues,
-            &mut delayed,
-            &mut obs,
-        );
+        dispatcher.client_request(&mut *engines[target], txns, &mut env);
     }
 
-    let mut drain = |queues: &mut Vec<Vec<(ReplicaId, Message)>>,
-                     delayed: &mut Vec<Vec<(ReplicaId, Message)>>,
-                     engines: &mut [Box<dyn ConsensusEngine>],
-                     obs: &mut Observations| {
+    let drain = |engines: &mut [Box<dyn ConsensusEngine>],
+                 dispatcher: &mut Dispatcher,
+                 env: &mut RecordingEnv| {
         for _ in 0..max_rounds {
             let mut any = false;
-            for i in 0..n {
+            for (i, engine) in engines.iter_mut().enumerate() {
                 if faults.is_failed(ReplicaId(i as u32)) {
-                    queues[i].clear();
+                    env.queues[i].clear();
                     continue;
                 }
-                for (from, msg) in std::mem::take(&mut queues[i]) {
+                for (from, msg) in std::mem::take(&mut env.queues[i]) {
                     any = true;
-                    obs.delivered_messages += 1;
-                    let mut out = Outbox::new();
-                    engines[i].on_message(from, msg, &mut out);
-                    route(engines[i].id(), out.drain(), queues, delayed, obs);
+                    env.obs.delivered_messages += 1;
+                    dispatcher.deliver(&mut **engine, from, msg, env);
                 }
             }
             if !any {
@@ -110,29 +130,22 @@ pub fn drive(
     };
 
     // Phase 1: prompt delivery of everything the adversary lets through.
-    drain(&mut queues, &mut delayed, engines, &mut obs);
+    drain(engines, &mut dispatcher, &mut env);
 
     // Phase 2: the client complains / timers fire at the chosen replicas.
     for idx in fire_timers {
-        let mut out = Outbox::new();
-        engines[*idx].on_timer(TimerKind::ViewChange, &mut out);
-        route(
-            engines[*idx].id(),
-            out.drain(),
-            &mut queues,
-            &mut delayed,
-            &mut obs,
-        );
+        dispatcher.fire_timer(&mut *engines[*idx], TimerKind::ViewChange, &mut env);
     }
-    drain(&mut queues, &mut delayed, engines, &mut obs);
+    drain(engines, &mut dispatcher, &mut env);
 
     // Phase 3: partial synchrony — the delayed messages finally arrive.
     for i in 0..n {
-        queues[i].append(&mut delayed[i]);
+        let delayed = std::mem::take(&mut env.delayed[i]);
+        env.queues[i].extend(delayed);
     }
-    drain(&mut queues, &mut delayed, engines, &mut obs);
+    drain(engines, &mut dispatcher, &mut env);
 
-    obs
+    env.obs
 }
 
 /// Counts, per request, how many **distinct** replicas replied with a

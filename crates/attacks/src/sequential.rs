@@ -51,8 +51,12 @@ pub fn out_of_order_probe_minbft(f: usize) -> SequentialReport {
 
     let (b1, b2) = batches();
     // The (honest but concurrent) primary attested both proposals in order.
-    let att1 = primary_enclave.append(0, 1, b1.digest).expect("first append");
-    let att2 = primary_enclave.append(0, 2, b2.digest).expect("second append");
+    let att1 = primary_enclave
+        .append(0, 1, b1.digest)
+        .expect("first append");
+    let att2 = primary_enclave
+        .append(0, 2, b2.digest)
+        .expect("second append");
 
     // Deliver out of order: seq 2 first, then seq 1.
     let mut out = Outbox::new();
@@ -97,8 +101,12 @@ pub fn out_of_order_probe_flexizz(f: usize) -> SequentialReport {
     let mut backup = FlexiZz::new(config, ReplicaId(1), backup_enclave.clone(), registry);
 
     let (b1, b2) = batches();
-    let (_, att1) = primary_enclave.append_f(0, b1.digest).expect("first append");
-    let (_, att2) = primary_enclave.append_f(0, b2.digest).expect("second append");
+    let (_, att1) = primary_enclave
+        .append_f(0, b1.digest)
+        .expect("first append");
+    let (_, att2) = primary_enclave
+        .append_f(0, b2.digest)
+        .expect("second append");
 
     let mut out = Outbox::new();
     backup.on_message(

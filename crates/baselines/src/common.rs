@@ -15,8 +15,8 @@
 //! network) to check safety and the §5–§7 behaviours.
 
 use flexitrust_protocol::{
-    Action, CertificateTracker, ConsensusEngine, Message, NewViewPlanner, Outbox,
-    PreparedProof, ProtocolProperties, ReplicaCore, TimerKind,
+    Action, CertificateTracker, ConsensusEngine, Message, NewViewPlanner, Outbox, PreparedProof,
+    ProtocolProperties, ReplicaCore, TimerKind,
 };
 use flexitrust_trusted::{Attestation, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{
@@ -302,7 +302,13 @@ impl PbftFamilyEngine {
             return;
         }
 
-        if self.is_active() && !self.slots.get(&seq.0).map(|s| s.prepare_sent).unwrap_or(false) {
+        if self.is_active()
+            && !self
+                .slots
+                .get(&seq.0)
+                .map(|s| s.prepare_sent)
+                .unwrap_or(false)
+        {
             let vote_attestation = self.replica_vote_attestation(seq, digest);
             if let Some(slot) = self.slots.get_mut(&seq.0) {
                 slot.prepare_sent = true;
@@ -455,9 +461,11 @@ impl PbftFamilyEngine {
                     digest: slot.digest?,
                     batch: slot.batch.clone()?,
                     attestation: slot.attestation.clone(),
-                    prepare_votes: self
-                        .prepare_votes
-                        .count(&(slot.view, SeqNum(*seq), slot.digest?)),
+                    prepare_votes: self.prepare_votes.count(&(
+                        slot.view,
+                        SeqNum(*seq),
+                        slot.digest?,
+                    )),
                 })
             })
             .collect()
@@ -746,11 +754,7 @@ pub fn run_cluster_until_quiescent(
     delivered
 }
 
-fn route_actions(
-    from: ReplicaId,
-    actions: Vec<Action>,
-    queues: &mut [Vec<(ReplicaId, Message)>],
-) {
+fn route_actions(from: ReplicaId, actions: Vec<Action>, queues: &mut [Vec<(ReplicaId, Message)>]) {
     for action in actions {
         match action {
             Action::Send { to, msg } => {
@@ -893,8 +897,7 @@ mod tests {
     #[test]
     fn conflicting_preprepare_for_same_slot_is_ignored() {
         let cfg = SystemConfig::for_protocol(ProtocolId::Pbft, 1);
-        let mut engine =
-            PbftFamilyEngine::new(cfg.clone(), ReplicaId(1), pbft_style(), None, None);
+        let mut engine = PbftFamilyEngine::new(cfg.clone(), ReplicaId(1), pbft_style(), None, None);
         let mut out = Outbox::new();
         let batch_a = flexitrust_crypto::make_batch(txns(1));
         let batch_b = flexitrust_crypto::make_batch(txns(2));
@@ -984,10 +987,10 @@ mod tests {
         // backup and route the resulting messages by hand.
         let n = cluster.len();
         let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
-        for i in 1..n {
+        for engine in cluster.iter_mut().skip(1) {
             let mut out = Outbox::new();
-            cluster[i].on_timer(TimerKind::ViewChange, &mut out);
-            route_actions(cluster[i].id(), out.drain(), &mut queues);
+            engine.on_timer(TimerKind::ViewChange, &mut out);
+            route_actions(engine.id(), out.drain(), &mut queues);
         }
         for _ in 0..50 {
             let mut any = false;

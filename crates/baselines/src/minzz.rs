@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn client_rule_requires_all_2f_plus_1_replies() {
         let (engines, _) = build(2);
-        assert_eq!(engines[0].properties().reply_quorum, QuorumRule::AllReplicas);
+        assert_eq!(
+            engines[0].properties().reply_quorum,
+            QuorumRule::AllReplicas
+        );
         assert_eq!(engines[0].config().n, 5);
         assert!(engines[0].properties().speculative);
     }

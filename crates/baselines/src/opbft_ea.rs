@@ -81,14 +81,16 @@ mod tests {
     fn supports_parallel_consensus_unlike_pbft_ea() {
         assert!(OpbftEa::config(4).max_in_flight > 1);
         assert_eq!(crate::pbft_ea::PbftEa::config(4).max_in_flight, 1);
-        assert!(OpbftEa::engine(
-            OpbftEa::config(1),
-            ReplicaId(0),
-            OpbftEa::enclave(ReplicaId(0), AttestationMode::Counting),
-            EnclaveRegistry::deterministic(3, AttestationMode::Counting),
-        )
-        .properties()
-        .out_of_order);
+        assert!(
+            OpbftEa::engine(
+                OpbftEa::config(1),
+                ReplicaId(0),
+                OpbftEa::enclave(ReplicaId(0), AttestationMode::Counting),
+                EnclaveRegistry::deterministic(3, AttestationMode::Counting),
+            )
+            .properties()
+            .out_of_order
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ mod tests {
         let mut cfg = Pbft::config(f);
         cfg.batch_size = batch;
         (0..cfg.n)
-            .map(|i| Box::new(Pbft::engine(cfg.clone(), ReplicaId(i as u32))) as Box<dyn ConsensusEngine>)
+            .map(|i| {
+                Box::new(Pbft::engine(cfg.clone(), ReplicaId(i as u32))) as Box<dyn ConsensusEngine>
+            })
             .collect()
     }
 

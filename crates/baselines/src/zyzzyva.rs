@@ -51,9 +51,7 @@ mod tests {
 
     fn txns(count: usize) -> Vec<Transaction> {
         (0..count)
-            .map(|i| {
-                Transaction::new(ClientId(1), RequestId(i as u64 + 1), KvOp::Read { key: 3 })
-            })
+            .map(|i| Transaction::new(ClientId(1), RequestId(i as u64 + 1), KvOp::Read { key: 3 }))
             .collect()
     }
 

@@ -28,13 +28,55 @@ fn bars() -> Vec<Bar> {
     use PrimaryAttest as P;
     use ReplicaAttest as R;
     vec![
-        Bar { label: "[a] standard Pbft", primary_attest: P::None, replica_attest: R::None, all_replicas_have_tc: false, signed: false },
-        Bar { label: "[b] P: TC in Prep", primary_attest: P::HostCounter, replica_attest: R::None, all_replicas_have_tc: false, signed: false },
-        Bar { label: "[c] P: TC+SA in Prep", primary_attest: P::HostCounter, replica_attest: R::None, all_replicas_have_tc: false, signed: true },
-        Bar { label: "[d] P: TC+SA all phases", primary_attest: P::HostCounter, replica_attest: R::Counter, all_replicas_have_tc: false, signed: true },
-        Bar { label: "[e] All: TC in Prep", primary_attest: P::HostCounter, replica_attest: R::None, all_replicas_have_tc: true, signed: false },
-        Bar { label: "[f] All: TC+SA in Prep", primary_attest: P::HostCounter, replica_attest: R::None, all_replicas_have_tc: true, signed: true },
-        Bar { label: "[g] All: TC+SA all phases", primary_attest: P::HostCounter, replica_attest: R::Counter, all_replicas_have_tc: true, signed: true },
+        Bar {
+            label: "[a] standard Pbft",
+            primary_attest: P::None,
+            replica_attest: R::None,
+            all_replicas_have_tc: false,
+            signed: false,
+        },
+        Bar {
+            label: "[b] P: TC in Prep",
+            primary_attest: P::HostCounter,
+            replica_attest: R::None,
+            all_replicas_have_tc: false,
+            signed: false,
+        },
+        Bar {
+            label: "[c] P: TC+SA in Prep",
+            primary_attest: P::HostCounter,
+            replica_attest: R::None,
+            all_replicas_have_tc: false,
+            signed: true,
+        },
+        Bar {
+            label: "[d] P: TC+SA all phases",
+            primary_attest: P::HostCounter,
+            replica_attest: R::Counter,
+            all_replicas_have_tc: false,
+            signed: true,
+        },
+        Bar {
+            label: "[e] All: TC in Prep",
+            primary_attest: P::HostCounter,
+            replica_attest: R::None,
+            all_replicas_have_tc: true,
+            signed: false,
+        },
+        Bar {
+            label: "[f] All: TC+SA in Prep",
+            primary_attest: P::HostCounter,
+            replica_attest: R::None,
+            all_replicas_have_tc: true,
+            signed: true,
+        },
+        Bar {
+            label: "[g] All: TC+SA all phases",
+            primary_attest: P::HostCounter,
+            replica_attest: R::Counter,
+            all_replicas_have_tc: true,
+            signed: true,
+        },
     ]
 }
 
@@ -87,7 +129,9 @@ fn run_bar(bar: &Bar) -> f64 {
             })
             .collect()
     };
-    Simulation::with_replicas(spec, replicas).run().throughput_tps
+    Simulation::with_replicas(spec, replicas)
+        .run()
+        .throughput_tps
 }
 
 fn main() {

@@ -1,4 +1,7 @@
-//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions.
+//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions, plus the
+//! bandwidth-constrained variant the wire-size model enables: the same
+//! six-region topology swept over per-link WAN bandwidth, showing delivery
+//! time growing with `Message::wire_size_bytes() / bandwidth`.
 
 use flexitrust::prelude::*;
 use flexitrust_bench::{eval_spec, print_table, run};
@@ -28,5 +31,38 @@ fn main() {
         "Figure 6(vi)/(vii): wide-area replication, regions added in paper order (f = 2)",
         "Protocol    regions     throughput          latency",
         &rows,
+    );
+
+    // Bandwidth sweep: six regions, shrinking WAN links. Unlimited is the
+    // seed's pure-latency model; the constrained rows add size/bandwidth
+    // transmission time to every inter-region delivery.
+    let mut bw_rows = Vec::new();
+    for protocol in [ProtocolId::Pbft, ProtocolId::FlexiZz] {
+        for (label, bandwidth) in [
+            ("unlimited", BandwidthConfig::unlimited()),
+            ("100 Mbps", BandwidthConfig::wan_constrained(100)),
+            ("20 Mbps", BandwidthConfig::wan_constrained(20)),
+            ("5 Mbps", BandwidthConfig::wan_constrained(5)),
+        ] {
+            let mut spec = eval_spec(protocol, 2);
+            spec.regions = 6;
+            spec.bandwidth = bandwidth;
+            spec.duration_us = 1_200_000;
+            spec.warmup_us = 400_000;
+            spec.clients = 2_000;
+            let report = run(spec);
+            bw_rows.push(format!(
+                "{:<11} wan={:<9} tput={:>10.0} txn/s   lat={:>7.2} ms",
+                protocol.name(),
+                label,
+                report.throughput_tps,
+                report.avg_latency_ms,
+            ));
+        }
+    }
+    print_table(
+        "Figure 6(vi) extension: six regions under per-link WAN bandwidth limits (f = 2)",
+        "Protocol    bandwidth      throughput          latency",
+        &bw_rows,
     );
 }

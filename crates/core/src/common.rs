@@ -14,9 +14,7 @@ use flexitrust_protocol::{
     CertificateTracker, Message, NewViewPlanner, Outbox, PreparedProof, ReplicaCore, TimerKind,
 };
 use flexitrust_trusted::{AttestKind, Attestation, EnclaveRegistry, SharedEnclave};
-use flexitrust_types::{
-    Batch, Digest, ReplicaId, SeqNum, SystemConfig, Transaction, View,
-};
+use flexitrust_types::{Batch, Digest, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A proposal accepted by this replica for one sequence number.
@@ -367,7 +365,8 @@ impl FlexiCore {
         self.view_changes_completed += 1;
         // Proposals from the old view are superseded by the new primary's
         // re-proposals.
-        self.accepted.retain(|s, _| SeqNum(*s) <= self.replica.last_executed());
+        self.accepted
+            .retain(|s, _| SeqNum(*s) <= self.replica.last_executed());
         out.cancel_timer(TimerKind::ViewChange);
         proposals
     }
@@ -399,10 +398,8 @@ pub fn build_cores(config: &SystemConfig) -> Vec<FlexiCore> {
     (0..config.n)
         .map(|i| {
             let id = ReplicaId(i as u32);
-            let enclave = Enclave::shared(EnclaveConfig::counter_only(
-                id,
-                AttestationMode::Counting,
-            ));
+            let enclave =
+                Enclave::shared(EnclaveConfig::counter_only(id, AttestationMode::Counting));
             FlexiCore::new(config.clone(), id, enclave, registry.clone())
         })
         .collect()
@@ -454,8 +451,7 @@ mod tests {
         else {
             panic!("expected a PrePrepare");
         };
-        let accepted =
-            cores[1].accept_preprepare(ReplicaId(0), view, seq, batch, attestation);
+        let accepted = cores[1].accept_preprepare(ReplicaId(0), view, seq, batch, attestation);
         assert!(accepted.is_some());
         assert_eq!(cores[1].enclave().stats().snapshot().total_accesses(), 0);
     }
@@ -485,7 +481,13 @@ mod tests {
         let mut wrong_seq = att.clone();
         wrong_seq.value = 9;
         assert!(cores[1]
-            .accept_preprepare(ReplicaId(0), view, SeqNum(9), batch.clone(), Some(wrong_seq))
+            .accept_preprepare(
+                ReplicaId(0),
+                view,
+                SeqNum(9),
+                batch.clone(),
+                Some(wrong_seq)
+            )
             .is_none());
         // Attestation bound to a different batch.
         let other_batch = make_batch(vec![txn(2)]);

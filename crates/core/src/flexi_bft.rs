@@ -21,9 +21,7 @@ use flexitrust_protocol::{
     CertificateTracker, ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
 };
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
-use flexitrust_types::{
-    Digest, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View,
-};
+use flexitrust_types::{Digest, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 
 /// A Flexi-BFT replica engine.
 pub struct FlexiBft {
@@ -155,7 +153,11 @@ impl FlexiBft {
         &mut self,
         from: ReplicaId,
         view: View,
-        proposals: Vec<(SeqNum, flexitrust_types::Batch, Option<flexitrust_trusted::Attestation>)>,
+        proposals: Vec<(
+            SeqNum,
+            flexitrust_types::Batch,
+            Option<flexitrust_trusted::Attestation>,
+        )>,
         out: &mut Outbox,
     ) {
         for (seq, batch, attestation) in proposals {
@@ -502,13 +504,13 @@ mod tests {
         // and the backups time out.
         let n = engines.len();
         let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
-        for i in 1..n {
+        for engine in engines.iter_mut().skip(1) {
             let mut out = Outbox::new();
-            engines[i].on_timer(TimerKind::ViewChange, &mut out);
+            engine.on_timer(TimerKind::ViewChange, &mut out);
             for a in out.drain() {
                 if let flexitrust_protocol::Action::Broadcast { msg } = a {
                     for q in queues.iter_mut() {
-                        q.push((engines[i].id(), msg.clone()));
+                        q.push((engine.id(), msg.clone()));
                     }
                 }
             }

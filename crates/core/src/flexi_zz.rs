@@ -25,13 +25,9 @@
 use crate::common::FlexiCore;
 use flexitrust_crypto::digest_transaction;
 use flexitrust_exec::KvStore;
-use flexitrust_protocol::{
-    ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
-};
+use flexitrust_protocol::{ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
-use flexitrust_types::{
-    Batch, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View,
-};
+use flexitrust_types::{Batch, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 use std::collections::HashMap;
 
 /// A Flexi-ZZ replica engine.
@@ -176,8 +172,8 @@ impl FlexiZz {
                         .map(|a| a.digest != batch.digest)
                         .unwrap_or(false)
             });
-            let overshoot = self.flexi.replica.last_executed()
-                >= SeqNum(first.0 + proposals.len() as u64);
+            let overshoot =
+                self.flexi.replica.last_executed() >= SeqNum(first.0 + proposals.len() as u64);
             if mismatch || overshoot {
                 let (seq, store) = self.rollback_point.clone();
                 self.flexi.replica.exec_mut().rollback_to(seq, store);
@@ -195,7 +191,11 @@ impl FlexiZz {
 /// Timer tag for a forwarded client transaction.
 fn forwarded_tag(txn: &Transaction) -> u64 {
     let digest = digest_transaction(txn);
-    u64::from_le_bytes(digest.as_bytes()[..8].try_into().expect("digest is 32 bytes"))
+    u64::from_le_bytes(
+        digest.as_bytes()[..8]
+            .try_into()
+            .expect("digest is 32 bytes"),
+    )
 }
 
 impl ConsensusEngine for FlexiZz {
@@ -247,8 +247,7 @@ impl ConsensusEngine for FlexiZz {
                 if after > before {
                     // The stable checkpoint is the new speculative rollback
                     // point: everything at or below it is durable.
-                    self.rollback_point =
-                        (after, self.flexi.replica.exec().store().clone());
+                    self.rollback_point = (after, self.flexi.replica.exec().store().clone());
                 }
             }
             Message::ViewChange {
@@ -362,11 +361,7 @@ mod tests {
             .collect()
     }
 
-    fn route(
-        from: ReplicaId,
-        actions: Vec<Action>,
-        queues: &mut [Vec<(ReplicaId, Message)>],
-    ) {
+    fn route(from: ReplicaId, actions: Vec<Action>, queues: &mut [Vec<(ReplicaId, Message)>]) {
         for a in actions {
             match a {
                 Action::Send { to, msg } => queues[to.as_usize()].push((from, msg)),
@@ -428,7 +423,10 @@ mod tests {
         engines[3].on_message(ReplicaId(0), preprepare, &mut out);
         assert_eq!(out.replies().len(), 1);
         assert!(out.replies()[0].speculative);
-        assert_eq!(engines[0].properties().reply_quorum, QuorumRule::TwoFPlusOne);
+        assert_eq!(
+            engines[0].properties().reply_quorum,
+            QuorumRule::TwoFPlusOne
+        );
         assert_eq!(engines[0].properties().phases, 1);
     }
 
@@ -439,7 +437,12 @@ mod tests {
         let mut engines = build_cluster(&cfg);
         run(&mut engines, vec![(0, txns(6))]);
         assert_eq!(
-            engines[0].flexi().enclave().stats().snapshot().counter_append_fs,
+            engines[0]
+                .flexi()
+                .enclave()
+                .stats()
+                .snapshot()
+                .counter_append_fs,
             6
         );
         for e in &engines[1..] {
@@ -459,9 +462,9 @@ mod tests {
         engines[0].on_client_request(txns(1), &mut out);
         let preprepare = out.broadcasts()[0].clone();
         let mut replies = 0;
-        for i in 0..3 {
+        for engine in engines.iter_mut().take(3) {
             let mut out = Outbox::new();
-            engines[i].on_message(ReplicaId(0), preprepare.clone(), &mut out);
+            engine.on_message(ReplicaId(0), preprepare.clone(), &mut out);
             replies += out.replies().len();
         }
         assert_eq!(replies, 3);
@@ -499,10 +502,13 @@ mod tests {
         assert_eq!(out.replies().len(), 0);
         assert_eq!(out.sends().len(), 1);
         assert_eq!(*out.sends()[0].0, ReplicaId(0));
-        assert!(out
-            .actions()
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { timer: TimerKind::RequestForwarded(_), .. })));
+        assert!(out.actions().iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                timer: TimerKind::RequestForwarded(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -548,10 +554,10 @@ mod tests {
         // Primary goes silent; every backup times out and votes.
         let n = engines.len();
         let mut queues: Vec<Vec<(ReplicaId, Message)>> = vec![Vec::new(); n];
-        for i in 1..n {
+        for engine in engines.iter_mut().skip(1) {
             let mut out = Outbox::new();
-            engines[i].on_timer(TimerKind::ViewChange, &mut out);
-            route(engines[i].id(), out.drain(), &mut queues);
+            engine.on_timer(TimerKind::ViewChange, &mut out);
+            route(engine.id(), out.drain(), &mut queues);
         }
         for _ in 0..100 {
             let mut any = false;

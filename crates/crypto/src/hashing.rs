@@ -39,7 +39,13 @@ pub fn digest_transaction(txn: &Transaction) -> Digest {
 /// The protocols order batches, so the batch digest is what appears in
 /// `Preprepare` messages and in trusted-component attestations.
 pub fn digest_batch(txns: &[Transaction]) -> Digest {
-    sha256_concat(txns.iter().map(|t| t.canonical_bytes()).collect::<Vec<_>>().iter().map(|v| v.as_slice()))
+    sha256_concat(
+        txns.iter()
+            .map(|t| t.canonical_bytes())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|v| v.as_slice()),
+    )
 }
 
 /// Convenience constructor: builds a [`Batch`] and fills in its digest.
@@ -69,9 +75,18 @@ mod tests {
 
     #[test]
     fn digests_are_deterministic_and_collision_free_on_distinct_inputs() {
-        assert_eq!(digest_transaction(&txn(1, 1)), digest_transaction(&txn(1, 1)));
-        assert_ne!(digest_transaction(&txn(1, 1)), digest_transaction(&txn(1, 2)));
-        assert_ne!(digest_transaction(&txn(1, 1)), digest_transaction(&txn(2, 1)));
+        assert_eq!(
+            digest_transaction(&txn(1, 1)),
+            digest_transaction(&txn(1, 1))
+        );
+        assert_ne!(
+            digest_transaction(&txn(1, 1)),
+            digest_transaction(&txn(1, 2))
+        );
+        assert_ne!(
+            digest_transaction(&txn(1, 1)),
+            digest_transaction(&txn(2, 1))
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl KeyStore {
     /// `clients` clients.
     pub fn generate(replicas: usize, clients: usize) -> Self {
         let mut rng = rand::rngs::OsRng;
-        let replica_keys = (0..replicas).map(|_| SigningKey::generate(&mut rng)).collect();
+        let replica_keys = (0..replicas)
+            .map(|_| SigningKey::generate(&mut rng))
+            .collect();
         let client_keys = (0..clients as u64)
             .map(|c| (c, SigningKey::generate(&mut rng)))
             .collect();
@@ -51,7 +53,9 @@ impl KeyStore {
             bytes[8..16].copy_from_slice(&seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
             SigningKey::from_bytes(&bytes)
         }
-        let replica_keys = (0..replicas as u64).map(|i| key_from_seed(0x1000 + i)).collect();
+        let replica_keys = (0..replicas as u64)
+            .map(|i| key_from_seed(0x1000 + i))
+            .collect();
         let client_keys = (0..clients as u64)
             .map(|c| (c, key_from_seed(0x2000_0000 + c)))
             .collect();
@@ -105,7 +109,11 @@ impl KeyStore {
     /// check signatures without holding private keys.
     pub fn public_ring(&self) -> PublicKeyRing {
         PublicKeyRing {
-            replicas: self.replica_keys.iter().map(SigningKey::verifying_key).collect(),
+            replicas: self
+                .replica_keys
+                .iter()
+                .map(SigningKey::verifying_key)
+                .collect(),
             clients: self
                 .client_keys
                 .iter()

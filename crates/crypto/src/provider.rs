@@ -4,57 +4,12 @@ use crate::keys::KeyStore;
 use crate::stats::{CryptoOp, CryptoStats};
 use ed25519_dalek::{Signer as DalekSigner, Verifier};
 use flexitrust_types::{Error, NodeId, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A detached Ed25519-sized signature (64 bytes).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature(pub [u8; 64]);
-
-impl Serialize for Signature {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
-        serializer.serialize_bytes(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Signature {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        struct SigVisitor;
-        impl<'de> serde::de::Visitor<'de> for SigVisitor {
-            type Value = Signature;
-
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("64 signature bytes")
-            }
-
-            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> std::result::Result<Signature, E> {
-                if v.len() != 64 {
-                    return Err(E::invalid_length(v.len(), &self));
-                }
-                let mut out = [0u8; 64];
-                out.copy_from_slice(v);
-                Ok(Signature(out))
-            }
-
-            fn visit_seq<A: serde::de::SeqAccess<'de>>(
-                self,
-                mut seq: A,
-            ) -> std::result::Result<Signature, A::Error> {
-                let mut out = [0u8; 64];
-                for (i, slot) in out.iter_mut().enumerate() {
-                    *slot = seq
-                        .next_element()?
-                        .ok_or_else(|| serde::de::Error::invalid_length(i, &self))?;
-                }
-                Ok(Signature(out))
-            }
-        }
-        deserializer.deserialize_bytes(SigVisitor)
-    }
-}
 
 impl Signature {
     /// The all-zero signature, used as a placeholder by the counting provider.
@@ -85,7 +40,7 @@ impl fmt::Debug for Signature {
 }
 
 /// A message authentication code (HMAC-SHA256 output, 32 bytes).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Mac(pub [u8; 32]);
 
 impl fmt::Debug for Mac {
@@ -151,9 +106,10 @@ impl CryptoProvider for RealCrypto {
         self.stats.record(CryptoOp::Verify);
         let key = self.keys.verifying_key(signer)?;
         let sig = ed25519_dalek::Signature::from_bytes(signature.as_bytes());
-        key.verify(bytes, &sig).map_err(|_| Error::InvalidSignature {
-            context: format!("ed25519 verification failed for {signer}"),
-        })
+        key.verify(bytes, &sig)
+            .map_err(|_| Error::InvalidSignature {
+                context: format!("ed25519 verification failed for {signer}"),
+            })
     }
 
     fn mac(&self, from: NodeId, to: NodeId, bytes: &[u8]) -> Result<Mac> {
@@ -238,7 +194,10 @@ impl CryptoProvider for CountingCrypto {
 
     fn mac(&self, from: NodeId, to: NodeId, bytes: &[u8]) -> Result<Mac> {
         self.stats.record(CryptoOp::MacCompute);
-        let fp = Self::fingerprint(Self::node_salt(from) ^ Self::node_salt(to).rotate_left(17), bytes);
+        let fp = Self::fingerprint(
+            Self::node_salt(from) ^ Self::node_salt(to).rotate_left(17),
+            bytes,
+        );
         let mut mac = [0u8; 32];
         mac[..8].copy_from_slice(&fp.to_le_bytes());
         Ok(Mac(mac))
@@ -247,7 +206,10 @@ impl CryptoProvider for CountingCrypto {
     fn verify_mac(&self, from: NodeId, to: NodeId, bytes: &[u8], mac: &Mac) -> Result<()> {
         self.stats.record(CryptoOp::MacVerify);
         let expected = {
-            let fp = Self::fingerprint(Self::node_salt(from) ^ Self::node_salt(to).rotate_left(17), bytes);
+            let fp = Self::fingerprint(
+                Self::node_salt(from) ^ Self::node_salt(to).rotate_left(17),
+                bytes,
+            );
             let mut m = [0u8; 32];
             m[..8].copy_from_slice(&fp.to_le_bytes());
             Mac(m)

@@ -51,7 +51,7 @@ impl CheckpointLog {
 
     /// Returns `true` when `seq` is a checkpoint boundary.
     pub fn is_checkpoint_seq(&self, seq: SeqNum) -> bool {
-        seq.0 > 0 && seq.0 % self.interval == 0
+        seq.0 > 0 && seq.0.is_multiple_of(self.interval)
     }
 
     /// The current stable checkpoint, if any.

@@ -188,7 +188,10 @@ mod tests {
         let mut store = KvStore::with_dataset(10, 4);
         let before = store.state_digest();
         assert_eq!(store.apply(&KvOp::Noop), KvResult::Noop);
-        assert_eq!(store.apply(&KvOp::Read { key: 3 }), KvResult::Value(Some(store.get(3).unwrap().clone())));
+        assert_eq!(
+            store.apply(&KvOp::Read { key: 3 }),
+            KvResult::Value(Some(store.get(3).unwrap().clone()))
+        );
         assert_eq!(store.state_digest(), before);
     }
 

@@ -1,0 +1,463 @@
+//! The shared engine-hosting layer.
+//!
+//! Three environments drive [`ConsensusEngine`]s in this workspace: the
+//! discrete-event simulator (`flexitrust-sim`), the threaded runtime
+//! (`flexitrust-runtime`) and the adversarial attack harness
+//! (`flexitrust-attacks`). Historically each re-implemented the
+//! [`Action`]-to-effect translation by hand, which meant every new action
+//! kind, timer rule or accounting hook had to be patched in three places.
+//!
+//! This crate centralises that translation:
+//!
+//! * [`EngineHost`] is the environment contract — the handful of primitives
+//!   an environment must supply (deliver a message, deliver a reply, schedule
+//!   a timer) plus optional accounting hooks (per-action CPU cost, batch
+//!   start) that only the simulator implements.
+//! * [`Dispatcher`] owns the **single** `Action` dispatch site in the
+//!   workspace: it drains an engine's [`Outbox`], performs timer-token
+//!   bookkeeping (so stale timer expirations are ignored uniformly across
+//!   hosts), totals the CPU cost of the emitted actions, and hands each
+//!   effect to the environment in emission order.
+//!
+//! Environments implement only what is genuinely environment-specific:
+//! scheduling an event (simulator), sending on a channel (runtime), or
+//! recording into an observation log (attack harness).
+
+use flexitrust_protocol::{Action, ClientReply, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_types::{ClientId, ReplicaId, RequestId, SeqNum, Transaction};
+use std::collections::HashMap;
+
+/// One committed transaction, as observed by its issuing client: the
+/// consensus slot it executed at and its identity.
+///
+/// Both the simulator and the threaded runtime report their commit sequence
+/// in this form, so cross-host tests can assert that the same workload
+/// commits identically regardless of which environment hosts the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CommittedTxn {
+    /// The sequence number the transaction executed at.
+    pub seq: SeqNum,
+    /// The issuing client.
+    pub client: ClientId,
+    /// The client's request id.
+    pub request: RequestId,
+}
+
+/// An opaque handle identifying one arming of a timer.
+///
+/// Every `SetTimer` action is tagged with a fresh token; when the
+/// environment's clock fires, it hands the token back to
+/// [`Dispatcher::timer_expired`], which only forwards the expiry to the
+/// engine if that token is still the most recent arming (re-arming or
+/// cancelling invalidates older tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+impl TimerToken {
+    /// The raw token value (for compact storage in host event structures).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The primitives an engine-hosting environment supplies.
+///
+/// Only [`send`](EngineHost::send), [`reply`](EngineHost::reply) and
+/// [`schedule_timer`](EngineHost::schedule_timer) are required; the
+/// accounting hooks default to no-ops so that environments without a cost
+/// model (the threaded runtime, the attack harness) implement nothing extra.
+pub trait EngineHost {
+    /// Deliver `msg` from `from` to `to` over this environment's network.
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message);
+
+    /// Deliver `msg` from `from` to every replica (the sender included, so
+    /// engines handle their own votes uniformly). The default fans out to
+    /// [`send`](EngineHost::send); environments override it when a broadcast
+    /// is observed as one event (e.g. vote counting in the attack harness).
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+        for to in 0..replicas {
+            self.send(from, ReplicaId(to as u32), msg.clone());
+        }
+    }
+
+    /// Deliver a client reply emitted by `from`.
+    fn reply(&mut self, from: ReplicaId, reply: ClientReply);
+
+    /// Arm `timer` for `replica` to fire after `delay_us` microseconds on
+    /// this environment's clock, tagged with `token` for later validation
+    /// through [`Dispatcher::timer_expired`].
+    fn schedule_timer(
+        &mut self,
+        replica: ReplicaId,
+        timer: TimerKind,
+        delay_us: u64,
+        token: TimerToken,
+    );
+
+    /// A pending `timer` of `replica` was cancelled. Environments that keep
+    /// their own deadline queues may drop the entry; token validation makes
+    /// this purely an optimisation.
+    fn timer_cancelled(&mut self, _replica: ReplicaId, _timer: TimerKind) {}
+
+    /// The batch at `seq` (containing `txns` transactions) was executed at
+    /// `replica`. Metrics only.
+    fn executed(&mut self, _replica: ReplicaId, _seq: SeqNum, _txns: usize) {}
+
+    /// CPU cost (ns) of preparing and sending `msg` to `destinations`
+    /// replicas; summed over a dispatch batch and reported to
+    /// [`begin_batch`](EngineHost::begin_batch).
+    fn send_cost_ns(&self, _msg: &Message, _destinations: usize) -> u64 {
+        0
+    }
+
+    /// CPU cost (ns) of executing `txns` transactions.
+    fn execution_cost_ns(&self, _txns: usize) -> u64 {
+        0
+    }
+
+    /// Called once per dispatch batch, before any effect is emitted, with
+    /// the summed CPU cost of the batch's actions. The simulator computes
+    /// the invocation's departure time here; other environments ignore it.
+    fn begin_batch(&mut self, _from: ReplicaId, _actions_cost_ns: u64) {}
+}
+
+/// Host-internal intermediate form of one action: the single `Action` match
+/// below converts into this so effects can be emitted *after* the batch cost
+/// is known, while preserving the engine's emission order.
+enum Effect {
+    Send { to: ReplicaId, msg: Message },
+    Broadcast { msg: Message },
+    Reply { reply: ClientReply },
+    SetTimer { timer: TimerKind, delay_us: u64 },
+    CancelTimer { timer: TimerKind },
+    Executed { seq: SeqNum, txns: usize },
+}
+
+/// Translates engine [`Action`]s into [`EngineHost`] primitives and owns the
+/// timer-token bookkeeping shared by every host.
+///
+/// One `Dispatcher` serves a whole cluster in single-threaded hosts (the
+/// simulator, the attack harness); the threaded runtime creates one per
+/// replica thread, each tracking only that replica's timers.
+#[derive(Debug)]
+pub struct Dispatcher {
+    replicas: usize,
+    armed: HashMap<(ReplicaId, TimerKind), u64>,
+    next_token: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for a cluster of `replicas` replicas.
+    pub fn new(replicas: usize) -> Self {
+        Dispatcher {
+            replicas,
+            armed: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Number of replicas broadcasts fan out to.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Returns `true` when `timer` is currently armed for `replica`.
+    pub fn timer_armed(&self, replica: ReplicaId, timer: TimerKind) -> bool {
+        self.armed.contains_key(&(replica, timer))
+    }
+
+    /// Drives `engine` with arriving client transactions and dispatches the
+    /// resulting actions into `env`.
+    pub fn client_request<E: EngineHost>(
+        &mut self,
+        engine: &mut dyn ConsensusEngine,
+        txns: Vec<Transaction>,
+        env: &mut E,
+    ) {
+        let from = engine.id();
+        let mut out = Outbox::new();
+        engine.on_client_request(txns, &mut out);
+        self.dispatch(from, out.drain(), env);
+    }
+
+    /// Delivers a peer message to `engine` and dispatches the resulting
+    /// actions into `env`.
+    pub fn deliver<E: EngineHost>(
+        &mut self,
+        engine: &mut dyn ConsensusEngine,
+        from: ReplicaId,
+        msg: Message,
+        env: &mut E,
+    ) {
+        let replica = engine.id();
+        let mut out = Outbox::new();
+        engine.on_message(from, msg, &mut out);
+        self.dispatch(replica, out.drain(), env);
+    }
+
+    /// Handles a timer expiry: if `token` is still the current arming of
+    /// `timer` at the engine's replica, disarms it, forwards the expiry to
+    /// the engine and dispatches the resulting actions, returning `true`.
+    /// Stale tokens (the timer was re-armed or cancelled since) return
+    /// `false` without touching the engine.
+    pub fn timer_expired<E: EngineHost>(
+        &mut self,
+        engine: &mut dyn ConsensusEngine,
+        timer: TimerKind,
+        token: TimerToken,
+        env: &mut E,
+    ) -> bool {
+        let replica = engine.id();
+        if self.armed.get(&(replica, timer)) != Some(&token.0) {
+            return false;
+        }
+        self.armed.remove(&(replica, timer));
+        self.fire_timer(engine, timer, env);
+        true
+    }
+
+    /// Forces a timer expiry regardless of arming state (the attack harness
+    /// models the client-complaint path by firing view-change timers
+    /// directly).
+    pub fn fire_timer<E: EngineHost>(
+        &mut self,
+        engine: &mut dyn ConsensusEngine,
+        timer: TimerKind,
+        env: &mut E,
+    ) {
+        let replica = engine.id();
+        self.armed.remove(&(replica, timer));
+        let mut out = Outbox::new();
+        engine.on_timer(timer, &mut out);
+        self.dispatch(replica, out.drain(), env);
+    }
+
+    /// Translates `actions` emitted by `from` into environment primitives.
+    ///
+    /// This is the single `Action` dispatch site in the workspace. The match
+    /// runs once per action, accumulating the batch's CPU cost and an
+    /// order-preserving effect list; `env.begin_batch` then fixes the batch's
+    /// departure point before the effects are emitted.
+    pub fn dispatch<E: EngineHost>(&mut self, from: ReplicaId, actions: Vec<Action>, env: &mut E) {
+        let replicas = self.replicas;
+        let mut cost_ns = 0u64;
+        let mut effects = Vec::with_capacity(actions.len());
+        for action in actions {
+            effects.push(match action {
+                Action::Send { to, msg } => {
+                    cost_ns += env.send_cost_ns(&msg, 1);
+                    Effect::Send { to, msg }
+                }
+                Action::Broadcast { msg } => {
+                    cost_ns += env.send_cost_ns(&msg, replicas.saturating_sub(1));
+                    Effect::Broadcast { msg }
+                }
+                Action::Reply { reply } => Effect::Reply { reply },
+                Action::SetTimer { timer, delay_us } => Effect::SetTimer { timer, delay_us },
+                Action::CancelTimer { timer } => Effect::CancelTimer { timer },
+                Action::Executed { seq, txns } => {
+                    cost_ns += env.execution_cost_ns(txns);
+                    Effect::Executed { seq, txns }
+                }
+            });
+        }
+        env.begin_batch(from, cost_ns);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => env.send(from, to, msg),
+                Effect::Broadcast { msg } => env.broadcast(from, replicas, msg),
+                Effect::Reply { reply } => env.reply(from, reply),
+                Effect::SetTimer { timer, delay_us } => {
+                    self.next_token += 1;
+                    let token = TimerToken(self.next_token);
+                    self.armed.insert((from, timer), token.0);
+                    env.schedule_timer(from, timer, delay_us, token);
+                }
+                Effect::CancelTimer { timer } => {
+                    self.armed.remove(&(from, timer));
+                    env.timer_cancelled(from, timer);
+                }
+                Effect::Executed { seq, txns } => env.executed(from, seq, txns),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_types::{Digest, View};
+
+    #[derive(Default)]
+    struct RecordingEnv {
+        sends: Vec<(ReplicaId, ReplicaId, String)>,
+        replies: u64,
+        scheduled: Vec<(ReplicaId, TimerKind, u64, TimerToken)>,
+        cancelled: Vec<TimerKind>,
+        executed: Vec<(SeqNum, usize)>,
+        batches: Vec<u64>,
+    }
+
+    impl EngineHost for RecordingEnv {
+        fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+            self.sends.push((from, to, msg.kind().to_string()));
+        }
+
+        fn reply(&mut self, _from: ReplicaId, _reply: ClientReply) {
+            self.replies += 1;
+        }
+
+        fn schedule_timer(
+            &mut self,
+            replica: ReplicaId,
+            timer: TimerKind,
+            delay_us: u64,
+            token: TimerToken,
+        ) {
+            self.scheduled.push((replica, timer, delay_us, token));
+        }
+
+        fn timer_cancelled(&mut self, _replica: ReplicaId, timer: TimerKind) {
+            self.cancelled.push(timer);
+        }
+
+        fn executed(&mut self, _replica: ReplicaId, seq: SeqNum, txns: usize) {
+            self.executed.push((seq, txns));
+        }
+
+        fn send_cost_ns(&self, _msg: &Message, destinations: usize) -> u64 {
+            100 * destinations as u64
+        }
+
+        fn execution_cost_ns(&self, txns: usize) -> u64 {
+            10 * txns as u64
+        }
+
+        fn begin_batch(&mut self, _from: ReplicaId, cost: u64) {
+            self.batches.push(cost);
+        }
+    }
+
+    fn msg() -> Message {
+        Message::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            attestation: None,
+        }
+    }
+
+    #[test]
+    fn dispatch_fans_out_and_totals_costs() {
+        let mut dispatcher = Dispatcher::new(4);
+        let mut env = RecordingEnv::default();
+        let actions = vec![
+            Action::Broadcast { msg: msg() },
+            Action::Send {
+                to: ReplicaId(2),
+                msg: msg(),
+            },
+            Action::Executed {
+                seq: SeqNum(1),
+                txns: 5,
+            },
+        ];
+        dispatcher.dispatch(ReplicaId(0), actions, &mut env);
+        // Broadcast reaches all four replicas (sender included) plus the
+        // unicast.
+        assert_eq!(env.sends.len(), 5);
+        assert_eq!(env.sends[4], (ReplicaId(0), ReplicaId(2), "Prepare".into()));
+        // Cost: broadcast to n-1 destinations (300) + unicast (100) + 5 txns
+        // executed (50), reported before any effect.
+        assert_eq!(env.batches, vec![450]);
+        assert_eq!(env.executed, vec![(SeqNum(1), 5)]);
+    }
+
+    #[test]
+    fn timer_tokens_invalidate_stale_expirations() {
+        let mut dispatcher = Dispatcher::new(4);
+        let mut env = RecordingEnv::default();
+        dispatcher.dispatch(
+            ReplicaId(1),
+            vec![Action::SetTimer {
+                timer: TimerKind::ViewChange,
+                delay_us: 500,
+            }],
+            &mut env,
+        );
+        let first = env.scheduled[0].3;
+        assert!(dispatcher.timer_armed(ReplicaId(1), TimerKind::ViewChange));
+
+        // Re-arm: the first token becomes stale.
+        dispatcher.dispatch(
+            ReplicaId(1),
+            vec![Action::SetTimer {
+                timer: TimerKind::ViewChange,
+                delay_us: 900,
+            }],
+            &mut env,
+        );
+        let second = env.scheduled[1].3;
+        assert_ne!(first, second);
+
+        struct NoTimerEngine(ReplicaId, flexitrust_types::SystemConfig, u32);
+        impl ConsensusEngine for NoTimerEngine {
+            fn config(&self) -> &flexitrust_types::SystemConfig {
+                &self.1
+            }
+            fn id(&self) -> ReplicaId {
+                self.0
+            }
+            fn properties(&self) -> flexitrust_protocol::ProtocolProperties {
+                flexitrust_protocol::ProtocolProperties::for_protocol(
+                    flexitrust_types::ProtocolId::Pbft,
+                )
+            }
+            fn on_client_request(&mut self, _txns: Vec<Transaction>, _out: &mut Outbox) {}
+            fn on_message(&mut self, _from: ReplicaId, _msg: Message, _out: &mut Outbox) {}
+            fn on_timer(&mut self, _timer: TimerKind, _out: &mut Outbox) {
+                self.2 += 1;
+            }
+            fn view(&self) -> View {
+                View(0)
+            }
+            fn last_executed(&self) -> SeqNum {
+                SeqNum(0)
+            }
+            fn executed_txns(&self) -> u64 {
+                0
+            }
+        }
+        let mut engine = NoTimerEngine(
+            ReplicaId(1),
+            flexitrust_types::SystemConfig::for_protocol(flexitrust_types::ProtocolId::Pbft, 1),
+            0,
+        );
+        assert!(!dispatcher.timer_expired(&mut engine, TimerKind::ViewChange, first, &mut env));
+        assert_eq!(engine.2, 0, "stale token must not reach the engine");
+        assert!(dispatcher.timer_expired(&mut engine, TimerKind::ViewChange, second, &mut env));
+        assert_eq!(engine.2, 1);
+        assert!(!dispatcher.timer_armed(ReplicaId(1), TimerKind::ViewChange));
+    }
+
+    #[test]
+    fn cancel_removes_arming_and_notifies_env() {
+        let mut dispatcher = Dispatcher::new(3);
+        let mut env = RecordingEnv::default();
+        dispatcher.dispatch(
+            ReplicaId(0),
+            vec![
+                Action::SetTimer {
+                    timer: TimerKind::BatchFlush,
+                    delay_us: 100,
+                },
+                Action::CancelTimer {
+                    timer: TimerKind::BatchFlush,
+                },
+            ],
+            &mut env,
+        );
+        assert!(!dispatcher.timer_armed(ReplicaId(0), TimerKind::BatchFlush));
+        assert_eq!(env.cancelled, vec![TimerKind::BatchFlush]);
+    }
+}

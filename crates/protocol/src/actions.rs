@@ -171,7 +171,13 @@ mod tests {
         let actions = out.drain();
         assert_eq!(actions.len(), 4);
         assert!(matches!(actions[0], Action::Broadcast { .. }));
-        assert!(matches!(actions[1], Action::Send { to: ReplicaId(2), .. }));
+        assert!(matches!(
+            actions[1],
+            Action::Send {
+                to: ReplicaId(2),
+                ..
+            }
+        ));
         assert!(matches!(actions[2], Action::SetTimer { .. }));
         assert!(matches!(actions[3], Action::Executed { txns: 5, .. }));
         assert!(out.is_empty());

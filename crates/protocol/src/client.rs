@@ -9,7 +9,9 @@
 //! fast-path-fallback behaviour the harnesses need.
 
 use crate::messages::ClientReply;
-use flexitrust_types::{ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig};
+use flexitrust_types::{
+    ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// Progress of one outstanding request.
@@ -143,8 +145,15 @@ impl ClientLibrary {
         let entry = self.pending.entry(reply.request).or_default();
         let key = (reply.seq, result_key(&reply.result));
         if !entry.complete {
-            entry.results.entry(key.clone()).or_insert_with(|| reply.result.clone());
-            entry.votes.entry(key.clone()).or_default().insert(reply.replica);
+            entry
+                .results
+                .entry(key.clone())
+                .or_insert_with(|| reply.result.clone());
+            entry
+                .votes
+                .entry(key.clone())
+                .or_default()
+                .insert(reply.replica);
         }
         let matching = entry.votes.get(&key).map(BTreeSet::len).unwrap_or(0);
         if entry.complete {
@@ -163,10 +172,7 @@ impl ClientLibrary {
                 matching,
             }
         } else {
-            RequestStatus::Pending {
-                matching,
-                needed,
-            }
+            RequestStatus::Pending { matching, needed }
         }
     }
 
@@ -232,14 +238,23 @@ mod tests {
         lib.begin(RequestId(1));
         assert_eq!(
             lib.on_reply(&reply(0, 1, 5, 9)),
-            RequestStatus::Pending { matching: 1, needed: 3 }
+            RequestStatus::Pending {
+                matching: 1,
+                needed: 3
+            }
         );
         assert_eq!(
             lib.on_reply(&reply(1, 1, 5, 9)),
-            RequestStatus::Pending { matching: 2, needed: 3 }
+            RequestStatus::Pending {
+                matching: 2,
+                needed: 3
+            }
         );
         let status = lib.on_reply(&reply(2, 1, 5, 9));
-        assert!(matches!(status, RequestStatus::Complete { matching: 3, .. }));
+        assert!(matches!(
+            status,
+            RequestStatus::Complete { matching: 3, .. }
+        ));
         assert_eq!(lib.completed(), 1);
     }
 
@@ -252,7 +267,13 @@ mod tests {
         lib.on_reply(&reply(2, 1, 6, 1)); // different seq
         let status = lib.on_reply(&reply(3, 1, 5, 1));
         // Only replicas 0 and 3 agree exactly; still pending.
-        assert_eq!(status, RequestStatus::Pending { matching: 2, needed: 3 });
+        assert_eq!(
+            status,
+            RequestStatus::Pending {
+                matching: 2,
+                needed: 3
+            }
+        );
     }
 
     #[test]
@@ -261,7 +282,13 @@ mod tests {
         lib.begin(RequestId(1));
         lib.on_reply(&reply(0, 1, 5, 1));
         let status = lib.on_reply(&reply(0, 1, 5, 1));
-        assert_eq!(status, RequestStatus::Pending { matching: 1, needed: 3 });
+        assert_eq!(
+            status,
+            RequestStatus::Pending {
+                matching: 1,
+                needed: 3
+            }
+        );
     }
 
     #[test]
@@ -293,7 +320,10 @@ mod tests {
         }
         assert_eq!(lib.outstanding(), 1);
         let status = lib.try_fallback_complete(RequestId(1)).unwrap();
-        assert!(matches!(status, RequestStatus::Complete { matching: 5, .. }));
+        assert!(matches!(
+            status,
+            RequestStatus::Complete { matching: 5, .. }
+        ));
         assert!(lib.try_fallback_complete(RequestId(1)).is_none());
     }
 

@@ -83,6 +83,9 @@ mod tests {
         set.insert(TimerKind::RequestForwarded(7));
         set.insert(TimerKind::RequestForwarded(7));
         assert_eq!(set.len(), 3);
-        assert_ne!(TimerKind::RequestForwarded(1), TimerKind::RequestForwarded(2));
+        assert_ne!(
+            TimerKind::RequestForwarded(1),
+            TimerKind::RequestForwarded(2)
+        );
     }
 }

@@ -52,6 +52,22 @@ pub struct ClientReply {
     pub speculative: bool,
 }
 
+impl ClientReply {
+    /// Wire size of the reply in bytes: client + request + seq + view +
+    /// replica + speculative flag, the channel MAC, and the execution
+    /// result's payload. Feeds the simulator's client-link bandwidth model.
+    pub fn wire_size_bytes(&self) -> usize {
+        const FIELDS: usize = 8 + 8 + 8 + 8 + 4 + 1;
+        const MAC: usize = 32;
+        let result = match &self.result {
+            KvResult::Value(v) => 1 + v.as_ref().map_or(0, Vec::len),
+            KvResult::Written | KvResult::Noop => 1,
+            KvResult::Range(rows) => 1 + rows.iter().map(|(_, v)| 8 + v.len()).sum::<usize>(),
+        };
+        FIELDS + MAC + result
+    }
+}
+
 /// Protocol messages exchanged between replicas (and, for
 /// [`Message::ClientRetry`], from clients to replicas).
 #[derive(Debug, Clone, PartialEq)]
@@ -198,30 +214,51 @@ impl Message {
         }
     }
 
-    /// Approximate wire size in bytes, used by the simulator's bandwidth and
-    /// per-byte CPU models.
-    pub fn wire_size(&self) -> usize {
-        const HEADER: usize = 48; // kind, view, seq, sender, MAC.
-        const ATTEST: usize = 117;
+    /// Wire size of the message in bytes, derived from the real payload
+    /// sizes: batch/transaction bytes, digests, the channel MAC, and the
+    /// exact attestation encoding defined by the trusted substrate
+    /// ([`Attestation::WIRE_SIZE`]). The simulator's bandwidth model
+    /// (delivery time = latency + size/bandwidth) and per-byte CPU model
+    /// both consume this.
+    pub fn wire_size_bytes(&self) -> usize {
+        // Kind tag + view + seq + sender id.
+        const FIELDS: usize = 4 + 8 + 8 + 4;
+        // HMAC-SHA256 channel authenticator.
+        const MAC: usize = 32;
+        const HEADER: usize = FIELDS + MAC;
+        const ATTEST: usize = Attestation::WIRE_SIZE;
+        const DIGEST: usize = 32;
         match self {
-            Message::PrePrepare { batch, attestation, .. } => {
-                HEADER + batch.wire_size() + attestation.as_ref().map_or(0, |_| ATTEST)
-            }
+            Message::PrePrepare {
+                batch, attestation, ..
+            } => HEADER + batch.wire_size() + attestation.as_ref().map_or(0, |_| ATTEST),
             Message::Prepare { attestation, .. } | Message::Commit { attestation, .. } => {
-                HEADER + 32 + attestation.as_ref().map_or(0, |_| ATTEST)
+                HEADER + DIGEST + attestation.as_ref().map_or(0, |_| ATTEST)
             }
             Message::Checkpoint { attestation, .. } => {
-                HEADER + 32 + attestation.as_ref().map_or(0, |_| ATTEST)
+                HEADER + DIGEST + attestation.as_ref().map_or(0, |_| ATTEST)
             }
             Message::ViewChange { prepared, .. } => {
                 HEADER
                     + prepared
                         .iter()
-                        .map(|p| 48 + p.batch.wire_size() + p.attestation.as_ref().map_or(0, |_| ATTEST))
+                        .map(|p| {
+                            // Per-proof header (view + seq + digest) plus the
+                            // re-proposable batch and its attestation.
+                            8 + 8
+                                + DIGEST
+                                + p.batch.wire_size()
+                                + p.attestation.as_ref().map_or(0, |_| ATTEST)
+                        })
                         .sum::<usize>()
             }
-            Message::NewView { proposals, .. } => {
+            Message::NewView {
+                proposals,
+                counter_attestation,
+                ..
+            } => {
                 HEADER
+                    + counter_attestation.as_ref().map_or(0, |_| ATTEST)
                     + proposals
                         .iter()
                         .map(|(_, b, a)| 8 + b.wire_size() + a.as_ref().map_or(0, |_| ATTEST))
@@ -351,14 +388,43 @@ mod tests {
             batch: batch(),
             attestation: Some(attestation()),
         };
-        assert!(preprepare.wire_size() > small.wire_size());
+        assert!(preprepare.wire_size_bytes() > small.wire_size_bytes());
         let attested_prepare = Message::Prepare {
             view: View(0),
             seq: SeqNum(1),
             digest: Digest::ZERO,
             attestation: Some(attestation()),
         };
-        assert!(attested_prepare.wire_size() > small.wire_size());
+        assert!(attested_prepare.wire_size_bytes() > small.wire_size_bytes());
+    }
+
+    #[test]
+    fn wire_size_bytes_accounts_for_attestations_and_batch_bytes() {
+        let plain = Message::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            attestation: None,
+        };
+        let attested = Message::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            attestation: Some(attestation()),
+        };
+        // An attestation adds exactly its trusted-substrate encoding.
+        assert_eq!(
+            attested.wire_size_bytes() - plain.wire_size_bytes(),
+            Attestation::WIRE_SIZE
+        );
+        // A pre-prepare carries the whole batch.
+        let preprepare = Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            batch: batch(),
+            attestation: None,
+        };
+        assert!(preprepare.wire_size_bytes() >= plain.wire_size_bytes() - 32 + batch().wire_size());
     }
 
     #[test]
@@ -371,5 +437,17 @@ mod tests {
         };
         assert_eq!(nv.attestation_count(), 2);
         assert_eq!(nv.kind(), "NewView");
+        // Every attestation the receiver verifies is also on the wire: the
+        // counter attestation contributes exactly its encoding.
+        let without_counter = Message::NewView {
+            view: View(2),
+            supporting_votes: 5,
+            proposals: vec![(SeqNum(1), batch(), Some(attestation()))],
+            counter_attestation: None,
+        };
+        assert_eq!(
+            nv.wire_size_bytes() - without_counter.wire_size_bytes(),
+            Attestation::WIRE_SIZE
+        );
     }
 }

@@ -305,11 +305,26 @@ mod tests {
     #[test]
     fn reply_quorums_match_paper() {
         use flexitrust_types::QuorumRule as Q;
-        assert_eq!(ProtocolProperties::for_protocol(P::Zyzzyva).reply_quorum, Q::AllReplicas);
-        assert_eq!(ProtocolProperties::for_protocol(P::MinZz).reply_quorum, Q::AllReplicas);
-        assert_eq!(ProtocolProperties::for_protocol(P::FlexiZz).reply_quorum, Q::TwoFPlusOne);
-        assert_eq!(ProtocolProperties::for_protocol(P::FlexiBft).reply_quorum, Q::FPlusOne);
-        assert_eq!(ProtocolProperties::for_protocol(P::MinBft).reply_quorum, Q::FPlusOne);
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::Zyzzyva).reply_quorum,
+            Q::AllReplicas
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::MinZz).reply_quorum,
+            Q::AllReplicas
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::FlexiZz).reply_quorum,
+            Q::TwoFPlusOne
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::FlexiBft).reply_quorum,
+            Q::FPlusOne
+        );
+        assert_eq!(
+            ProtocolProperties::for_protocol(P::MinBft).reply_quorum,
+            Q::FPlusOne
+        );
     }
 
     #[test]

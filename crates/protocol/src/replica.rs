@@ -10,9 +10,7 @@ use crate::actions::Outbox;
 use crate::batcher::Batcher;
 use crate::messages::{ClientReply, Message};
 use flexitrust_exec::{CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
-use flexitrust_types::{
-    Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View,
-};
+use flexitrust_types::{Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View};
 use std::collections::HashMap;
 
 /// Common replica state embedded by every protocol engine.
@@ -235,7 +233,9 @@ mod tests {
     fn commit_batch_executes_in_order_and_replies() {
         let mut c = core();
         let mut out = Outbox::new();
-        assert!(c.commit_batch(SeqNum(2), batch(2), false, &mut out).is_empty());
+        assert!(c
+            .commit_batch(SeqNum(2), batch(2), false, &mut out)
+            .is_empty());
         assert_eq!(out.replies().len(), 0);
         let executed = c.commit_batch(SeqNum(1), batch(1), false, &mut out);
         assert_eq!(executed.len(), 2);

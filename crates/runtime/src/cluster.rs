@@ -3,13 +3,12 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzyva};
 use flexitrust_core::{FlexiBft, FlexiZz};
+use flexitrust_host::{CommittedTxn, Dispatcher, EngineHost, TimerToken};
 use flexitrust_protocol::{
-    Action, ClientLibrary, ClientReply, ConsensusEngine, Message, Outbox, RequestStatus, TimerKind,
+    ClientLibrary, ClientReply, ConsensusEngine, Message, RequestStatus, TimerKind,
 };
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry};
-use flexitrust_types::{
-    ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction,
-};
+use flexitrust_types::{ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,6 +31,9 @@ pub struct ClusterSummary {
     pub throughput_tps: f64,
     /// Number of replicas in the cluster.
     pub n: usize,
+    /// Every completed transaction with the sequence number it executed at,
+    /// sorted by sequence; comparable against the simulator's commit log.
+    pub commit_log: Vec<CommittedTxn>,
 }
 
 /// A running in-process cluster for one protocol.
@@ -127,7 +129,7 @@ impl Cluster {
             let peers = inbox_txs.clone();
             let replies = reply_tx.clone();
             handles.push(std::thread::spawn(move || {
-                replica_loop(&mut *engine, id, rx, peers, replies);
+                replica_loop(&mut *engine, rx, peers, replies);
             }));
         }
 
@@ -185,7 +187,10 @@ impl Cluster {
                     value: vec![i as u8; 16],
                 },
             );
-            libraries.get_mut(&client.0).expect("library exists").begin(request);
+            libraries
+                .get_mut(&client.0)
+                .expect("library exists")
+                .begin(request);
             submitted.push(txn);
         }
         for chunk in submitted.chunks(self.config.batch_size.max(1)) {
@@ -193,14 +198,25 @@ impl Cluster {
         }
 
         let mut completed = 0u64;
+        let mut commit_log: Vec<CommittedTxn> = Vec::with_capacity(total_txns);
         while completed < total_txns as u64 && start.elapsed() < timeout {
             match self.replies.recv_timeout(Duration::from_millis(50)) {
                 Ok(reply) => {
                     if let Some(library) = libraries.get_mut(&reply.client.0) {
-                        if let RequestStatus::Complete { matching, .. } = library.on_reply(&reply)
-                        {
-                            if matching == library.needed() {
+                        // Count a request exactly when it first completes;
+                        // late duplicate replies also report `Complete` (with
+                        // the same matching count), so the status alone would
+                        // overcount under load.
+                        let before = library.completed();
+                        let status = library.on_reply(&reply);
+                        if library.completed() > before {
+                            if let RequestStatus::Complete { seq, .. } = status {
                                 completed += 1;
+                                commit_log.push(CommittedTxn {
+                                    seq,
+                                    client: reply.client,
+                                    request: reply.request,
+                                });
                             }
                         }
                     }
@@ -209,11 +225,13 @@ impl Cluster {
             }
         }
         let elapsed = start.elapsed();
+        commit_log.sort_unstable();
         ClusterSummary {
             completed_txns: completed,
             throughput_tps: completed as f64 / elapsed.as_secs_f64(),
             elapsed,
             n: self.config.n,
+            commit_log,
         }
     }
 
@@ -228,66 +246,87 @@ impl Cluster {
     }
 }
 
+/// The threaded runtime's [`EngineHost`]: channel sends as the network, a
+/// per-thread deadline list as the clock. All `Action` translation and timer
+/// bookkeeping live in the shared [`Dispatcher`].
+struct ThreadEnv {
+    peers: Vec<Sender<Input>>,
+    replies: Sender<ClientReply>,
+    timers: Vec<(Instant, TimerKind, TimerToken)>,
+}
+
+impl EngineHost for ThreadEnv {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        let _ = self.peers[to.as_usize()].send(Input::Peer(from, msg));
+    }
+
+    fn reply(&mut self, _from: ReplicaId, reply: ClientReply) {
+        let _ = self.replies.send(reply);
+    }
+
+    fn schedule_timer(
+        &mut self,
+        _replica: ReplicaId,
+        timer: TimerKind,
+        delay_us: u64,
+        token: TimerToken,
+    ) {
+        // One pending deadline per timer kind: re-arming replaces the old
+        // entry (its token is already stale in the dispatcher anyway).
+        self.timers.retain(|(_, t, _)| *t != timer);
+        self.timers.push((
+            Instant::now() + Duration::from_micros(delay_us),
+            timer,
+            token,
+        ));
+    }
+
+    fn timer_cancelled(&mut self, _replica: ReplicaId, timer: TimerKind) {
+        self.timers.retain(|(_, t, _)| *t != timer);
+    }
+}
+
 fn replica_loop(
     engine: &mut dyn ConsensusEngine,
-    id: ReplicaId,
     rx: Receiver<Input>,
     peers: Vec<Sender<Input>>,
     replies: Sender<ClientReply>,
 ) {
-    let mut timers: Vec<(Instant, TimerKind)> = Vec::new();
+    let mut dispatcher = Dispatcher::new(peers.len());
+    let mut env = ThreadEnv {
+        peers,
+        replies,
+        timers: Vec::new(),
+    };
     loop {
         // Work out how long we may sleep before the next timer fires.
         let now = Instant::now();
-        let next_deadline = timers.iter().map(|(at, _)| *at).min();
+        let next_deadline = env.timers.iter().map(|(at, _, _)| *at).min();
         let wait = next_deadline
             .map(|at| at.saturating_duration_since(now))
             .unwrap_or(Duration::from_millis(5))
             .min(Duration::from_millis(5));
 
-        let mut out = Outbox::new();
         match rx.recv_timeout(wait) {
-            Ok(Input::Peer(from, msg)) => engine.on_message(from, msg, &mut out),
-            Ok(Input::Client(txns)) => engine.on_client_request(txns, &mut out),
+            Ok(Input::Peer(from, msg)) => dispatcher.deliver(engine, from, msg, &mut env),
+            Ok(Input::Client(txns)) => dispatcher.client_request(engine, txns, &mut env),
             Ok(Input::Shutdown) => return,
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         }
 
-        // Fire any due timers.
+        // Fire any due timers; the dispatcher drops expirations whose token
+        // went stale between scheduling and firing.
         let now = Instant::now();
-        let due: Vec<TimerKind> = timers
+        let due: Vec<(TimerKind, TimerToken)> = env
+            .timers
             .iter()
-            .filter(|(at, _)| *at <= now)
-            .map(|(_, t)| *t)
+            .filter(|(at, _, _)| *at <= now)
+            .map(|(_, t, token)| (*t, *token))
             .collect();
-        timers.retain(|(at, _)| *at > now);
-        for timer in due {
-            engine.on_timer(timer, &mut out);
-        }
-
-        for action in out.drain() {
-            match action {
-                Action::Send { to, msg } => {
-                    let _ = peers[to.as_usize()].send(Input::Peer(id, msg));
-                }
-                Action::Broadcast { msg } => {
-                    for peer in &peers {
-                        let _ = peer.send(Input::Peer(id, msg.clone()));
-                    }
-                }
-                Action::Reply { reply } => {
-                    let _ = replies.send(reply);
-                }
-                Action::SetTimer { timer, delay_us } => {
-                    timers.retain(|(_, t)| *t != timer);
-                    timers.push((Instant::now() + Duration::from_micros(delay_us), timer));
-                }
-                Action::CancelTimer { timer } => {
-                    timers.retain(|(_, t)| *t != timer);
-                }
-                Action::Executed { .. } => {}
-            }
+        env.timers.retain(|(at, _, _)| *at > now);
+        for (timer, token) in due {
+            dispatcher.timer_expired(engine, timer, token, &mut env);
         }
     }
 }

@@ -1,0 +1,148 @@
+//! Minimal stand-in for `criterion` (offline build). Benches compiled
+//! against it run each registered function a configurable number of times
+//! and print mean wall-clock time per iteration. No statistics, plots or
+//! baselines — just enough to keep `cargo bench` targets building and
+//! producing useful numbers.
+
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_mean_ns: 0.0,
+        }
+    }
+
+    /// Times `samples` executions of `payload`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // One warm-up execution.
+        black_box(payload());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(payload());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn print_result(name: &str, mean_ns: f64) {
+    if mean_ns >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", mean_ns / 1_000_000.0);
+    } else if mean_ns >= 1_000.0 {
+        println!("{name:<50} {:>12.3} µs/iter", mean_ns / 1_000.0);
+    } else {
+        println!("{name:<50} {:>12.1} ns/iter", mean_ns);
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(DEFAULT_SAMPLES);
+        f(&mut bencher);
+        print_result(name, bencher.last_mean_ns);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        print_result(&format!("{}/{}", self.name, name), bencher.last_mean_ns);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_payload() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("payload", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 5 + 1); // five samples plus one warm-up
+    }
+}

@@ -10,10 +10,9 @@
 //! All costs are expressed in nanoseconds of CPU time on one worker thread.
 
 use flexitrust_protocol::Message;
-use serde::{Deserialize, Serialize};
 
 /// CPU cost parameters (nanoseconds per operation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Fixed cost of receiving and dispatching any message.
     pub base_receive_ns: u64,
@@ -73,7 +72,7 @@ impl CostModel {
     /// CPU nanoseconds to receive, authenticate and process `msg`.
     pub fn receive_cost_ns(&self, msg: &Message) -> u64 {
         let mut cost = self.base_receive_ns + self.mac_verify_ns;
-        cost += (msg.wire_size() as u64 * self.per_byte_ns_x100) / 100;
+        cost += (msg.wire_size_bytes() as u64 * self.per_byte_ns_x100) / 100;
         let attestations = msg.attestation_count() as u64;
         if self.attestations_are_signed {
             cost += attestations * self.sig_verify_ns;
@@ -88,7 +87,7 @@ impl CostModel {
     /// CPU nanoseconds to prepare and send `msg` to `destinations` replicas.
     pub fn send_cost_ns(&self, msg: &Message, destinations: usize) -> u64 {
         let mut cost = destinations as u64 * self.mac_compute_ns;
-        cost += (msg.wire_size() as u64 * self.per_byte_ns_x100) / 100;
+        cost += (msg.wire_size_bytes() as u64 * self.per_byte_ns_x100) / 100;
         if let Message::PrePrepare { batch, .. } = msg {
             cost += batch.len() as u64 * self.hash_per_txn_ns;
         }
@@ -131,9 +130,7 @@ mod tests {
     fn batch(n: usize) -> flexitrust_types::Batch {
         make_batch(
             (0..n)
-                .map(|i| {
-                    Transaction::new(ClientId(1), RequestId(i as u64), KvOp::Read { key: 1 })
-                })
+                .map(|i| Transaction::new(ClientId(1), RequestId(i as u64), KvOp::Read { key: 1 }))
                 .collect(),
         )
     }
@@ -166,8 +163,7 @@ mod tests {
         let attested = attested_prepare();
         assert!(model.receive_cost_ns(&attested) > model.receive_cost_ns(&plain));
         assert!(
-            model.receive_cost_ns(&attested) - model.receive_cost_ns(&plain)
-                >= model.sig_verify_ns
+            model.receive_cost_ns(&attested) - model.receive_cost_ns(&plain) >= model.sig_verify_ns
         );
     }
 

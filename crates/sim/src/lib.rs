@@ -31,7 +31,7 @@ pub mod spec;
 
 pub use cost::CostModel;
 pub use faults::{DeliveryFate, FaultPlan};
-pub use metrics::SimReport;
+pub use metrics::{CommittedTxn, SimReport};
 pub use net::NetworkModel;
 pub use registry::{build_replicas, ReplicaSetup};
 pub use runner::Simulation;

@@ -2,6 +2,8 @@
 
 use flexitrust_types::ProtocolId;
 
+pub use flexitrust_host::CommittedTxn;
+
 /// The summary a simulation run produces.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -34,6 +36,11 @@ pub struct SimReport {
     /// Total transactions executed at the busiest replica (sanity check that
     /// execution kept up with client completion).
     pub max_replica_executed: u64,
+    /// Every completed transaction (warm-up included), sorted by sequence
+    /// number; the basis of cross-host equivalence checks. Recorded only
+    /// when `ScenarioSpec::record_commit_log` is set (on in `quick_test`,
+    /// off in `paper_default` to keep bench-scale runs lean).
+    pub commit_log: Vec<CommittedTxn>,
 }
 
 impl SimReport {
@@ -65,7 +72,7 @@ impl SimReport {
 }
 
 /// Computes latency statistics (in milliseconds) from nanosecond samples.
-pub(crate) fn latency_stats_ms(samples: &mut Vec<u64>) -> (f64, f64, f64) {
+pub(crate) fn latency_stats_ms(samples: &mut [u64]) -> (f64, f64, f64) {
     if samples.is_empty() {
         return (0.0, 0.0, 0.0);
     }
@@ -98,6 +105,7 @@ mod tests {
             tc_accesses_total: 500,
             tc_accesses_primary: 500,
             max_replica_executed: 50_000,
+            commit_log: Vec::new(),
         }
     }
 

@@ -1,8 +1,16 @@
-//! Network latency model.
+//! Network latency and bandwidth model.
+//!
+//! Delivery time of a message over a link is `latency + size / bandwidth`:
+//! the one-way propagation latency of the link (LAN, WAN matrix entry, or
+//! the loopback cost for self-delivery) plus the transmission time of the
+//! message's wire bytes through the link's configured bandwidth
+//! ([`BandwidthConfig`]). The seed model was latency-only; unlimited
+//! bandwidth (the default) reproduces it exactly.
 
-use flexitrust_types::{RegionMap, ReplicaId, WanMatrix};
+use flexitrust_types::{BandwidthConfig, RegionMap, ReplicaId, WanMatrix};
 
-/// One-way latencies between replicas and between clients and replicas.
+/// One-way latencies and per-link bandwidth between replicas and between
+/// clients and replicas.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     regions: RegionMap,
@@ -11,6 +19,12 @@ pub struct NetworkModel {
     local_one_way_us: u64,
     /// One-way latency between a client and its nearest replica.
     client_one_way_us: u64,
+    /// Latency a replica pays to deliver a message to itself (kernel
+    /// loopback, not the NIC); kept explicit so the cost model accounts for
+    /// self-delivery consistently instead of hard-coding it at call sites.
+    loopback_us: u64,
+    /// Per-link-class bandwidth; `None` entries model infinitely fast links.
+    bandwidth: BandwidthConfig,
 }
 
 impl NetworkModel {
@@ -22,6 +36,8 @@ impl NetworkModel {
             wan: WanMatrix::uniform(250),
             local_one_way_us: 250,
             client_one_way_us: 250,
+            loopback_us: 1,
+            bandwidth: BandwidthConfig::unlimited(),
         }
     }
 
@@ -34,7 +50,21 @@ impl NetworkModel {
             wan: WanMatrix::oracle_cloud(),
             local_one_way_us: 250,
             client_one_way_us: 250,
+            loopback_us: 1,
+            bandwidth: BandwidthConfig::unlimited(),
         }
+    }
+
+    /// Sets the per-link bandwidth configuration.
+    pub fn with_bandwidth(mut self, bandwidth: BandwidthConfig) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the self-delivery (loopback) latency.
+    pub fn with_loopback_us(mut self, loopback_us: u64) -> Self {
+        self.loopback_us = loopback_us;
+        self
     }
 
     /// The region map in use.
@@ -42,10 +72,20 @@ impl NetworkModel {
         &self.regions
     }
 
+    /// The per-link bandwidth configuration in use.
+    pub fn bandwidth(&self) -> &BandwidthConfig {
+        &self.bandwidth
+    }
+
+    /// The self-delivery latency, in microseconds.
+    pub fn loopback_us(&self) -> u64 {
+        self.loopback_us
+    }
+
     /// One-way latency between two replicas, in microseconds.
     pub fn replica_latency_us(&self, from: ReplicaId, to: ReplicaId) -> u64 {
         if from == to {
-            return 1;
+            return self.loopback_us;
         }
         let a = self.regions.region_of(from);
         let b = self.regions.region_of(to);
@@ -54,6 +94,26 @@ impl NetworkModel {
         } else {
             self.wan.latency_us(a, b)
         }
+    }
+
+    /// Transmission time (nanoseconds) of `bytes` over the replica link
+    /// `from → to`: zero for self-delivery (no NIC involved), the local link
+    /// bandwidth within a region, the WAN bandwidth across regions.
+    pub fn replica_transmit_ns(&self, from: ReplicaId, to: ReplicaId, bytes: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let mbps = if self.regions.region_of(from) == self.regions.region_of(to) {
+            self.bandwidth.local_mbps
+        } else {
+            self.bandwidth.wan_mbps
+        };
+        BandwidthConfig::transmit_time_ns(mbps, bytes)
+    }
+
+    /// Transmission time (nanoseconds) of `bytes` over a client link.
+    pub fn client_transmit_ns(&self, bytes: usize) -> u64 {
+        BandwidthConfig::transmit_time_ns(self.bandwidth.client_mbps, bytes)
     }
 
     /// One-way latency between a client and a replica, in microseconds.
@@ -76,10 +136,7 @@ impl NetworkModel {
         let mut max = self.local_one_way_us;
         for a in 0..n {
             for b in 0..n {
-                max = max.max(self.replica_latency_us(
-                    ReplicaId(a as u32),
-                    ReplicaId(b as u32),
-                ));
+                max = max.max(self.replica_latency_us(ReplicaId(a as u32), ReplicaId(b as u32)));
             }
         }
         max
@@ -122,5 +179,48 @@ mod tests {
         let net = NetworkModel::wan(12, 6);
         assert_eq!(net.client_latency_us(ReplicaId(0)), 250);
         assert!(net.client_latency_us(ReplicaId(2)) > 10_000);
+    }
+
+    #[test]
+    fn self_delivery_routes_through_the_loopback_field() {
+        let net = NetworkModel::lan(4).with_loopback_us(7);
+        assert_eq!(net.replica_latency_us(ReplicaId(2), ReplicaId(2)), 7);
+        assert_eq!(net.loopback_us(), 7);
+        // Loopback pays no transmission time even under tight bandwidth.
+        let tight = NetworkModel::lan(4).with_bandwidth(BandwidthConfig::uniform(1));
+        assert_eq!(
+            tight.replica_transmit_ns(ReplicaId(1), ReplicaId(1), 1 << 20),
+            0
+        );
+    }
+
+    #[test]
+    fn unlimited_bandwidth_reproduces_the_pure_latency_model() {
+        let net = NetworkModel::wan(12, 6);
+        assert_eq!(
+            net.replica_transmit_ns(ReplicaId(0), ReplicaId(1), 1 << 20),
+            0
+        );
+        assert_eq!(net.client_transmit_ns(1 << 20), 0);
+    }
+
+    #[test]
+    fn transmit_time_scales_with_wire_size_and_picks_the_link_class() {
+        let net = NetworkModel::wan(12, 6).with_bandwidth(BandwidthConfig {
+            local_mbps: Some(10_000),
+            wan_mbps: Some(100),
+            client_mbps: None,
+        });
+        // Replicas 0 and 6 share San Jose: the fast local link applies.
+        let local = net.replica_transmit_ns(ReplicaId(0), ReplicaId(6), 100_000);
+        // Replicas 0 and 1 are in different regions: the slow WAN link.
+        let wan = net.replica_transmit_ns(ReplicaId(0), ReplicaId(1), 100_000);
+        assert_eq!(local, 80_000); // 800 kbit at 10 Gbps = 80 µs
+        assert_eq!(wan, 8_000_000); // 800 kbit at 100 Mbps = 8 ms
+                                    // Ten times the bytes, ten times the time.
+        assert_eq!(
+            net.replica_transmit_ns(ReplicaId(0), ReplicaId(1), 1_000_000),
+            10 * wan
+        );
     }
 }

@@ -4,9 +4,7 @@ use crate::spec::ScenarioSpec;
 use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzyva};
 use flexitrust_core::{FlexiBft, FlexiZz};
 use flexitrust_protocol::ConsensusEngine;
-use flexitrust_trusted::{
-    AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave,
-};
+use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{ProtocolId, ReplicaId};
 
 /// One simulated replica: its engine and (when the protocol uses one) its

@@ -12,9 +12,12 @@
 //! * a **trusted component** whose accesses (observed through the enclave's
 //!   statistics) are serialised and charged the hardware access latency plus
 //!   in-enclave signing cost; and
-//! * the **engine** itself, whose emitted actions are turned into new events
-//!   (message deliveries after network latency, timer expirations) or into
-//!   client accounting (replies).
+//! * the **engine** itself, hosted behind the shared
+//!   [`flexitrust_host::Dispatcher`]: the engine's emitted actions are
+//!   translated once, in the host layer, into simulator events (message
+//!   deliveries after latency plus wire-size/bandwidth transmission time,
+//!   timer expirations) or into client accounting (replies). The simulator
+//!   itself only implements the [`EngineHost`] primitives.
 //!
 //! Clients are closed-loop and modelled in aggregate: each of the
 //! `spec.clients` logical clients keeps exactly one transaction outstanding;
@@ -23,14 +26,16 @@
 //! timeout plus an extra round trip when the full-replica quorum cannot be
 //! reached), after which the client immediately submits a fresh transaction.
 
-use crate::faults::DeliveryFate;
-use crate::metrics::{latency_stats_ms, SimReport};
+use crate::cost::CostModel;
+use crate::faults::{DeliveryFate, FaultPlan};
+use crate::metrics::{latency_stats_ms, CommittedTxn, SimReport};
 use crate::net::NetworkModel;
 use crate::registry::{build_replicas, ReplicaSetup};
 use crate::spec::ScenarioSpec;
-use flexitrust_protocol::{Action, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_host::{Dispatcher, EngineHost, TimerToken};
+use flexitrust_protocol::{ClientReply, ConsensusEngine, Message, TimerKind};
 use flexitrust_trusted::SharedEnclave;
-use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, Transaction};
+use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, SeqNum, Transaction};
 use flexitrust_workload::WorkloadGenerator;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
@@ -47,7 +52,7 @@ enum EventKind {
     Timer {
         replica: ReplicaId,
         timer: TimerKind,
-        token: u64,
+        token: TimerToken,
     },
     ClientArrival {
         txns: Vec<Transaction>,
@@ -87,14 +92,104 @@ struct Host {
     workers: Vec<Ns>,
     tc_free: Ns,
     tc_seen: u64,
-    timer_tokens: HashMap<TimerKind, u64>,
 }
 
 struct RequestTracker {
     submit: Ns,
     replies: BTreeSet<ReplicaId>,
+    seq: SeqNum,
     completed: bool,
     fallback_scheduled: bool,
+}
+
+/// The simulator's [`EngineHost`] implementation: one engine invocation's
+/// view of the world. Effects are buffered (events to schedule, replies to
+/// account) and applied by the simulation loop once the dispatch batch
+/// completes; `begin_batch` performs the CPU / trusted-component accounting
+/// that fixes the batch's departure time.
+struct SimEnv<'a> {
+    start: Ns,
+    base_cost_ns: Ns,
+    tc_access_ns: Ns,
+    enclave: Option<&'a SharedEnclave>,
+    tc_free: &'a mut Ns,
+    tc_seen: &'a mut u64,
+    worker: &'a mut Ns,
+    cost: &'a CostModel,
+    net: &'a NetworkModel,
+    faults: &'a FaultPlan,
+    /// Departure time of the current dispatch batch (set by `begin_batch`).
+    at: Ns,
+    events: Vec<(Ns, EventKind)>,
+    replies: Vec<(ReplicaId, ClientReply, Ns)>,
+}
+
+impl EngineHost for SimEnv<'_> {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        let fate = self.faults.fate(from, to, &msg);
+        let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
+        let transmit_ns = self
+            .net
+            .replica_transmit_ns(from, to, msg.wire_size_bytes());
+        let arrival = match fate {
+            DeliveryFate::Drop => return,
+            DeliveryFate::Deliver => self.at + latency_ns + transmit_ns,
+            DeliveryFate::Delay(extra_us) => self.at + latency_ns + transmit_ns + extra_us * 1_000,
+        };
+        self.events
+            .push((arrival, EventKind::Deliver { to, from, msg }));
+    }
+
+    fn reply(&mut self, from: ReplicaId, reply: ClientReply) {
+        let arrive = self.at
+            + self.net.client_latency_us(from) * 1_000
+            + self.net.client_transmit_ns(reply.wire_size_bytes());
+        self.replies.push((from, reply, arrive));
+    }
+
+    fn schedule_timer(
+        &mut self,
+        replica: ReplicaId,
+        timer: TimerKind,
+        delay_us: u64,
+        token: TimerToken,
+    ) {
+        self.events.push((
+            self.at + delay_us * 1_000,
+            EventKind::Timer {
+                replica,
+                timer,
+                token,
+            },
+        ));
+    }
+
+    fn send_cost_ns(&self, msg: &Message, destinations: usize) -> u64 {
+        self.cost.send_cost_ns(msg, destinations)
+    }
+
+    fn execution_cost_ns(&self, txns: usize) -> u64 {
+        self.cost.execution_cost_ns(txns)
+    }
+
+    fn begin_batch(&mut self, _from: ReplicaId, actions_cost_ns: u64) {
+        // Trusted-component accesses observed during this invocation are
+        // serialised on the component and charged its access latency.
+        let mut tc_end = self.start + self.base_cost_ns;
+        if let Some(enclave) = self.enclave {
+            let total = enclave.stats().snapshot().total_accesses();
+            let delta = total.saturating_sub(*self.tc_seen);
+            *self.tc_seen = total;
+            if delta > 0 {
+                let tc_start = (self.start + self.base_cost_ns).max(*self.tc_free);
+                *self.tc_free = tc_start + delta * self.tc_access_ns;
+                tc_end = *self.tc_free;
+            }
+        }
+        let departure = tc_end.max(self.start + self.base_cost_ns) + actions_cost_ns;
+        *self.worker = departure;
+        self.at = departure;
+    }
 }
 
 /// A single simulation run.
@@ -102,6 +197,7 @@ pub struct Simulation {
     spec: ScenarioSpec,
     net: NetworkModel,
     hosts: Vec<Host>,
+    dispatcher: Dispatcher,
     events: BinaryHeap<Reverse<Event>>,
     event_seq: u64,
     now: Ns,
@@ -110,11 +206,11 @@ pub struct Simulation {
     op_generator: WorkloadGenerator,
     latencies: Vec<Ns>,
     completed_txns: u64,
+    commit_log: Vec<CommittedTxn>,
     messages_delivered: u64,
     reply_quorum: usize,
     fallback_quorum: usize,
     all_replicas_rule: bool,
-    timer_token_counter: u64,
     pending_resubmits: Vec<Transaction>,
     pending_resubmit_at: Ns,
 }
@@ -142,7 +238,8 @@ impl Simulation {
             NetworkModel::lan(config.n)
         } else {
             NetworkModel::wan(config.n, spec.regions)
-        };
+        }
+        .with_bandwidth(spec.bandwidth);
         let reply_quorum = config.quorum(properties.reply_quorum);
         // Slow-path threshold for all-replica fast paths: Zyzzyva clients
         // gather a commit certificate from 2f + 1 speculative responses;
@@ -157,7 +254,7 @@ impl Simulation {
             }
             _ => reply_quorum,
         };
-        let hosts = replicas
+        let hosts: Vec<Host> = replicas
             .into_iter()
             .map(|setup| Host {
                 engine: setup.engine,
@@ -165,13 +262,13 @@ impl Simulation {
                 workers: vec![0; workers],
                 tc_free: 0,
                 tc_seen: 0,
-                timer_tokens: HashMap::new(),
             })
             .collect();
         Simulation {
             op_generator: WorkloadGenerator::new(spec.workload.clone(), ClientId(0), spec.seed),
             next_request_id: vec![1; spec.clients],
             net,
+            dispatcher: Dispatcher::new(hosts.len()),
             hosts,
             events: BinaryHeap::new(),
             event_seq: 0,
@@ -179,11 +276,11 @@ impl Simulation {
             requests: HashMap::new(),
             latencies: Vec::new(),
             completed_txns: 0,
+            commit_log: Vec::new(),
             messages_delivered: 0,
             reply_quorum,
             fallback_quorum,
             all_replicas_rule: properties.reply_quorum == QuorumRule::AllReplicas,
-            timer_token_counter: 0,
             pending_resubmits: Vec::new(),
             pending_resubmit_at: 0,
             spec,
@@ -222,10 +319,12 @@ impl Simulation {
         let total_ns = self.spec.total_time_us() * 1_000;
         let warmup_ns = self.spec.warmup_us * 1_000;
         // Initial client load: every logical client submits one transaction.
-        let initial: Vec<Transaction> = (0..self.spec.clients)
-            .map(|c| self.fresh_txn(c))
-            .collect();
-        self.push_event(1_000, EventKind::ClientArrival { txns: initial });
+        let initial: Vec<Transaction> = (0..self.spec.clients).map(|c| self.fresh_txn(c)).collect();
+        let upload_ns = self.client_upload_ns(&initial);
+        self.push_event(
+            1_000 + upload_ns,
+            EventKind::ClientArrival { txns: initial },
+        );
 
         while let Some(Reverse(event)) = self.events.pop() {
             if event.at > total_ns {
@@ -255,8 +354,77 @@ impl Simulation {
             return;
         }
         let txns = std::mem::take(&mut self.pending_resubmits);
-        let at = self.pending_resubmit_at.max(self.now + 1);
+        let at = self.pending_resubmit_at.max(self.now + 1) + self.client_upload_ns(&txns);
         self.push_event(at, EventKind::ClientArrival { txns });
+    }
+
+    /// Transmission time of client requests over the client link: uploads
+    /// arrive at the primary after their wire bytes cross the (shared,
+    /// aggregate) client link. Zero under unlimited client bandwidth.
+    fn client_upload_ns(&self, txns: &[Transaction]) -> Ns {
+        let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
+        self.net.client_transmit_ns(bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Engine hosting: CPU / trusted-component accounting around the shared
+    // dispatcher. The closure receives the dispatcher, the engine and the
+    // simulator's EngineHost view; buffered effects are applied afterwards.
+    // ------------------------------------------------------------------
+
+    fn run_engine(
+        &mut self,
+        replica: ReplicaId,
+        base_cost_ns: Ns,
+        f: impl FnOnce(&mut Dispatcher, &mut dyn ConsensusEngine, &mut SimEnv),
+    ) {
+        let tc_access_ns = self.spec.hardware.access_latency_us() * 1_000
+            + self.spec.cost.attestation_generation_ns();
+        let now = self.now;
+        let host = &mut self.hosts[replica.as_usize()];
+
+        // Pick the earliest-available worker thread.
+        let (widx, free_at) = host
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, t)| (i, *t))
+            .expect("hosts always have at least one worker");
+        let start = now.max(free_at);
+
+        let Host {
+            engine,
+            enclave,
+            workers,
+            tc_free,
+            tc_seen,
+        } = host;
+        let mut env = SimEnv {
+            start,
+            base_cost_ns,
+            tc_access_ns,
+            enclave: enclave.as_ref(),
+            tc_free,
+            tc_seen,
+            worker: &mut workers[widx],
+            cost: &self.spec.cost,
+            net: &self.net,
+            faults: &self.spec.faults,
+            at: start + base_cost_ns,
+            events: Vec::new(),
+            replies: Vec::new(),
+        };
+        f(&mut self.dispatcher, engine.as_mut(), &mut env);
+        let SimEnv {
+            events, replies, ..
+        } = env;
+        for (at, kind) in events {
+            self.push_event(at, kind);
+        }
+        for (from, reply, arrive) in replies {
+            self.record_reply(from, &reply, arrive);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -274,16 +442,16 @@ impl Simulation {
                 RequestTracker {
                     submit: self.now,
                     replies: BTreeSet::new(),
+                    seq: SeqNum(0),
                     completed: false,
                     fallback_scheduled: false,
                 },
             );
         }
         let base_cost = self.spec.cost.client_request_cost_ns(txns.len());
-        let (departure, actions) = self.invoke(primary, base_cost, |engine, out| {
-            engine.on_client_request(txns, out)
+        self.run_engine(primary, base_cost, move |dispatcher, engine, env| {
+            dispatcher.client_request(engine, txns, env)
         });
-        self.handle_actions(primary, actions, departure);
     }
 
     fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {
@@ -292,27 +460,21 @@ impl Simulation {
         }
         self.messages_delivered += 1;
         let base_cost = self.spec.cost.receive_cost_ns(&msg);
-        let (departure, actions) =
-            self.invoke(to, base_cost, |engine, out| engine.on_message(from, msg, out));
-        self.handle_actions(to, actions, departure);
+        self.run_engine(to, base_cost, move |dispatcher, engine, env| {
+            dispatcher.deliver(engine, from, msg, env)
+        });
     }
 
-    fn on_timer(&mut self, replica: ReplicaId, timer: TimerKind, token: u64) {
+    fn on_timer(&mut self, replica: ReplicaId, timer: TimerKind, token: TimerToken) {
         if self.spec.faults.is_failed(replica) {
             return;
         }
-        let armed = self.hosts[replica.as_usize()]
-            .timer_tokens
-            .get(&timer)
-            .copied();
-        if armed != Some(token) {
-            return;
-        }
-        self.hosts[replica.as_usize()].timer_tokens.remove(&timer);
         let base_cost = self.spec.cost.base_receive_ns;
-        let (departure, actions) =
-            self.invoke(replica, base_cost, |engine, out| engine.on_timer(timer, out));
-        self.handle_actions(replica, actions, departure);
+        // Token validation lives in the dispatcher: a stale token (re-armed
+        // or cancelled since) never reaches the engine and charges nothing.
+        self.run_engine(replica, base_cost, move |dispatcher, engine, env| {
+            dispatcher.timer_expired(engine, timer, token, env);
+        });
     }
 
     fn on_fallback(&mut self, client: ClientId, request: RequestId) {
@@ -327,120 +489,11 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
-    // Host invocation: CPU, trusted-component and action accounting.
-    // ------------------------------------------------------------------
-
-    fn invoke(
-        &mut self,
-        replica: ReplicaId,
-        base_cost_ns: Ns,
-        f: impl FnOnce(&mut dyn ConsensusEngine, &mut Outbox),
-    ) -> (Ns, Vec<Action>) {
-        let tc_access_ns = self.spec.hardware.access_latency_us() * 1_000
-            + self.spec.cost.attestation_generation_ns();
-        let cost = self.spec.cost.clone();
-        let now = self.now;
-        let host = &mut self.hosts[replica.as_usize()];
-
-        // Pick the earliest-available worker thread.
-        let (widx, free_at) = host
-            .workers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .map(|(i, t)| (i, *t))
-            .expect("hosts always have at least one worker");
-        let start = now.max(free_at);
-
-        // Run the engine logic (logically instantaneous; we charge the time
-        // below).
-        let mut out = Outbox::new();
-        f(host.engine.as_mut(), &mut out);
-        let actions = out.drain();
-
-        // Trusted-component accesses observed during this invocation are
-        // serialised on the component and charged its access latency.
-        let mut tc_end = start + base_cost_ns;
-        if let Some(enclave) = &host.enclave {
-            let total = enclave.stats().snapshot().total_accesses();
-            let delta = total.saturating_sub(host.tc_seen);
-            host.tc_seen = total;
-            if delta > 0 {
-                let tc_start = (start + base_cost_ns).max(host.tc_free);
-                host.tc_free = tc_start + delta * tc_access_ns;
-                tc_end = host.tc_free;
-            }
-        }
-
-        // Charge the CPU for the work the actions imply (sends, execution).
-        let mut extra = 0;
-        for action in &actions {
-            match action {
-                Action::Send { msg, .. } => extra += cost.send_cost_ns(msg, 1),
-                Action::Broadcast { msg } => {
-                    extra += cost.send_cost_ns(msg, self.hosts.len().max(1) - 1)
-                }
-                Action::Executed { txns, .. } => extra += cost.execution_cost_ns(*txns),
-                _ => {}
-            }
-        }
-        let host = &mut self.hosts[replica.as_usize()];
-        let departure = tc_end.max(start + base_cost_ns) + extra;
-        host.workers[widx] = departure;
-        (departure, actions)
-    }
-
-    fn handle_actions(&mut self, from: ReplicaId, actions: Vec<Action>, at: Ns) {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => self.schedule_message(from, to, msg, at),
-                Action::Broadcast { msg } => {
-                    for i in 0..self.hosts.len() {
-                        self.schedule_message(from, ReplicaId(i as u32), msg.clone(), at);
-                    }
-                }
-                Action::Reply { reply } => {
-                    let arrive = at + self.net.client_latency_us(from) * 1_000;
-                    self.record_reply(from, reply.client, reply.request, arrive);
-                }
-                Action::SetTimer { timer, delay_us } => {
-                    self.timer_token_counter += 1;
-                    let token = self.timer_token_counter;
-                    self.hosts[from.as_usize()].timer_tokens.insert(timer, token);
-                    self.push_event(
-                        at + delay_us * 1_000,
-                        EventKind::Timer {
-                            replica: from,
-                            timer,
-                            token,
-                        },
-                    );
-                }
-                Action::CancelTimer { timer } => {
-                    self.hosts[from.as_usize()].timer_tokens.remove(&timer);
-                }
-                Action::Executed { .. } => {}
-            }
-        }
-    }
-
-    fn schedule_message(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, at: Ns) {
-        let fate = self.spec.faults.fate(from, to, &msg);
-        let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
-        let arrival = match fate {
-            DeliveryFate::Drop => return,
-            DeliveryFate::Deliver => at + latency_ns,
-            DeliveryFate::Delay(extra_us) => at + latency_ns + extra_us * 1_000,
-        };
-        self.push_event(arrival, EventKind::Deliver { to, from, msg });
-    }
-
-    // ------------------------------------------------------------------
     // Client accounting.
     // ------------------------------------------------------------------
 
-    fn record_reply(&mut self, replica: ReplicaId, client: ClientId, request: RequestId, at: Ns) {
-        let key = (client.0, request.0);
+    fn record_reply(&mut self, replica: ReplicaId, reply: &ClientReply, at: Ns) {
+        let key = (reply.client.0, reply.request.0);
         let Some(tracker) = self.requests.get_mut(&key) else {
             return;
         };
@@ -448,6 +501,13 @@ impl Simulation {
             return;
         }
         tracker.replies.insert(replica);
+        // The aggregate client model counts distinct repliers without
+        // matching (seq, result) votes, so the logged seq is the one carried
+        // by the reply that completes the quorum. In failure-free runs (what
+        // the cross-host equivalence test exercises) every reply agrees; a
+        // divergent-seq scenario would need per-seq vote counting here to
+        // mirror `ClientLibrary` exactly.
+        tracker.seq = reply.seq;
         let count = tracker.replies.len();
         if count >= self.reply_quorum {
             self.complete_request(key, at);
@@ -463,7 +523,10 @@ impl Simulation {
             let rtt_ns = 2 * self.net.client_latency_us(ReplicaId(0)) * 1_000;
             self.push_event(
                 at + timeout_ns + rtt_ns,
-                EventKind::FallbackComplete { client, request },
+                EventKind::FallbackComplete {
+                    client: reply.client,
+                    request: reply.request,
+                },
             );
         }
     }
@@ -476,6 +539,13 @@ impl Simulation {
         };
         tracker.completed = true;
         let submit = tracker.submit;
+        if self.spec.record_commit_log {
+            self.commit_log.push(CommittedTxn {
+                seq: tracker.seq,
+                client: ClientId(key.0),
+                request: RequestId(key.1),
+            });
+        }
         if submit >= warmup_ns && at <= total_ns {
             self.latencies.push(at - submit);
             self.completed_txns += 1;
@@ -509,6 +579,8 @@ impl Simulation {
             })
             .collect();
         let config = self.spec.system_config();
+        let mut commit_log = self.commit_log;
+        commit_log.sort_unstable();
         SimReport {
             protocol: self.spec.protocol,
             f: self.spec.f,
@@ -529,6 +601,7 @@ impl Simulation {
                 .map(|h| h.engine.executed_txns())
                 .max()
                 .unwrap_or(0),
+            commit_log,
         }
     }
 }
@@ -536,7 +609,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexitrust_types::ProtocolId;
+    use flexitrust_types::{BandwidthConfig, ProtocolId};
 
     fn run_quick(protocol: ProtocolId) -> SimReport {
         let spec = ScenarioSpec::quick_test(protocol);
@@ -569,6 +642,16 @@ mod tests {
         let b = run_quick(ProtocolId::FlexiBft);
         assert_eq!(a.completed_txns, b.completed_txns);
         assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.commit_log, b.commit_log);
+    }
+
+    #[test]
+    fn commit_log_records_every_completion_in_sequence_order() {
+        let report = run_quick(ProtocolId::FlexiBft);
+        assert!(!report.commit_log.is_empty());
+        for pair in report.commit_log.windows(2) {
+            assert!(pair[0].seq <= pair[1].seq);
+        }
     }
 
     #[test]
@@ -610,6 +693,57 @@ mod tests {
             "wan {} <= lan {}",
             wan.avg_latency_ms,
             lan.avg_latency_ms
+        );
+    }
+
+    #[test]
+    fn bandwidth_constrained_wan_raises_latency_with_message_size_over_bandwidth() {
+        // Figure 6(vi)-style: same WAN topology, only the per-link bandwidth
+        // changes, so every latency difference comes from the wire-size /
+        // bandwidth term of the delivery-time model.
+        let run_with = |bandwidth: BandwidthConfig| {
+            let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+            spec.regions = 3;
+            spec.bandwidth = bandwidth;
+            spec.duration_us = 1_200_000;
+            spec.warmup_us = 300_000;
+            spec.clients = 400;
+            Simulation::new(spec).run()
+        };
+        let unlimited = run_with(BandwidthConfig::unlimited());
+        let moderate = run_with(BandwidthConfig::wan_constrained(50));
+        let tight = run_with(BandwidthConfig::wan_constrained(5));
+        assert!(unlimited.completed_txns > 0);
+        assert!(tight.completed_txns > 0);
+        assert!(
+            moderate.avg_latency_ms > unlimited.avg_latency_ms,
+            "constrained WAN ({} ms) should be slower than unlimited ({} ms)",
+            moderate.avg_latency_ms,
+            unlimited.avg_latency_ms
+        );
+        assert!(
+            tight.avg_latency_ms > moderate.avg_latency_ms,
+            "5 Mbps ({} ms) should be slower than 50 Mbps ({} ms)",
+            tight.avg_latency_ms,
+            moderate.avg_latency_ms
+        );
+    }
+
+    #[test]
+    fn client_link_bandwidth_slows_uploads_and_replies() {
+        let run_with = |bandwidth: BandwidthConfig| {
+            let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+            spec.bandwidth = bandwidth;
+            Simulation::new(spec).run()
+        };
+        let unlimited = run_with(BandwidthConfig::unlimited());
+        let constrained = run_with(BandwidthConfig::uniform(50));
+        assert!(constrained.completed_txns > 0);
+        assert!(
+            constrained.avg_latency_ms > unlimited.avg_latency_ms,
+            "client-link constraint ({} ms) should add latency over unlimited ({} ms)",
+            constrained.avg_latency_ms,
+            unlimited.avg_latency_ms
         );
     }
 

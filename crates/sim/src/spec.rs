@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use crate::faults::FaultPlan;
 use flexitrust_trusted::TrustedHardware;
-use flexitrust_types::{ProtocolId, SystemConfig};
+use flexitrust_types::{BandwidthConfig, ProtocolId, SystemConfig};
 use flexitrust_workload::WorkloadConfig;
 
 /// Everything needed to run one simulated experiment.
@@ -25,6 +25,15 @@ pub struct ScenarioSpec {
     pub cost: CostModel,
     /// Number of WAN regions (1 = single-datacenter LAN).
     pub regions: usize,
+    /// Per-link network bandwidth; unlimited reproduces the pure-latency
+    /// model, `wan_constrained` opens Figure 6(vi)-style scenarios where
+    /// delivery time grows with message wire size.
+    pub bandwidth: BandwidthConfig,
+    /// Whether to record every completion in `SimReport::commit_log`.
+    /// On for test-scale scenarios (cross-host equivalence checks read it);
+    /// off for bench-scale runs, which would otherwise accumulate hundreds
+    /// of thousands of entries nobody reads.
+    pub record_commit_log: bool,
     /// Simulated duration to measure, in microseconds.
     pub duration_us: u64,
     /// Simulated warm-up excluded from measurement, in microseconds.
@@ -57,6 +66,8 @@ impl ScenarioSpec {
             hardware: TrustedHardware::default_enclave(),
             cost: CostModel::calibrated(),
             regions: 1,
+            bandwidth: BandwidthConfig::unlimited(),
+            record_commit_log: false,
             duration_us: 400_000,
             warmup_us: 100_000,
             workload: WorkloadConfig::tiny(),
@@ -76,6 +87,7 @@ impl ScenarioSpec {
             duration_us: 150_000,
             warmup_us: 30_000,
             client_timeout_us: Some(20_000),
+            record_commit_log: true,
             ..Self::paper_default(protocol)
         }
     }

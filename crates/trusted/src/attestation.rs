@@ -15,11 +15,10 @@
 use ed25519_dalek::{Signer, Verifier};
 use flexitrust_crypto::Signature;
 use flexitrust_types::{Digest, Error, ReplicaId, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What kind of statement the trusted component is attesting to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttestKind {
     /// A counter advanced to `value`, bound to `digest` (trusted counters).
     CounterBind,
@@ -30,7 +29,7 @@ pub enum AttestKind {
 }
 
 /// A digitally signed attestation produced by a trusted component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attestation {
     /// The replica hosting the trusted component that produced this.
     pub host: ReplicaId,
@@ -47,6 +46,12 @@ pub struct Attestation {
 }
 
 impl Attestation {
+    /// Exact wire size of an attestation in bytes: host id (4) + counter id
+    /// (8) + value (8) + digest (32) + kind tag (1) + Ed25519 signature (64).
+    /// The protocol layer's `Message::wire_size_bytes` and the simulator's
+    /// bandwidth model derive message sizes from this.
+    pub const WIRE_SIZE: usize = 4 + 8 + 8 + 32 + 1 + 64;
+
     /// The canonical byte encoding that is signed by the enclave.
     pub fn signed_bytes(
         host: ReplicaId,
@@ -73,9 +78,9 @@ impl Attestation {
         Self::signed_bytes(self.host, self.counter, self.value, &self.digest, self.kind)
     }
 
-    /// Approximate wire size in bytes (used by the simulator bandwidth model).
+    /// Wire size in bytes (used by the simulator bandwidth model).
     pub fn wire_size(&self) -> usize {
-        4 + 8 + 8 + 32 + 1 + 64
+        Self::WIRE_SIZE
     }
 }
 
@@ -147,16 +152,17 @@ impl EnclaveRegistry {
         let bytes = attestation.bytes_to_sign();
         match self.mode {
             AttestationMode::Real => {
-                let key = self
-                    .keys
-                    .get(attestation.host.as_usize())
-                    .ok_or(Error::UnknownReplica {
-                        replica: attestation.host,
-                    })?;
+                let key =
+                    self.keys
+                        .get(attestation.host.as_usize())
+                        .ok_or(Error::UnknownReplica {
+                            replica: attestation.host,
+                        })?;
                 let sig = ed25519_dalek::Signature::from_bytes(attestation.signature.as_bytes());
-                key.verify(&bytes, &sig).map_err(|_| Error::InvalidAttestation {
-                    context: format!("bad enclave signature from {}", attestation.host),
-                })
+                key.verify(&bytes, &sig)
+                    .map_err(|_| Error::InvalidAttestation {
+                        context: format!("bad enclave signature from {}", attestation.host),
+                    })
             }
             AttestationMode::Counting => {
                 if attestation.host.as_usize() >= self.keys.len() {
@@ -185,7 +191,11 @@ impl EnclaveRegistry {
 pub fn enclave_signing_key(host: ReplicaId) -> ed25519_dalek::SigningKey {
     let mut bytes = [0u8; 32];
     bytes[..8].copy_from_slice(&(0xE0C1_A0E0_0000_0000u64 | u64::from(host.0)).to_le_bytes());
-    bytes[8..16].copy_from_slice(&u64::from(host.0).wrapping_mul(0xff51_afd7_ed55_8ccd).to_le_bytes());
+    bytes[8..16].copy_from_slice(
+        &u64::from(host.0)
+            .wrapping_mul(0xff51_afd7_ed55_8ccd)
+            .to_le_bytes(),
+    );
     ed25519_dalek::SigningKey::from_bytes(&bytes)
 }
 
@@ -200,11 +210,7 @@ pub(crate) fn counting_fingerprint(host: ReplicaId, bytes: &[u8]) -> u64 {
 }
 
 /// Signs attestation bytes on behalf of the enclave at `host`.
-pub(crate) fn sign_attestation(
-    host: ReplicaId,
-    mode: AttestationMode,
-    bytes: &[u8],
-) -> Signature {
+pub(crate) fn sign_attestation(host: ReplicaId, mode: AttestationMode, bytes: &[u8]) -> Signature {
     match mode {
         AttestationMode::Real => {
             let key = enclave_signing_key(host);

@@ -94,7 +94,10 @@ impl CounterSet {
     ///
     /// Returns the accepted value (always `k_new`).
     pub fn append(&mut self, q: u64, k_new: u64, digest: Digest) -> Result<u64> {
-        let counter = self.counters.get_mut(&q).ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
+        let counter = self
+            .counters
+            .get_mut(&q)
+            .ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
         if k_new <= counter.value {
             return Err(Error::TrustedMonotonicityViolation {
                 counter: q,
@@ -110,7 +113,10 @@ impl CounterSet {
     /// FlexiTrust `AppendF`: the component increments the counter internally
     /// and binds the new value to `digest`. Returns the new value.
     pub fn append_f(&mut self, q: u64, digest: Digest) -> Result<u64> {
-        let counter = self.counters.get_mut(&q).ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
+        let counter = self
+            .counters
+            .get_mut(&q)
+            .ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
         counter.value += 1;
         counter.last_digest = digest;
         Ok(counter.value)
@@ -170,7 +176,10 @@ mod tests {
     fn append_f_increments_contiguously() {
         let mut set = CounterSet::with_counters(1);
         for expected in 1..=100u64 {
-            assert_eq!(set.append_f(0, Digest::from_u64_tag(expected)).unwrap(), expected);
+            assert_eq!(
+                set.append_f(0, Digest::from_u64_tag(expected)).unwrap(),
+                expected
+            );
         }
         assert_eq!(set.value(0), Some(100));
         assert_eq!(set.last_digest(0), Some(Digest::from_u64_tag(100)));

@@ -182,7 +182,10 @@ impl Enclave {
         match result {
             Ok(value) => {
                 self.stats.record(TcAccessKind::CounterAppendF);
-                Ok((value, self.attest(q, value, digest, AttestKind::CounterBind)))
+                Ok((
+                    value,
+                    self.attest(q, value, digest, AttestKind::CounterBind),
+                ))
             }
             Err(e) => {
                 self.stats.record_rejected();
@@ -244,10 +247,7 @@ impl Enclave {
     /// enclave's state (§6). Rolling back only succeeds when the hardware
     /// model is not rollback-protected.
     pub fn rollback_control(self: &Arc<Self>) -> RollbackControl {
-        RollbackControl::new(
-            Arc::clone(&self.state),
-            self.hardware.rollback_protected(),
-        )
+        RollbackControl::new(Arc::clone(&self.state), self.hardware.rollback_protected())
     }
 }
 
@@ -298,7 +298,10 @@ mod tests {
 
     #[test]
     fn log_roundtrip_with_attested_lookup() {
-        let e = Enclave::shared(EnclaveConfig::log_based(ReplicaId(2), AttestationMode::Real));
+        let e = Enclave::shared(EnclaveConfig::log_based(
+            ReplicaId(2),
+            AttestationMode::Real,
+        ));
         let registry = EnclaveRegistry::deterministic(4, AttestationMode::Real);
         let a1 = e.log_append(0, None, Digest::from_u64_tag(1)).unwrap();
         assert_eq!(a1.value, 1);
@@ -314,7 +317,10 @@ mod tests {
 
     #[test]
     fn truncation_reduces_memory() {
-        let e = Enclave::shared(EnclaveConfig::log_based(ReplicaId(0), AttestationMode::Counting));
+        let e = Enclave::shared(EnclaveConfig::log_based(
+            ReplicaId(0),
+            AttestationMode::Counting,
+        ));
         for _ in 0..50 {
             e.log_append(0, None, Digest::ZERO).unwrap();
         }

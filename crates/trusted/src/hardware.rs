@@ -9,12 +9,11 @@
 //! simulator can sweep it (Figure 8) and the attack scenarios can reason
 //! about which configurations are vulnerable (§6).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A trusted-hardware configuration: how long one access takes and whether
 /// the state survives (and resists) a malicious host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrustedHardware {
     /// Monotonic counters kept inside an SGX enclave (the paper's default
     /// experimental setup, §9.1): microsecond-scale access, but state is

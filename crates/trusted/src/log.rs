@@ -83,7 +83,10 @@ impl TrustedLog {
     ///
     /// Returns the slot at which `digest` was stored.
     pub fn append(&mut self, q: u64, k_new: Option<u64>, digest: Digest) -> Result<u64> {
-        let log = self.logs.get_mut(&q).ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
+        let log = self
+            .logs
+            .get_mut(&q)
+            .ok_or(Error::TrustedSlotEmpty { log: q, slot: 0 })?;
         let slot = match k_new {
             None => log.last_slot + 1,
             Some(k) if k > log.last_slot => k,

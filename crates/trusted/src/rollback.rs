@@ -108,8 +108,7 @@ mod tests {
             ReplicaId(0),
             AttestationMode::Real,
         ));
-        let registry =
-            crate::attestation::EnclaveRegistry::deterministic(1, AttestationMode::Real);
+        let registry = crate::attestation::EnclaveRegistry::deterministic(1, AttestationMode::Real);
         let control = enclave.rollback_control();
         assert!(!control.is_protected());
 
@@ -149,12 +148,18 @@ mod tests {
             AttestationMode::Counting,
         ));
         let control = enclave.rollback_control();
-        enclave.log_append(0, None, Digest::from_u64_tag(1)).unwrap();
+        enclave
+            .log_append(0, None, Digest::from_u64_tag(1))
+            .unwrap();
         let snap = control.snapshot();
-        enclave.log_append(0, None, Digest::from_u64_tag(2)).unwrap();
+        enclave
+            .log_append(0, None, Digest::from_u64_tag(2))
+            .unwrap();
         control.restore(&snap).unwrap();
         // Slot 2 is free again after the rollback.
-        let att = enclave.log_append(0, None, Digest::from_u64_tag(99)).unwrap();
+        let att = enclave
+            .log_append(0, None, Digest::from_u64_tag(99))
+            .unwrap();
         assert_eq!(att.value, 2);
         assert_eq!(att.digest, Digest::from_u64_tag(99));
     }

@@ -8,11 +8,10 @@
 
 use crate::error::{Error, Result};
 use crate::ids::ReplicaId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one of the protocols implemented in this repository.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolId {
     /// PBFT (Castro & Liskov), the classic three-phase 3f+1 protocol.
     Pbft,
@@ -134,7 +133,7 @@ impl fmt::Display for ProtocolId {
 }
 
 /// Replication factor regimes studied by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplicationFactor {
     /// `n = 2f + 1`: the regime targeted by existing trust-bft protocols.
     TwoFPlusOne,
@@ -154,7 +153,7 @@ impl ReplicationFactor {
 
 /// Named quorum rules used by the protocols; centralised so quorum math is
 /// written (and tested) exactly once.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuorumRule {
     /// `f + 1` matching messages (trust-bft prepare/commit quorums, client
     /// reply threshold of 3f+1 protocols).
@@ -167,7 +166,7 @@ pub enum QuorumRule {
 }
 
 /// Static configuration of one deployment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
     /// The protocol being run.
     pub protocol: ProtocolId,
@@ -194,7 +193,11 @@ impl SystemConfig {
     /// batch size 100, checkpointing every 1000 sequence numbers.
     pub fn for_protocol(protocol: ProtocolId, f: usize) -> Self {
         let n = protocol.replication_factor().replicas(f);
-        let max_in_flight = if protocol_is_parallel(protocol) { 256 } else { 1 };
+        let max_in_flight = if protocol_is_parallel(protocol) {
+            256
+        } else {
+            1
+        };
         SystemConfig {
             protocol,
             f,
@@ -369,7 +372,10 @@ mod tests {
 
     #[test]
     fn sequential_protocols_get_in_flight_of_one() {
-        assert_eq!(SystemConfig::for_protocol(ProtocolId::MinBft, 4).max_in_flight, 1);
+        assert_eq!(
+            SystemConfig::for_protocol(ProtocolId::MinBft, 4).max_in_flight,
+            1
+        );
         assert!(SystemConfig::for_protocol(ProtocolId::FlexiZz, 4).max_in_flight > 1);
     }
 

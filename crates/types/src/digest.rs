@@ -4,11 +4,10 @@
 //! batches and protocol messages without pulling in the crypto crate; the
 //! actual SHA-256 computation is provided by `flexitrust-crypto`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte collision-resistant digest (`Hash(v)` in the paper).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {

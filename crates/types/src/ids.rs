@@ -3,7 +3,6 @@
 //! All identifiers are small `Copy` newtypes so that they can be passed by
 //! value everywhere, used as map keys, and serialized cheaply.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a replica (a consensus participant).
@@ -11,9 +10,7 @@ use std::fmt;
 /// Replicas are numbered `0..n` within a deployment. Replica `v mod n` is the
 /// primary of view `v`, mirroring the PBFT-style rotation used by every
 /// protocol in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ReplicaId(pub u32);
 
 impl ReplicaId {
@@ -35,9 +32,7 @@ impl fmt::Display for ReplicaId {
 }
 
 /// Identifier of a client of the replicated service.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u64);
 
 impl ClientId {
@@ -55,7 +50,7 @@ impl fmt::Display for ClientId {
 
 /// A node is either a replica or a client; used for network addressing in the
 /// simulator and the threaded runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeId {
     /// A consensus replica.
     Replica(ReplicaId),
@@ -108,9 +103,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A view number: the epoch during which a specific replica acts as primary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct View(pub u64);
 
 impl View {
@@ -136,9 +129,7 @@ impl fmt::Display for View {
 
 /// A consensus sequence number (slot); transactions are executed in sequence
 /// number order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SeqNum(pub u64);
 
 impl SeqNum {
@@ -170,9 +161,7 @@ impl fmt::Display for SeqNum {
 /// Identifier of a client request: unique per client, monotonically
 /// increasing. Together with [`ClientId`] it uniquely identifies a
 /// transaction and allows replicas to de-duplicate retransmissions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RequestId(pub u64);
 
 impl RequestId {

@@ -23,5 +23,5 @@ pub use config::{ProtocolId, QuorumRule, ReplicationFactor, SystemConfig};
 pub use digest::Digest;
 pub use error::{Error, Result};
 pub use ids::{ClientId, NodeId, ReplicaId, RequestId, SeqNum, View};
-pub use region::{Region, RegionMap, WanMatrix};
+pub use region::{BandwidthConfig, Region, RegionMap, WanMatrix};
 pub use transaction::{Batch, KvOp, KvResult, Transaction, TxnOutcome};

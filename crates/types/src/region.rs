@@ -7,12 +7,11 @@
 //! assigns replicas to regions the same way the paper does.
 
 use crate::ids::ReplicaId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The six deployment regions used in the paper's WAN experiment, in the
 /// order the paper adds them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Oracle Cloud us-sanjose-1.
     SanJose,
@@ -70,7 +69,7 @@ impl fmt::Display for Region {
 }
 
 /// One-way latencies (in microseconds) between deployment regions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WanMatrix {
     /// `latency_us[a][b]` is the one-way latency from region `a` to `b`,
     /// indexed by [`Region::index`].
@@ -91,7 +90,14 @@ impl WanMatrix {
             // Ashburn
             [ms(31.0), ms(0.25), ms(102.0), ms(59.0), ms(8.0), ms(41.0)],
             // Sydney
-            [ms(74.0), ms(102.0), ms(0.25), ms(158.0), ms(104.0), ms(140.0)],
+            [
+                ms(74.0),
+                ms(102.0),
+                ms(0.25),
+                ms(158.0),
+                ms(104.0),
+                ms(140.0),
+            ],
             // Sao Paulo
             [ms(97.0), ms(59.0), ms(158.0), ms(0.25), ms(65.0), ms(101.0)],
             // Montreal
@@ -115,8 +121,82 @@ impl WanMatrix {
     }
 }
 
+/// Per-link bandwidth configuration, in megabits per second.
+///
+/// The simulator's delivery time for a message is `latency + size /
+/// bandwidth`; a link class set to `None` is treated as infinitely fast
+/// (pure-latency model, the seed behaviour). Splitting local and wide-area
+/// links mirrors real deployments, where intra-datacenter links are one to
+/// two orders of magnitude faster than inter-region ones — the regime the
+/// paper's Figure 6(vi) WAN experiment probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandwidthConfig {
+    /// Bandwidth of intra-region (same datacenter) replica links.
+    pub local_mbps: Option<u64>,
+    /// Bandwidth of inter-region (wide-area) replica links.
+    pub wan_mbps: Option<u64>,
+    /// Bandwidth of client↔replica links: charged on request uploads
+    /// (client → primary arrival) and on reply downloads (replica → client).
+    pub client_mbps: Option<u64>,
+}
+
+impl BandwidthConfig {
+    /// The pure-latency model: every link is infinitely fast.
+    pub fn unlimited() -> Self {
+        BandwidthConfig::default()
+    }
+
+    /// The same bandwidth on every link class.
+    ///
+    /// Panics on 0 Mbps: a zero-bandwidth link never delivers anything, so a
+    /// sweep reaching 0 would otherwise silently report unlimited-bandwidth
+    /// numbers (`transmit_time_ns` treats a missing constraint as free).
+    pub fn uniform(mbps: u64) -> Self {
+        assert!(
+            mbps > 0,
+            "bandwidth must be positive (0 Mbps never delivers)"
+        );
+        BandwidthConfig {
+            local_mbps: Some(mbps),
+            wan_mbps: Some(mbps),
+            client_mbps: Some(mbps),
+        }
+    }
+
+    /// Fast local links, constrained wide-area links — the shape of the
+    /// paper's multi-region deployments.
+    ///
+    /// Panics on 0 Mbps, like [`BandwidthConfig::uniform`].
+    pub fn wan_constrained(wan_mbps: u64) -> Self {
+        assert!(
+            wan_mbps > 0,
+            "bandwidth must be positive (0 Mbps never delivers)"
+        );
+        BandwidthConfig {
+            local_mbps: Some(10_000),
+            wan_mbps: Some(wan_mbps),
+            client_mbps: None,
+        }
+    }
+
+    /// Nanoseconds needed to push `bytes` through a link of `mbps` megabits
+    /// per second (`None` means an infinitely fast link; so does `Some(0)`,
+    /// which the preset constructors reject — a hand-built config with a
+    /// zero entry disables that link's constraint rather than dividing by
+    /// zero).
+    ///
+    /// 1 Mbps moves one bit per microsecond, so the transmission time in
+    /// nanoseconds is `bits * 1000 / mbps`.
+    pub fn transmit_time_ns(mbps: Option<u64>, bytes: usize) -> u64 {
+        match mbps {
+            None | Some(0) => 0,
+            Some(mbps) => (bytes as u64).saturating_mul(8_000) / mbps,
+        }
+    }
+}
+
 /// Assignment of replicas to regions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionMap {
     regions: Vec<Region>,
     assignment: Vec<Region>,
@@ -203,7 +283,10 @@ mod tests {
             assert!(m.latency_us(a, a) < 1000);
         }
         // Sydney <-> Sao Paulo should be the slowest pair.
-        assert!(m.latency_us(Region::Sydney, Region::SaoPaulo) > m.latency_us(Region::SanJose, Region::Ashburn));
+        assert!(
+            m.latency_us(Region::Sydney, Region::SaoPaulo)
+                > m.latency_us(Region::SanJose, Region::Ashburn)
+        );
     }
 
     #[test]
@@ -236,6 +319,40 @@ mod tests {
         assert_eq!(map.regions(), &[Region::SanJose]);
         assert_eq!(map.count_in(Region::SanJose), 5);
         assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn transmit_time_scales_with_size_and_bandwidth() {
+        // 1 Gbps moves 1 bit/ns: 1000 bytes = 8000 bits = 8 µs.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(1_000), 1_000), 8_000);
+        // Half the bandwidth, twice the time.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(500), 1_000), 16_000);
+        // Ten times the payload, ten times the time.
+        assert_eq!(
+            BandwidthConfig::transmit_time_ns(Some(1_000), 10_000),
+            80_000
+        );
+        // Unlimited links are free.
+        assert_eq!(BandwidthConfig::transmit_time_ns(None, 1_000_000), 0);
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(0), 1_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_preset_is_rejected() {
+        let _ = BandwidthConfig::wan_constrained(0);
+    }
+
+    #[test]
+    fn bandwidth_presets_have_expected_shape() {
+        let unlimited = BandwidthConfig::unlimited();
+        assert_eq!(unlimited.local_mbps, None);
+        assert_eq!(unlimited.wan_mbps, None);
+        let wan = BandwidthConfig::wan_constrained(100);
+        assert_eq!(wan.wan_mbps, Some(100));
+        assert!(wan.local_mbps.unwrap() > 100);
+        let uniform = BandwidthConfig::uniform(250);
+        assert_eq!(uniform.client_mbps, Some(250));
     }
 
     #[test]

@@ -171,7 +171,9 @@ impl WorkloadGenerator {
         let roll: f64 = self.rng.gen();
         let c = &self.config;
         let op = if roll < c.read_proportion {
-            KvOp::Read { key: self.next_key() }
+            KvOp::Read {
+                key: self.next_key(),
+            }
         } else if roll < c.read_proportion + c.update_proportion {
             KvOp::Update {
                 key: self.next_key(),

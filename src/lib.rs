@@ -12,6 +12,9 @@
 //! * [`workload`] — the YCSB-style workload generator.
 //! * [`exec`] — the key-value state machine and in-order execution queue.
 //! * [`protocol`] — the engine trait and shared consensus infrastructure.
+//! * [`host`] — the shared engine-hosting layer (the `EngineHost`
+//!   environment contract and the single `Action` dispatcher) every
+//!   environment below builds on.
 //! * [`core`] — the FlexiTrust protocols (Flexi-BFT, Flexi-ZZ).
 //! * [`baselines`] — PBFT, Zyzzyva, PBFT-EA, MinBFT, MinZZ, OPBFT-EA,
 //!   CheapBFT.
@@ -38,6 +41,7 @@ pub use flexitrust_baselines as baselines;
 pub use flexitrust_core as core;
 pub use flexitrust_crypto as crypto;
 pub use flexitrust_exec as exec;
+pub use flexitrust_host as host;
 pub use flexitrust_protocol as protocol;
 pub use flexitrust_runtime as runtime;
 pub use flexitrust_sim as sim;
@@ -48,6 +52,7 @@ pub use flexitrust_workload as workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use flexitrust_core::{FlexiBft, FlexiZz};
+    pub use flexitrust_host::{Dispatcher, EngineHost};
     pub use flexitrust_protocol::{
         ClientLibrary, ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
     };
@@ -57,8 +62,8 @@ pub mod prelude {
     };
     pub use flexitrust_trusted::{Enclave, EnclaveConfig, EnclaveRegistry, TrustedHardware};
     pub use flexitrust_types::{
-        Batch, ClientId, ProtocolId, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig,
-        Transaction, View,
+        BandwidthConfig, Batch, ClientId, ProtocolId, QuorumRule, ReplicaId, RequestId, SeqNum,
+        SystemConfig, Transaction, View,
     };
     pub use flexitrust_workload::{WorkloadConfig, WorkloadGenerator};
 }

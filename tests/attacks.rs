@@ -12,7 +12,10 @@ use flexitrust::prelude::*;
 fn section5_weak_quorums_break_responsiveness_only_for_2f_plus_1_protocols() {
     for f in [1usize, 2, 3] {
         let minbft = responsiveness_attack(ProtocolId::MinBft, f);
-        assert!(minbft.client_stuck(), "MinBFT f={f} should leave the client stuck");
+        assert!(
+            minbft.client_stuck(),
+            "MinBFT f={f} should leave the client stuck"
+        );
 
         let flexibft = responsiveness_attack(ProtocolId::FlexiBft, f);
         assert!(
@@ -21,7 +24,10 @@ fn section5_weak_quorums_break_responsiveness_only_for_2f_plus_1_protocols() {
         );
 
         let pbft = responsiveness_attack(ProtocolId::Pbft, f);
-        assert!(pbft.client_responsive(), "PBFT f={f} should stay responsive");
+        assert!(
+            pbft.client_responsive(),
+            "PBFT f={f} should stay responsive"
+        );
     }
 }
 

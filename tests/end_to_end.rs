@@ -37,7 +37,11 @@ fn bft_baselines_commit_end_to_end() {
 
 #[test]
 fn sequential_ablations_commit_end_to_end() {
-    for protocol in [ProtocolId::OFlexiBft, ProtocolId::OFlexiZz, ProtocolId::OpbftEa] {
+    for protocol in [
+        ProtocolId::OFlexiBft,
+        ProtocolId::OFlexiZz,
+        ProtocolId::OpbftEa,
+    ] {
         let summary = run(protocol, 60);
         assert_eq!(summary.completed_txns, 60, "{protocol}");
     }

@@ -86,7 +86,7 @@ proptest! {
         // Generate the full message pool: every preprepare and, from every
         // replica, the Prepare votes they produce when accepting them.
         let mut pool: Vec<(ReplicaId, usize, Message)> = Vec::new();
-        for (i, engine) in engines.iter_mut().enumerate().skip(0) {
+        for (i, engine) in engines.iter_mut().enumerate() {
             for pp in &preprepares {
                 let mut o = Outbox::new();
                 engine.on_message(ReplicaId(0), pp.clone(), &mut o);

@@ -38,7 +38,12 @@ fn flexitrust_outperforms_its_trust_bft_counterparts() {
 #[test]
 fn pbft_ea_is_the_slowest_protocol_of_the_lineup() {
     let pbft_ea = quick(ProtocolId::PbftEa, 2);
-    for other in [ProtocolId::MinBft, ProtocolId::MinZz, ProtocolId::FlexiZz, ProtocolId::Pbft] {
+    for other in [
+        ProtocolId::MinBft,
+        ProtocolId::MinZz,
+        ProtocolId::FlexiZz,
+        ProtocolId::Pbft,
+    ] {
         let report = quick(other, 2);
         assert!(
             report.throughput_tps >= pbft_ea.throughput_tps,
