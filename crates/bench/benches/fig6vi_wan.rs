@@ -1,23 +1,39 @@
-//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions, plus the
-//! bandwidth-constrained variant the wire-size model enables: the same
-//! six-region topology swept over per-link WAN bandwidth, showing delivery
-//! time growing with `Message::wire_size_bytes() / bandwidth`.
+//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions, plus the two
+//! bandwidth experiments the wire-size model enables: the same six-region
+//! topology swept over per-link WAN bandwidth, and an offered-load sweep at
+//! fixed bandwidth showing throughput saturating as the leader's NIC queue
+//! builds — the sender-side contention the serialising FIFO link model
+//! captures and an infinite-capacity pipe cannot.
+//!
+//! `FLEXITRUST_BENCH_SCALE=smoke` shrinks every sweep to a representative
+//! handful of points (the CI smoke configuration).
 
 use flexitrust::prelude::*;
-use flexitrust_bench::{eval_spec, print_table, run};
+use flexitrust_bench::{bench_scale, eval_spec, print_table, run, BenchScale};
+
+fn wan_spec(protocol: ProtocolId, regions: usize, clients: usize) -> ScenarioSpec {
+    let mut spec = eval_spec(protocol, 2);
+    spec.regions = regions;
+    // WAN latencies need a longer window to reach steady state.
+    spec.duration_us = 1_200_000;
+    spec.warmup_us = 400_000;
+    spec.clients = clients;
+    spec
+}
 
 fn main() {
-    let protocols = [ProtocolId::MinBft, ProtocolId::Pbft, ProtocolId::FlexiZz];
+    let smoke = bench_scale() == BenchScale::Smoke;
+
+    let protocols: &[ProtocolId] = if smoke {
+        &[ProtocolId::FlexiZz]
+    } else {
+        &[ProtocolId::MinBft, ProtocolId::Pbft, ProtocolId::FlexiZz]
+    };
+    let region_sweep: Vec<usize> = if smoke { vec![1, 6] } else { (1..=6).collect() };
     let mut rows = Vec::new();
-    for protocol in protocols {
-        for regions in 1..=6usize {
-            let mut spec = eval_spec(protocol, 2);
-            spec.regions = regions;
-            // WAN latencies need a longer window to reach steady state.
-            spec.duration_us = 1_200_000;
-            spec.warmup_us = 400_000;
-            spec.clients = 4_000;
-            let report = run(spec);
+    for &protocol in protocols {
+        for &regions in &region_sweep {
+            let report = run(wan_spec(protocol, regions, 4_000));
             rows.push(format!(
                 "{:<11} regions={} tput={:>10.0} txn/s   lat={:>7.2} ms",
                 protocol.name(),
@@ -35,34 +51,77 @@ fn main() {
 
     // Bandwidth sweep: six regions, shrinking WAN links. Unlimited is the
     // seed's pure-latency model; the constrained rows add size/bandwidth
-    // transmission time to every inter-region delivery.
-    let mut bw_rows = Vec::new();
-    for protocol in [ProtocolId::Pbft, ProtocolId::FlexiZz] {
-        for (label, bandwidth) in [
+    // transmission time — and now sender-NIC queueing — to every
+    // inter-region delivery.
+    let bw_protocols: &[ProtocolId] = if smoke {
+        &[ProtocolId::FlexiZz]
+    } else {
+        &[ProtocolId::Pbft, ProtocolId::FlexiZz]
+    };
+    let bw_points: &[(&str, BandwidthConfig)] = if smoke {
+        &[
+            ("unlimited", BandwidthConfig::unlimited()),
+            ("20 Mbps", BandwidthConfig::wan_constrained(20)),
+        ]
+    } else {
+        &[
             ("unlimited", BandwidthConfig::unlimited()),
             ("100 Mbps", BandwidthConfig::wan_constrained(100)),
             ("20 Mbps", BandwidthConfig::wan_constrained(20)),
             ("5 Mbps", BandwidthConfig::wan_constrained(5)),
-        ] {
-            let mut spec = eval_spec(protocol, 2);
-            spec.regions = 6;
-            spec.bandwidth = bandwidth;
-            spec.duration_us = 1_200_000;
-            spec.warmup_us = 400_000;
-            spec.clients = 2_000;
+        ]
+    };
+    let mut bw_rows = Vec::new();
+    for &protocol in bw_protocols {
+        for (label, bandwidth) in bw_points {
+            let mut spec = wan_spec(protocol, 6, 2_000);
+            spec.bandwidth = *bandwidth;
             let report = run(spec);
             bw_rows.push(format!(
-                "{:<11} wan={:<9} tput={:>10.0} txn/s   lat={:>7.2} ms",
+                "{:<11} wan={:<9} tput={:>10.0} txn/s   lat={:>7.2} ms   queue={:>8.2} ms",
                 protocol.name(),
                 label,
                 report.throughput_tps,
                 report.avg_latency_ms,
+                report.net_queue_delay_ns as f64 / 1e6,
             ));
         }
     }
     print_table(
         "Figure 6(vi) extension: six regions under per-link WAN bandwidth limits (f = 2)",
-        "Protocol    bandwidth      throughput          latency",
+        "Protocol    bandwidth      throughput          latency        total queueing",
         &bw_rows,
+    );
+
+    // Saturation sweep: fixed (thin) WAN links, growing offered load. With
+    // links as serialising FIFO queues, every broadcast copy the leader
+    // emits occupies its NIC for a full wire time, so throughput flattens
+    // against the NIC's capacity while queueing delay — and with it client
+    // latency — keeps climbing: the saturation knee of a leader-based
+    // protocol at geo-scale.
+    let load_sweep: &[usize] = if smoke {
+        &[250, 2_000]
+    } else {
+        &[125, 250, 500, 1_000, 2_000, 4_000]
+    };
+    let mut sat_rows = Vec::new();
+    for &clients in load_sweep {
+        let mut spec = wan_spec(ProtocolId::FlexiZz, 6, clients);
+        spec.bandwidth = BandwidthConfig::wan_constrained(20);
+        let report = run(spec);
+        let leader_util = report.max_link_utilization();
+        sat_rows.push(format!(
+            "clients={:<6} tput={:>10.0} txn/s   lat={:>8.2} ms   leader NIC util={:>5.2}   queue={:>9.2} ms",
+            clients,
+            report.throughput_tps,
+            report.avg_latency_ms,
+            leader_util,
+            report.net_queue_delay_ns as f64 / 1e6,
+        ));
+    }
+    print_table(
+        "Figure 6(vi) extension: Flexi-ZZ saturation under 20 Mbps WAN links (6 regions, f = 2)",
+        "Load         throughput            latency       busiest link           queueing",
+        &sat_rows,
     );
 }

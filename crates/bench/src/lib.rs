@@ -13,11 +13,35 @@
 
 use flexitrust::prelude::*;
 
+/// The parameter scale a bench run was asked for, from the single
+/// `FLEXITRUST_BENCH_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// The default laptop-friendly parameters.
+    Quick,
+    /// `FLEXITRUST_BENCH_SCALE=full`: larger windows closer to the paper's
+    /// setup.
+    Full,
+    /// `FLEXITRUST_BENCH_SCALE=smoke`: the CI smoke configuration — each
+    /// bench shrinks its sweeps to a representative handful of points so a
+    /// regression in the models fails fast without burning CI minutes on
+    /// full figures.
+    Smoke,
+}
+
+/// Reads `FLEXITRUST_BENCH_SCALE` once; any unrecognised value means
+/// [`BenchScale::Quick`].
+pub fn bench_scale() -> BenchScale {
+    match std::env::var("FLEXITRUST_BENCH_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => BenchScale::Full,
+        Ok(v) if v.eq_ignore_ascii_case("smoke") => BenchScale::Smoke,
+        _ => BenchScale::Quick,
+    }
+}
+
 /// Returns `true` when the full-scale (slower) parameters were requested.
 pub fn full_scale() -> bool {
-    std::env::var("FLEXITRUST_BENCH_SCALE")
-        .map(|v| v.eq_ignore_ascii_case("full"))
-        .unwrap_or(false)
+    bench_scale() == BenchScale::Full
 }
 
 /// The standard evaluation scenario used by the figure benches.

@@ -5,8 +5,11 @@
 //! evaluation on a laptop: the same protocol engines that run under the
 //! threaded runtime are driven by a discrete-event loop that models
 //!
-//! * **network latency** — a single-region LAN or the paper's six-region WAN
-//!   layout ([`net::NetworkModel`]),
+//! * **network latency and link occupancy** — a single-region LAN or the
+//!   paper's six-region WAN layout ([`net::NetworkModel`]), with every
+//!   sender NIC modelled as serialising FIFO queues per link class
+//!   ([`link::LinkQueues`]): concurrent transfers on one link queue behind
+//!   each other, so broadcast fan-out pays real wire time,
 //! * **replica CPU** — a configurable number of worker threads per replica,
 //!   each message charged for MAC checks, signature/attestation
 //!   verifications, hashing and execution ([`cost::CostModel`]),
@@ -23,6 +26,7 @@
 
 pub mod cost;
 pub mod faults;
+pub mod link;
 pub mod metrics;
 pub mod net;
 pub mod registry;
@@ -31,6 +35,7 @@ pub mod spec;
 
 pub use cost::CostModel;
 pub use faults::{DeliveryFate, FaultPlan};
+pub use link::{LinkClass, LinkQueues, LinkUsage, Nic};
 pub use metrics::{CommittedTxn, SimReport};
 pub use net::NetworkModel;
 pub use registry::{build_replicas, ReplicaSetup};

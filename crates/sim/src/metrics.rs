@@ -2,6 +2,7 @@
 
 use flexitrust_types::ProtocolId;
 
+pub use crate::link::{LinkClass, LinkUsage, Nic};
 pub use flexitrust_host::CommittedTxn;
 
 /// The summary a simulation run produces.
@@ -17,6 +18,9 @@ pub struct SimReport {
     pub clients: usize,
     /// Measured (post-warm-up) duration in seconds.
     pub duration_s: f64,
+    /// Whole-run simulated time (warm-up included) in seconds — the window
+    /// link accounting spans.
+    pub total_duration_s: f64,
     /// Transactions completed at clients during the measured window.
     pub completed_txns: u64,
     /// Client-observed throughput in transactions per second.
@@ -36,6 +40,15 @@ pub struct SimReport {
     /// Total transactions executed at the busiest replica (sanity check that
     /// execution kept up with client completion).
     pub max_replica_executed: u64,
+    /// Total wire-occupancy (transmission) time across every link of the
+    /// run, nanoseconds. Zero under `BandwidthConfig::unlimited()`.
+    pub net_busy_ns: u64,
+    /// Total time transfers spent queued behind earlier transfers on their
+    /// sender NIC, nanoseconds. Non-zero only when a link saturates: the
+    /// contention signal of the serialising FIFO link model.
+    pub net_queue_delay_ns: u64,
+    /// Per-(sender NIC, link class) usage, sorted by NIC then class.
+    pub link_usage: Vec<LinkUsage>,
     /// Every completed transaction (warm-up included), sorted by sequence
     /// number; the basis of cross-host equivalence checks. Recorded only
     /// when `ScenarioSpec::record_commit_log` is set (on in `quick_test`,
@@ -52,6 +65,25 @@ impl SimReport {
         } else {
             self.throughput_tps / self.n as f64
         }
+    }
+
+    /// Utilisation of the busiest link in the run: wire time reserved on
+    /// the most loaded (sender NIC, link class) pair divided by the
+    /// whole-run time (link accounting spans warm-up too, so the window
+    /// must as well). Approaches 1.0 as a leader NIC saturates and exceeds
+    /// it once the offered load outruns the link (a backlog is building).
+    pub fn max_link_utilization(&self) -> f64 {
+        let duration_ns = (self.total_duration_s * 1e9) as u64;
+        self.link_usage
+            .iter()
+            .map(|u| u.utilization(duration_ns))
+            .fold(0.0, f64::max)
+    }
+
+    /// The usage entry with the most wire-occupancy time, if any link ever
+    /// transmitted (under unlimited bandwidth none does).
+    pub fn busiest_link(&self) -> Option<&LinkUsage> {
+        self.link_usage.iter().max_by_key(|u| u.busy_ns)
     }
 
     /// One-line human-readable summary.
@@ -71,6 +103,19 @@ impl SimReport {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample set:
+/// the smallest sample such that at least `p` of the distribution is at or
+/// below it (rank `⌈p·n⌉`, 1-indexed). Used for every reported percentile so
+/// p50 and p99 cannot disagree about rounding: the old code indexed p50 at
+/// `n/2` (overshooting the median for small even `n`) but truncated the p99
+/// rank downward.
+pub(crate) fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    debug_assert!((0.0..=1.0).contains(&p));
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Computes latency statistics (in milliseconds) from nanosecond samples.
 pub(crate) fn latency_stats_ms(samples: &mut [u64]) -> (f64, f64, f64) {
     if samples.is_empty() {
@@ -79,9 +124,8 @@ pub(crate) fn latency_stats_ms(samples: &mut [u64]) -> (f64, f64, f64) {
     samples.sort_unstable();
     let to_ms = |ns: u64| ns as f64 / 1_000_000.0;
     let avg = samples.iter().map(|s| *s as f64).sum::<f64>() / samples.len() as f64 / 1_000_000.0;
-    let p50 = to_ms(samples[samples.len() / 2]);
-    let p99_idx = ((samples.len() - 1) as f64 * 0.99) as usize;
-    let p99 = to_ms(samples[p99_idx]);
+    let p50 = to_ms(percentile(samples, 0.50));
+    let p99 = to_ms(percentile(samples, 0.99));
     (avg, p50, p99)
 }
 
@@ -95,7 +139,8 @@ mod tests {
             f: 8,
             n: 25,
             clients: 1000,
-            duration_s: 1.0,
+            duration_s: 0.8,
+            total_duration_s: 1.0,
             completed_txns: 50_000,
             throughput_tps: 50_000.0,
             avg_latency_ms: 1.5,
@@ -105,6 +150,24 @@ mod tests {
             tc_accesses_total: 500,
             tc_accesses_primary: 500,
             max_replica_executed: 50_000,
+            net_busy_ns: 600_000_000,
+            net_queue_delay_ns: 150_000_000,
+            link_usage: vec![
+                LinkUsage {
+                    nic: Nic::Replica(flexitrust_types::ReplicaId(0)),
+                    class: LinkClass::Wan,
+                    busy_ns: 500_000_000,
+                    queue_delay_ns: 150_000_000,
+                    messages: 900,
+                },
+                LinkUsage {
+                    nic: Nic::Replica(flexitrust_types::ReplicaId(1)),
+                    class: LinkClass::Wan,
+                    busy_ns: 100_000_000,
+                    queue_delay_ns: 0,
+                    messages: 180,
+                },
+            ],
             commit_log: Vec::new(),
         }
     }
@@ -120,5 +183,44 @@ mod tests {
         let line = report().summary_line();
         assert!(line.contains("Flexi-ZZ"));
         assert!(line.contains("50000"));
+    }
+
+    #[test]
+    fn max_link_utilization_picks_the_busiest_link() {
+        let r = report();
+        // 500 ms busy over a 1 s run.
+        assert!((r.max_link_utilization() - 0.5).abs() < 1e-9);
+        let busiest = r.busiest_link().unwrap();
+        assert_eq!(busiest.nic, Nic::Replica(flexitrust_types::ReplicaId(0)));
+        assert_eq!(busiest.messages, 900);
+    }
+
+    #[test]
+    fn percentiles_use_the_nearest_rank_for_every_p() {
+        // n = 1: every percentile is the single sample.
+        assert_eq!(percentile(&[7], 0.50), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        // n = 2: the median is the first sample (rank ⌈0.5·2⌉ = 1), not the
+        // second (the old `len/2` indexing returned 20 here).
+        assert_eq!(percentile(&[10, 20], 0.50), 10);
+        assert_eq!(percentile(&[10, 20], 0.99), 20);
+        // n = 4: rank ⌈2⌉ = 2 → the second sample, not the third.
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.99), 4);
+        // n = 100: p50 is the 50th sample, p99 the 99th.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn latency_stats_agree_with_the_percentile_helper() {
+        let mut samples: Vec<u64> = (1..=4).map(|v| v * 1_000_000).collect();
+        let (avg, p50, p99) = latency_stats_ms(&mut samples);
+        assert!((avg - 2.5).abs() < 1e-9);
+        assert!((p50 - 2.0).abs() < 1e-9);
+        assert!((p99 - 4.0).abs() < 1e-9);
+        assert_eq!(latency_stats_ms(&mut []), (0.0, 0.0, 0.0));
     }
 }

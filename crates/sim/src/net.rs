@@ -1,12 +1,16 @@
 //! Network latency and bandwidth model.
 //!
-//! Delivery time of a message over a link is `latency + size / bandwidth`:
-//! the one-way propagation latency of the link (LAN, WAN matrix entry, or
-//! the loopback cost for self-delivery) plus the transmission time of the
-//! message's wire bytes through the link's configured bandwidth
-//! ([`BandwidthConfig`]). The seed model was latency-only; unlimited
-//! bandwidth (the default) reproduces it exactly.
+//! This is the **stateless** half of the network model: per-link latency
+//! (LAN, WAN matrix entry, or the loopback cost for self-delivery), the
+//! transmission time of a message's wire bytes through the link's
+//! configured bandwidth ([`BandwidthConfig`]), and the link-class
+//! classification consumed by the serialising queues. Link *occupancy* —
+//! concurrent transfers on one sender NIC queueing behind each other — is
+//! the runner-owned [`crate::link::LinkQueues`]; delivery time of a message
+//! is `queue wait + size / bandwidth + latency`. The seed model was
+//! latency-only; unlimited bandwidth (the default) reproduces it exactly.
 
+use crate::link::LinkClass;
 use flexitrust_types::{BandwidthConfig, RegionMap, ReplicaId, WanMatrix};
 
 /// One-way latencies and per-link bandwidth between replicas and between
@@ -96,6 +100,17 @@ impl NetworkModel {
         }
     }
 
+    /// The bandwidth class of the replica link `from → to`: local within a
+    /// region, WAN across regions. Also the lane transfers serialise on in
+    /// [`crate::link::LinkQueues`].
+    pub fn replica_link_class(&self, from: ReplicaId, to: ReplicaId) -> LinkClass {
+        if self.regions.region_of(from) == self.regions.region_of(to) {
+            LinkClass::Local
+        } else {
+            LinkClass::Wan
+        }
+    }
+
     /// Transmission time (nanoseconds) of `bytes` over the replica link
     /// `from → to`: zero for self-delivery (no NIC involved), the local link
     /// bandwidth within a region, the WAN bandwidth across regions.
@@ -103,7 +118,7 @@ impl NetworkModel {
         if from == to {
             return 0;
         }
-        let mbps = if self.regions.region_of(from) == self.regions.region_of(to) {
+        let mbps = if self.replica_link_class(from, to) == LinkClass::Local {
             self.bandwidth.local_mbps
         } else {
             self.bandwidth.wan_mbps

@@ -15,9 +15,10 @@
 //! * the **engine** itself, hosted behind the shared
 //!   [`flexitrust_host::Dispatcher`]: the engine's emitted actions are
 //!   translated once, in the host layer, into simulator events (message
-//!   deliveries after latency plus wire-size/bandwidth transmission time,
-//!   timer expirations) or into client accounting (replies). The simulator
-//!   itself only implements the [`EngineHost`] primitives.
+//!   deliveries after sender-NIC queueing plus wire-size/bandwidth
+//!   transmission time plus latency — see [`crate::link::LinkQueues`] —
+//!   and timer expirations) or into client accounting (replies). The
+//!   simulator itself only implements the [`EngineHost`] primitives.
 //!
 //! Clients are closed-loop and modelled in aggregate: each of the
 //! `spec.clients` logical clients keeps exactly one transaction outstanding;
@@ -28,6 +29,7 @@
 
 use crate::cost::CostModel;
 use crate::faults::{DeliveryFate, FaultPlan};
+use crate::link::{LinkClass, LinkQueues, Nic};
 use crate::metrics::{latency_stats_ms, CommittedTxn, SimReport};
 use crate::net::NetworkModel;
 use crate::registry::{build_replicas, ReplicaSetup};
@@ -48,6 +50,33 @@ enum EventKind {
         to: ReplicaId,
         from: ReplicaId,
         msg: Message,
+    },
+    /// A message departing over a finite-bandwidth link: reserves the
+    /// sender's NIC when the clock reaches the departure time, so
+    /// concurrent transfers reserve in global time order (a departure-time
+    /// FIFO) rather than in event-dispatch order — an engine invocation
+    /// processed early but departing late must not hold the wire against a
+    /// transfer that physically leaves first. Zero-transmit traffic skips
+    /// this hop and schedules its `Deliver` directly (the bit-exact
+    /// pure-latency path).
+    Transmit {
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+        transmit_ns: u64,
+        extra_ns: u64,
+    },
+    /// A client reply departing over a finite-bandwidth client lane;
+    /// same departure-time FIFO as `Transmit`.
+    TransmitReply {
+        from: ReplicaId,
+        reply: ClientReply,
+        transmit_ns: u64,
+    },
+    /// A batch of client request uploads ready to cross the aggregate
+    /// client uplink; same departure-time FIFO as `Transmit`.
+    ClientUpload {
+        txns: Vec<Transaction>,
     },
     Timer {
         replica: ReplicaId,
@@ -126,25 +155,54 @@ struct SimEnv<'a> {
 
 impl EngineHost for SimEnv<'_> {
     fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
-        let fate = self.faults.fate(from, to, &msg);
-        let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
+        let extra_ns = match self.faults.fate(from, to, &msg) {
+            DeliveryFate::Drop => return,
+            DeliveryFate::Deliver => 0,
+            DeliveryFate::Delay(extra_us) => extra_us * 1_000,
+        };
         let transmit_ns = self
             .net
             .replica_transmit_ns(from, to, msg.wire_size_bytes());
-        let arrival = match fate {
-            DeliveryFate::Drop => return,
-            DeliveryFate::Deliver => self.at + latency_ns + transmit_ns,
-            DeliveryFate::Delay(extra_us) => self.at + latency_ns + transmit_ns + extra_us * 1_000,
-        };
-        self.events
-            .push((arrival, EventKind::Deliver { to, from, msg }));
+        if transmit_ns == 0 {
+            // Self-delivery or an unlimited link class: pure latency, no
+            // NIC involved — the seed's schedule, bit-exactly.
+            let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
+            let arrival = self.at + latency_ns + extra_ns;
+            self.events
+                .push((arrival, EventKind::Deliver { to, from, msg }));
+        } else {
+            // The sender's NIC is a serial resource: the transfer reserves
+            // it when the clock reaches the departure time, queueing behind
+            // whatever is on the wire then — a broadcast's k-th copy waits
+            // for the first k − 1.
+            self.events.push((
+                self.at,
+                EventKind::Transmit {
+                    to,
+                    from,
+                    msg,
+                    transmit_ns,
+                    extra_ns,
+                },
+            ));
+        }
     }
 
     fn reply(&mut self, from: ReplicaId, reply: ClientReply) {
-        let arrive = self.at
-            + self.net.client_latency_us(from) * 1_000
-            + self.net.client_transmit_ns(reply.wire_size_bytes());
-        self.replies.push((from, reply, arrive));
+        let transmit_ns = self.net.client_transmit_ns(reply.wire_size_bytes());
+        if transmit_ns == 0 {
+            let arrive = self.at + self.net.client_latency_us(from) * 1_000;
+            self.replies.push((from, reply, arrive));
+        } else {
+            self.events.push((
+                self.at,
+                EventKind::TransmitReply {
+                    from,
+                    reply,
+                    transmit_ns,
+                },
+            ));
+        }
     }
 
     fn schedule_timer(
@@ -196,6 +254,9 @@ impl EngineHost for SimEnv<'_> {
 pub struct Simulation {
     spec: ScenarioSpec,
     net: NetworkModel,
+    /// Per-link FIFO occupancy state. Lives with the runner — the network
+    /// model is cloned/shared and must stay stateless.
+    links: LinkQueues,
     hosts: Vec<Host>,
     dispatcher: Dispatcher,
     events: BinaryHeap<Reverse<Event>>,
@@ -268,6 +329,7 @@ impl Simulation {
             op_generator: WorkloadGenerator::new(spec.workload.clone(), ClientId(0), spec.seed),
             next_request_id: vec![1; spec.clients],
             net,
+            links: LinkQueues::new(),
             dispatcher: Dispatcher::new(hosts.len()),
             hosts,
             events: BinaryHeap::new(),
@@ -320,11 +382,7 @@ impl Simulation {
         let warmup_ns = self.spec.warmup_us * 1_000;
         // Initial client load: every logical client submits one transaction.
         let initial: Vec<Transaction> = (0..self.spec.clients).map(|c| self.fresh_txn(c)).collect();
-        let upload_ns = self.client_upload_ns(&initial);
-        self.push_event(
-            1_000 + upload_ns,
-            EventKind::ClientArrival { txns: initial },
-        );
+        self.schedule_client_upload(1_000, initial);
 
         while let Some(Reverse(event)) = self.events.pop() {
             if event.at > total_ns {
@@ -333,6 +391,19 @@ impl Simulation {
             self.now = event.at;
             match event.kind {
                 EventKind::Deliver { to, from, msg } => self.on_deliver(to, from, msg),
+                EventKind::Transmit {
+                    to,
+                    from,
+                    msg,
+                    transmit_ns,
+                    extra_ns,
+                } => self.on_transmit(to, from, msg, transmit_ns, extra_ns),
+                EventKind::TransmitReply {
+                    from,
+                    reply,
+                    transmit_ns,
+                } => self.on_transmit_reply(from, reply, transmit_ns),
+                EventKind::ClientUpload { txns } => self.on_client_upload(txns),
                 EventKind::Timer {
                     replica,
                     timer,
@@ -354,16 +425,23 @@ impl Simulation {
             return;
         }
         let txns = std::mem::take(&mut self.pending_resubmits);
-        let at = self.pending_resubmit_at.max(self.now + 1) + self.client_upload_ns(&txns);
-        self.push_event(at, EventKind::ClientArrival { txns });
+        let ready = self.pending_resubmit_at.max(self.now + 1);
+        self.schedule_client_upload(ready, txns);
     }
 
-    /// Transmission time of client requests over the client link: uploads
-    /// arrive at the primary after their wire bytes cross the (shared,
-    /// aggregate) client link. Zero under unlimited client bandwidth.
-    fn client_upload_ns(&self, txns: &[Transaction]) -> Ns {
+    /// Routes a batch of request uploads towards the primary: under
+    /// unlimited client bandwidth they arrive at `ready` directly (the
+    /// pure-latency path); otherwise a `ClientUpload` event reserves the
+    /// aggregate client uplink when the clock reaches `ready`, so uploads
+    /// serialise FIFO in departure-time order behind earlier uploads still
+    /// on the pipe.
+    fn schedule_client_upload(&mut self, ready: Ns, txns: Vec<Transaction>) {
         let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
-        self.net.client_transmit_ns(bytes)
+        if self.net.client_transmit_ns(bytes) == 0 {
+            self.push_event(ready, EventKind::ClientArrival { txns });
+        } else {
+            self.push_event(ready, EventKind::ClientUpload { txns });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -454,6 +532,50 @@ impl Simulation {
         });
     }
 
+    /// A message reached the head of its departure queue: reserve the
+    /// sender's NIC (FIFO behind everything reserved before `now`) and
+    /// schedule the delivery for when the last byte has crossed the wire
+    /// and the propagation latency has passed.
+    fn on_transmit(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+        transmit_ns: u64,
+        extra_ns: u64,
+    ) {
+        let sent = self.links.reserve(
+            Nic::Replica(from),
+            self.net.replica_link_class(from, to),
+            self.now,
+            transmit_ns,
+        );
+        let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
+        let arrival = sent.saturating_add(latency_ns).saturating_add(extra_ns);
+        self.push_event(arrival, EventKind::Deliver { to, from, msg });
+    }
+
+    /// A client reply departing over a finite-bandwidth client lane:
+    /// reserve the replica's client lane and account the reply at its
+    /// arrival time.
+    fn on_transmit_reply(&mut self, from: ReplicaId, reply: ClientReply, transmit_ns: u64) {
+        let sent = self
+            .links
+            .reserve(Nic::Replica(from), LinkClass::Client, self.now, transmit_ns);
+        let arrive = sent.saturating_add(self.net.client_latency_us(from) * 1_000);
+        self.record_reply(from, &reply, arrive);
+    }
+
+    /// A batch of request uploads crossing the aggregate client uplink.
+    fn on_client_upload(&mut self, txns: Vec<Transaction>) {
+        let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
+        let transmit_ns = self.net.client_transmit_ns(bytes);
+        let arrival = self
+            .links
+            .reserve(Nic::ClientPool, LinkClass::Client, self.now, transmit_ns);
+        self.push_event(arrival, EventKind::ClientArrival { txns });
+    }
+
     fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {
         if self.spec.faults.is_failed(to) {
             return;
@@ -519,8 +641,13 @@ impl Simulation {
             // never happens the client falls back after a timeout plus an
             // extra round trip (gathering/distributing a commit certificate).
             tracker.fallback_scheduled = true;
+            // The extra round trip goes to whichever replica currently
+            // leads, not a hard-coded replica 0: after a view change the
+            // primary may sit in a different region, and the stale RTT base
+            // would misprice every fallback.
+            let primary = self.current_primary();
             let timeout_ns = self.spec.system_config().client_timeout_us * 1_000;
-            let rtt_ns = 2 * self.net.client_latency_us(ReplicaId(0)) * 1_000;
+            let rtt_ns = 2 * self.net.client_latency_us(primary) * 1_000;
             self.push_event(
                 at + timeout_ns + rtt_ns,
                 EventKind::FallbackComplete {
@@ -551,12 +678,14 @@ impl Simulation {
             self.completed_txns += 1;
         }
         // The closed-loop client immediately submits its next transaction
-        // after one client round trip.
+        // after one client round trip to the replica it actually contacts —
+        // the current primary, which may have moved since the run started.
         let client = key.0 as usize;
         if client < self.spec.clients {
             let txn = self.fresh_txn(client);
             self.pending_resubmits.push(txn);
-            self.pending_resubmit_at = at + 2 * self.net.client_latency_us(ReplicaId(0)) * 1_000;
+            let primary = self.current_primary();
+            self.pending_resubmit_at = at + 2 * self.net.client_latency_us(primary) * 1_000;
         }
         self.requests.remove(&key);
     }
@@ -587,6 +716,7 @@ impl Simulation {
             n: config.n,
             clients: self.spec.clients,
             duration_s: measured_s,
+            total_duration_s: total_ns as f64 / 1e9,
             completed_txns: self.completed_txns,
             throughput_tps: self.completed_txns as f64 / measured_s,
             avg_latency_ms: avg,
@@ -601,6 +731,9 @@ impl Simulation {
                 .map(|h| h.engine.executed_txns())
                 .max()
                 .unwrap_or(0),
+            net_busy_ns: self.links.total_busy_ns(),
+            net_queue_delay_ns: self.links.total_queue_delay_ns(),
+            link_usage: self.links.usage(),
             commit_log,
         }
     }

@@ -180,17 +180,22 @@ impl BandwidthConfig {
     }
 
     /// Nanoseconds needed to push `bytes` through a link of `mbps` megabits
-    /// per second (`None` means an infinitely fast link; so does `Some(0)`,
-    /// which the preset constructors reject — a hand-built config with a
-    /// zero entry disables that link's constraint rather than dividing by
-    /// zero).
+    /// per second. `None` means an infinitely fast link. `Some(0)` — which
+    /// the preset constructors reject — saturates to an unusably slow link
+    /// (`u64::MAX` ns): a zero-bandwidth link never delivers, and treating it
+    /// as *infinitely fast* (as it once was) would make a sweep that reaches
+    /// 0 silently report unlimited-bandwidth numbers. Callers adding the
+    /// result to a clock must use saturating arithmetic.
     ///
     /// 1 Mbps moves one bit per microsecond, so the transmission time in
-    /// nanoseconds is `bits * 1000 / mbps`.
+    /// nanoseconds is `bits * 1000 / mbps`, rounded **up**: a transfer holds
+    /// the link for every partial nanosecond it needs, so small messages on
+    /// fast links are never free.
     pub fn transmit_time_ns(mbps: Option<u64>, bytes: usize) -> u64 {
         match mbps {
-            None | Some(0) => 0,
-            Some(mbps) => (bytes as u64).saturating_mul(8_000) / mbps,
+            None => 0,
+            Some(0) => u64::MAX,
+            Some(mbps) => (bytes as u64).saturating_mul(8_000).div_ceil(mbps),
         }
     }
 }
@@ -334,7 +339,24 @@ mod tests {
         );
         // Unlimited links are free.
         assert_eq!(BandwidthConfig::transmit_time_ns(None, 1_000_000), 0);
-        assert_eq!(BandwidthConfig::transmit_time_ns(Some(0), 1_000), 0);
+    }
+
+    #[test]
+    fn zero_bandwidth_saturates_to_an_unusably_slow_link() {
+        // 0 Mbps never delivers: the old model treated it as infinitely
+        // *fast*, silently disabling the constraint.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(0), 1_000), u64::MAX);
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(0), 1), u64::MAX);
+    }
+
+    #[test]
+    fn transmit_time_rounds_partial_nanoseconds_up() {
+        // 1 byte at 10 Gbps is 0.8 ns of wire time: charged as 1 ns, not 0.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(10_000), 1), 1);
+        // 3 bytes at 7 Mbps = 24 000 / 7 = 3428.57… ns, rounded up.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(7), 3), 3_429);
+        // Exact divisions are unchanged.
+        assert_eq!(BandwidthConfig::transmit_time_ns(Some(1_000), 1_000), 8_000);
     }
 
     #[test]

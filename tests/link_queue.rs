@@ -1,0 +1,232 @@
+//! The serialising FIFO link model: property tests over the queue itself,
+//! the broadcast fan-out acceptance criterion, and the regression pin that
+//! `BandwidthConfig::unlimited()` reproduces the latency-only schedule
+//! bit-exactly.
+
+use flexitrust::prelude::*;
+use proptest::prelude::*;
+
+const NIC: Nic = Nic::Replica(ReplicaId(0));
+
+// ---------------------------------------------------------------------------
+// Queue-level properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Per-link delivery is FIFO: however ready times and transfer sizes
+    /// interleave, completion times come out in reservation order, each
+    /// transfer starts no earlier than its ready time, and the wire is
+    /// never occupied by two transfers at once.
+    #[test]
+    fn link_transfers_complete_in_fifo_order(
+        ready_deltas in proptest::collection::vec(0u64..5_000, 1..60),
+        transmits in proptest::collection::vec(1u64..2_000, 1..60),
+    ) {
+        let mut queue = LinkQueues::new();
+        let mut ready = 0u64;
+        let mut last_done = 0u64;
+        for (i, delta) in ready_deltas.iter().enumerate() {
+            // Ready times move forward like a simulation clock would.
+            ready += delta;
+            let transmit = transmits[i % transmits.len()];
+            let done = queue.reserve(NIC, LinkClass::Wan, ready, transmit);
+            // FIFO + serialisation: the wire carries one transfer at a
+            // time, so a reservation completes a full transmit time after
+            // the previous completion (or later), and never before its own
+            // ready time plus its own wire time.
+            prop_assert!(done >= last_done + transmit);
+            prop_assert!(done >= ready + transmit);
+            last_done = done;
+        }
+        // Occupancy accounting matches what was pushed through the wire.
+        let usage = queue.usage();
+        prop_assert_eq!(usage.len(), 1);
+        prop_assert_eq!(usage[0].messages, ready_deltas.len() as u64);
+    }
+
+    /// Delivery time is monotone in queue depth: enqueueing extra earlier
+    /// traffic can only delay (never speed up) a subsequent transfer.
+    #[test]
+    fn delivery_time_is_monotone_in_queue_depth(
+        depth in 1usize..40,
+        transmit in 1u64..10_000,
+    ) {
+        let probe_ready = 1_000u64;
+        let mut shallow = LinkQueues::new();
+        let mut deep = LinkQueues::new();
+        for k in 0..depth {
+            // The deep queue carries `depth` earlier copies; the shallow one
+            // only the first.
+            if k == 0 {
+                shallow.reserve(NIC, LinkClass::Wan, 0, transmit);
+            }
+            deep.reserve(NIC, LinkClass::Wan, 0, transmit);
+        }
+        let shallow_done = shallow.reserve(NIC, LinkClass::Wan, probe_ready, transmit);
+        let deep_done = deep.reserve(NIC, LinkClass::Wan, probe_ready, transmit);
+        prop_assert!(deep_done >= shallow_done);
+        // With the k-th copy behind k − 1 earlier ones, the backlog is exact.
+        prop_assert_eq!(
+            deep_done,
+            (depth as u64 * transmit).max(probe_ready) + transmit
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast fan-out: the acceptance criterion, against the real WAN model.
+// ---------------------------------------------------------------------------
+
+/// With finite leader-NIC bandwidth, the k-th copy of a broadcast queues
+/// behind the first k − 1: total transmission time scales linearly with
+/// fan-out instead of being paid once, concurrently, per destination.
+#[test]
+fn broadcast_transmission_time_scales_with_fan_out() {
+    let n = 25;
+    let net = NetworkModel::wan(n, 6).with_bandwidth(BandwidthConfig::wan_constrained(100));
+    let mut queue = LinkQueues::new();
+    let leader = ReplicaId(0);
+    let bytes = 100_000; // a 100 kB pre-prepare
+    let departure = 5_000u64;
+    let mut wan_completions = Vec::new();
+    for peer in 1..n {
+        let to = ReplicaId(peer as u32);
+        let transmit = net.replica_transmit_ns(leader, to, bytes);
+        assert!(transmit > 0);
+        let class = net.replica_link_class(leader, to);
+        let done = queue.reserve(Nic::Replica(leader), class, departure, transmit);
+        if class == LinkClass::Wan {
+            wan_completions.push(done);
+        }
+    }
+    // Copies on the same link class leave the wire strictly one after
+    // another (the fast local lane is independent and does not appear
+    // here)…
+    let wan_transmit = BandwidthConfig::transmit_time_ns(Some(100), bytes);
+    for pair in wan_completions.windows(2) {
+        assert_eq!(pair[1] - pair[0], wan_transmit);
+    }
+    // …so the k-th WAN copy completes a full k transmit times after
+    // departure: total transmission time scales with fan-out.
+    let wan_copies = wan_completions.len() as u64;
+    assert!(wan_copies >= 15, "six-region layout is WAN-heavy");
+    assert_eq!(
+        *wan_completions.last().unwrap(),
+        departure + wan_copies * wan_transmit
+    );
+}
+
+/// End-to-end: a bandwidth-constrained WAN run reports link contention
+/// (queueing delay, busy NICs) and pays for it in client latency, while the
+/// unlimited run reports none.
+#[test]
+fn constrained_wan_simulation_reports_queueing_and_pays_latency() {
+    let run = |bandwidth: BandwidthConfig| {
+        let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        spec.regions = 3;
+        spec.bandwidth = bandwidth;
+        spec.duration_us = 1_200_000;
+        spec.warmup_us = 300_000;
+        spec.clients = 400;
+        Simulation::new(spec).run()
+    };
+    let unlimited = run(BandwidthConfig::unlimited());
+    assert_eq!(unlimited.net_busy_ns, 0);
+    assert_eq!(unlimited.net_queue_delay_ns, 0);
+    assert!(unlimited.link_usage.is_empty());
+    assert_eq!(unlimited.max_link_utilization(), 0.0);
+
+    let tight = run(BandwidthConfig::wan_constrained(5));
+    assert!(tight.completed_txns > 0);
+    assert!(tight.net_busy_ns > 0, "constrained links transmit");
+    assert!(
+        tight.net_queue_delay_ns > 0,
+        "broadcast copies must queue on the leader NIC"
+    );
+    assert!(tight.max_link_utilization() > 0.0);
+    assert!(
+        tight.avg_latency_ms > unlimited.avg_latency_ms,
+        "queueing must cost latency: {} <= {}",
+        tight.avg_latency_ms,
+        unlimited.avg_latency_ms
+    );
+    // The busiest link belongs to a replica NIC (the broadcast-heavy
+    // leader), not the client pool.
+    let busiest = tight.busiest_link().unwrap();
+    assert!(matches!(busiest.nic, Nic::Replica(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Regression pin: unlimited bandwidth is the latency-only schedule.
+// ---------------------------------------------------------------------------
+
+/// `BandwidthConfig::unlimited()` (the `quick_test` default) must reproduce
+/// the seed's pure-latency schedule bit-exactly: identical completion
+/// counts, message counts, commit logs and mean latency. The expected
+/// values are a snapshot of the seed (pre-link-queue) simulator on the same
+/// deterministic scenarios.
+#[test]
+fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
+    struct Pin {
+        protocol: ProtocolId,
+        regions: usize,
+        completed: u64,
+        messages: u64,
+        commit_len: usize,
+        avg_ms: f64,
+    }
+    let pins = [
+        Pin {
+            protocol: ProtocolId::FlexiBft,
+            regions: 1,
+            completed: 21_900,
+            messages: 52_310,
+            commit_len: 26_120,
+            avg_ms: 0.862943247,
+        },
+        Pin {
+            protocol: ProtocolId::FlexiBft,
+            regions: 3,
+            completed: 200,
+            messages: 920,
+            commit_len: 400,
+            avg_ms: 62.841037150,
+        },
+        Pin {
+            protocol: ProtocolId::FlexiZz,
+            regions: 1,
+            completed: 27_000,
+            messages: 12_946,
+            commit_len: 32_230,
+            avg_ms: 0.607522609,
+        },
+        Pin {
+            protocol: ProtocolId::Pbft,
+            regions: 1,
+            completed: 19_300,
+            messages: 83_692,
+            commit_len: 23_200,
+            avg_ms: 1.043954388,
+        },
+    ];
+    for pin in pins {
+        let mut spec = ScenarioSpec::quick_test(pin.protocol);
+        spec.regions = pin.regions;
+        let report = Simulation::new(spec).run();
+        let label = format!("{} regions={}", pin.protocol, pin.regions);
+        assert_eq!(report.completed_txns, pin.completed, "{label}");
+        assert_eq!(report.messages_delivered, pin.messages, "{label}");
+        assert_eq!(report.commit_log.len(), pin.commit_len, "{label}");
+        assert!(
+            (report.avg_latency_ms - pin.avg_ms).abs() < 5e-9,
+            "{label}: avg {} != pinned {}",
+            report.avg_latency_ms,
+            pin.avg_ms
+        );
+        // And the queues must have stayed completely out of the way.
+        assert_eq!(report.net_busy_ns, 0, "{label}");
+        assert_eq!(report.net_queue_delay_ns, 0, "{label}");
+    }
+}
