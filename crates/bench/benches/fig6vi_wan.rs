@@ -1,15 +1,20 @@
-//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions, plus the two
+//! Figure 6(vi)/(vii): wide-area replication over 1–6 regions, plus the
 //! bandwidth experiments the wire-size model enables: the same six-region
-//! topology swept over per-link WAN bandwidth, and an offered-load sweep at
+//! topology swept over per-link WAN bandwidth, an offered-load sweep at
 //! fixed bandwidth showing throughput saturating as the leader's NIC queue
-//! builds — the sender-side contention the serialising FIFO link model
-//! captures and an infinite-capacity pipe cannot.
+//! builds (sender-side contention), a vote-implosion sweep showing the
+//! leader's *ingress* lane pinning throughput as n grows (receiver-side
+//! contention), and an MTU chunk-size sweep under mixed elephant/mouse
+//! traffic (head-of-line blocking vs chunked pipelining). None of these
+//! effects exist under an infinite-capacity pipe model.
 //!
 //! `FLEXITRUST_BENCH_SCALE=smoke` shrinks every sweep to a representative
-//! handful of points (the CI smoke configuration).
+//! handful of points (the CI smoke configuration). The chunking sweep
+//! always runs the atomic-vs-chunked pair and asserts the chunked run's
+//! p99 is no worse — the CI regression gate for the pipelining model.
 
 use flexitrust::prelude::*;
-use flexitrust_bench::{bench_scale, eval_spec, print_table, run, BenchScale};
+use flexitrust_bench::{bench_scale, eval_spec, mixed_elephant_spec, print_table, run, BenchScale};
 
 fn wan_spec(protocol: ProtocolId, regions: usize, clients: usize) -> ScenarioSpec {
     let mut spec = eval_spec(protocol, 2);
@@ -123,5 +128,97 @@ fn main() {
         "Figure 6(vi) extension: Flexi-ZZ saturation under 20 Mbps WAN links (6 regions, f = 2)",
         "Load         throughput            latency       busiest link           queueing",
         &sat_rows,
+    );
+
+    // Vote-implosion sweep: growing n, constrained replica *ingress*, and
+    // small batches so per-transaction vote bytes — which scale with n,
+    // unlike the batch broadcast or the client uploads — dominate every
+    // replica's ingest lanes. With a thin ingest pipe the run is
+    // receive-bound: throughput falls as n grows while the free-ingest run
+    // holds the closed-loop rate — receiver-side contention that a
+    // sender-NIC-only model misses entirely.
+    let implosion_fs: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut imp_rows = Vec::new();
+    for &f in implosion_fs {
+        let implosion_spec = |ingress: Option<u64>| {
+            let mut spec = wan_spec(ProtocolId::FlexiBft, 3, 400);
+            spec.f = f;
+            spec.batch_size = 10;
+            let mut bw = BandwidthConfig::wan_constrained(100);
+            bw.ingress_mbps = ingress;
+            spec.bandwidth = bw;
+            spec
+        };
+        let free = run(implosion_spec(None));
+        let report = run(implosion_spec(Some(5)));
+        imp_rows.push(format!(
+            "f={:<2} n={:<3} tput={:>9.0} / {:>9.0} txn/s   lat={:>8.2} ms   ingest util={:>5.2}",
+            f,
+            report.n,
+            free.throughput_tps,
+            report.throughput_tps,
+            report.avg_latency_ms,
+            report.max_ingress_utilization(),
+        ));
+    }
+    print_table(
+        "Vote implosion: Flexi-BFT, free vs 5 Mbps replica ingest (3 regions, batch 10)",
+        "Scale        throughput rx=inf / rx=5M    latency (rx=5M)   busiest ingress lane",
+        &imp_rows,
+    );
+
+    // Chunk-size sweep under mixed elephant/mouse traffic: occasional large
+    // range-scan replies share each replica's client lane with a stream of
+    // small replies. Atomic reservations head-of-line block the small
+    // replies behind every elephant; MTU chunks let them slip through. The
+    // atomic-vs-chunked pair is asserted (chunked p99 may not regress) —
+    // this runs in every scale, including the CI smoke configuration.
+    let chunk_points: &[(&str, Option<usize>)] = if smoke {
+        &[("atomic", None), ("1500 B", Some(1_500))]
+    } else {
+        &[
+            ("atomic", None),
+            ("64 kB", Some(64 * 1024)),
+            ("16 kB", Some(16 * 1024)),
+            ("4 kB", Some(4 * 1024)),
+            ("1500 B", Some(1_500)),
+        ]
+    };
+    let mut chunk_rows = Vec::new();
+    let mut atomic_p99 = None;
+    let mut mtu_p99 = None;
+    for (label, chunk) in chunk_points {
+        let mut spec = mixed_elephant_spec(eval_spec(ProtocolId::FlexiBft, 2));
+        spec.bandwidth.chunk_bytes = *chunk;
+        let report = run(spec);
+        match chunk {
+            None => atomic_p99 = Some(report.p99_latency_ms),
+            Some(1_500) => mtu_p99 = Some(report.p99_latency_ms),
+            _ => {}
+        }
+        chunk_rows.push(format!(
+            "chunk={:<8} tput={:>10.0} txn/s   lat(avg/p99)={:>7.2}/{:>8.2} ms   queue={:>8.2} ms",
+            label,
+            report.throughput_tps,
+            report.avg_latency_ms,
+            report.p99_latency_ms,
+            report.net_queue_delay_ns as f64 / 1e6,
+        ));
+    }
+    print_table(
+        "MTU chunking under mixed elephant/mouse traffic (Flexi-BFT, 50 Mbps client lanes)",
+        "Chunk          throughput             latency                    queueing",
+        &chunk_rows,
+    );
+    let (atomic_p99, mtu_p99) = (
+        atomic_p99.expect("atomic point always runs"),
+        mtu_p99.expect("1500 B point always runs"),
+    );
+    assert!(
+        mtu_p99 <= atomic_p99,
+        "chunked p99 regressed: {mtu_p99:.2} ms > atomic {atomic_p99:.2} ms"
+    );
+    println!(
+        "chunking gate: p99 {atomic_p99:.2} ms (atomic) -> {mtu_p99:.2} ms (1500 B chunks) — ok"
     );
 }

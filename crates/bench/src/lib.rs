@@ -44,6 +44,33 @@ pub fn full_scale() -> bool {
     bench_scale() == BenchScale::Full
 }
 
+/// Mixed elephant/mouse traffic over 50 Mbps client lanes: ~1 % of requests
+/// are large range scans whose replies (hundreds of kB) share each
+/// replica's client lane with everyone else's small replies — the
+/// head-of-line-blocking scenario behind both the `fig6vi_wan` MTU-chunking
+/// gate and the `tests/link_queue.rs` tail-latency pin. One definition so
+/// the CI gate and the test cannot drift onto different scenarios.
+pub fn mixed_elephant_spec(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.workload = WorkloadConfig {
+        value_size: 1024,
+        read_proportion: 0.94,
+        update_proportion: 0.05,
+        insert_proportion: 0.0,
+        rmw_proportion: 0.0,
+        scan_proportion: 0.01,
+        max_scan_len: 300,
+        record_count: 1_000,
+        distribution: flexitrust::workload::KeyDistribution::Uniform,
+    };
+    let mut bandwidth = BandwidthConfig::unlimited();
+    bandwidth.client_mbps = Some(50);
+    spec.bandwidth = bandwidth;
+    spec.duration_us = 1_200_000;
+    spec.warmup_us = 300_000;
+    spec.clients = 200;
+    spec
+}
+
 /// The standard evaluation scenario used by the figure benches.
 pub fn eval_spec(protocol: ProtocolId, f: usize) -> ScenarioSpec {
     let mut spec = ScenarioSpec::paper_default(protocol);

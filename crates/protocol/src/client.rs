@@ -43,16 +43,41 @@ struct PendingRequest {
     complete: bool,
 }
 
-/// Hashable fingerprint of a [`KvResult`] used for reply matching.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KvResultKey {
+/// Hashable, ordered fingerprint of a [`KvResult`] used for reply
+/// matching — the "digest" half of a `(seq, digest)` reply-vote candidate.
+/// Public so that harnesses counting reply quorums outside this library
+/// (the simulator's aggregate client model) match replies exactly the way
+/// [`ClientLibrary`] does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KvResultKey {
+    /// A read's value (or absence).
     Value(Option<Vec<u8>>),
+    /// A write acknowledgement.
     Written,
+    /// A range scan, fingerprinted by length and key sum.
     RangeLen(usize, u64),
+    /// A no-op.
     Noop,
 }
 
-fn result_key(result: &KvResult) -> KvResultKey {
+/// Returns `true` when `result` fingerprints to `key`: the same match
+/// [`result_key`] would produce, but without cloning the result's bytes
+/// into a fresh key — for vote-counting hot paths that probe existing
+/// candidates far more often than they create one.
+pub fn result_matches_key(result: &KvResult, key: &KvResultKey) -> bool {
+    match (result, key) {
+        (KvResult::Value(v), KvResultKey::Value(kv)) => v == kv,
+        (KvResult::Written, KvResultKey::Written) => true,
+        (KvResult::Noop, KvResultKey::Noop) => true,
+        (KvResult::Range(rows), KvResultKey::RangeLen(len, key_sum)) => {
+            rows.len() == *len && rows.iter().map(|(k, _)| *k).sum::<u64>() == *key_sum
+        }
+        _ => false,
+    }
+}
+
+/// Fingerprint of a [`KvResult`] for reply-vote matching.
+pub fn result_key(result: &KvResult) -> KvResultKey {
     match result {
         KvResult::Value(v) => KvResultKey::Value(v.clone()),
         KvResult::Written => KvResultKey::Written,
@@ -335,6 +360,28 @@ mod tests {
             lib.on_reply(&reply(r, 1, 1, 1));
         }
         assert!(lib.try_fallback_complete(RequestId(1)).is_none());
+    }
+
+    #[test]
+    fn result_matches_key_agrees_with_result_key() {
+        let results = [
+            KvResult::Value(Some(vec![1, 2, 3])),
+            KvResult::Value(Some(vec![1, 2, 4])),
+            KvResult::Value(None),
+            KvResult::Written,
+            KvResult::Noop,
+            KvResult::Range(vec![(1, vec![9]), (4, vec![8])]),
+            KvResult::Range(vec![(2, vec![9]), (3, vec![8])]),
+        ];
+        for a in &results {
+            for b in &results {
+                assert_eq!(
+                    result_matches_key(a, &result_key(b)),
+                    result_key(a) == result_key(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod viewchange;
 
 pub use actions::{Action, Outbox};
 pub use batcher::Batcher;
-pub use client::{ClientLibrary, RequestStatus};
+pub use client::{result_key, result_matches_key, ClientLibrary, KvResultKey, RequestStatus};
 pub use engine::{ConsensusEngine, TimerKind};
 pub use messages::{ClientReply, Message, PreparedProof};
 pub use properties::{MemoryFootprint, ProtocolProperties, TrustedAbstraction};

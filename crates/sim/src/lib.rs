@@ -35,7 +35,7 @@ pub mod spec;
 
 pub use cost::CostModel;
 pub use faults::{DeliveryFate, FaultPlan};
-pub use link::{LinkClass, LinkQueues, LinkUsage, Nic};
+pub use link::{Direction, LinkClass, LinkQueues, LinkUsage, Nic};
 pub use metrics::{CommittedTxn, SimReport};
 pub use net::NetworkModel;
 pub use registry::{build_replicas, ReplicaSetup};

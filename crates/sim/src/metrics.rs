@@ -2,7 +2,7 @@
 
 use flexitrust_types::ProtocolId;
 
-pub use crate::link::{LinkClass, LinkUsage, Nic};
+pub use crate::link::{Direction, LinkClass, LinkUsage, Nic};
 pub use flexitrust_host::CommittedTxn;
 
 /// The summary a simulation run produces.
@@ -43,11 +43,14 @@ pub struct SimReport {
     /// Total wire-occupancy (transmission) time across every link of the
     /// run, nanoseconds. Zero under `BandwidthConfig::unlimited()`.
     pub net_busy_ns: u64,
-    /// Total time transfers spent queued behind earlier transfers on their
-    /// sender NIC, nanoseconds. Non-zero only when a link saturates: the
-    /// contention signal of the serialising FIFO link model.
+    /// Total time transfers spent queued behind earlier transfers on a
+    /// NIC lane (sender egress or receiver ingress), nanoseconds. Non-zero
+    /// only when a lane saturates: the contention signal of the serialising
+    /// FIFO link model.
     pub net_queue_delay_ns: u64,
-    /// Per-(sender NIC, link class) usage, sorted by NIC then class.
+    /// Per-(NIC, link class, direction) lane usage, sorted by NIC, class,
+    /// direction. Egress rows are what NICs sent; ingress rows (present
+    /// only when `ingress_mbps` is configured) are what they ingested.
     pub link_usage: Vec<LinkUsage>,
     /// Every completed transaction (warm-up included), sorted by sequence
     /// number; the basis of cross-host equivalence checks. Recorded only
@@ -67,21 +70,41 @@ impl SimReport {
         }
     }
 
-    /// Utilisation of the busiest link in the run: wire time reserved on
-    /// the most loaded (sender NIC, link class) pair divided by the
-    /// whole-run time (link accounting spans warm-up too, so the window
+    /// Utilisation of the busiest *egress* link in the run: wire time
+    /// reserved on the most loaded (sender NIC, link class) pair divided by
+    /// the whole-run time (link accounting spans warm-up too, so the window
     /// must as well). Approaches 1.0 as a leader NIC saturates and exceeds
     /// it once the offered load outruns the link (a backlog is building).
+    /// [`Self::max_ingress_utilization`] is the receive-side analogue.
     pub fn max_link_utilization(&self) -> f64 {
         let duration_ns = (self.total_duration_s * 1e9) as u64;
         self.link_usage
             .iter()
+            .filter(|u| u.direction == Direction::Egress)
             .map(|u| u.utilization(duration_ns))
             .fold(0.0, f64::max)
     }
 
-    /// The usage entry with the most wire-occupancy time, if any link ever
-    /// transmitted (under unlimited bandwidth none does).
+    /// Utilisation of the busiest *ingress* lane: the receive-side analogue
+    /// of [`Self::max_link_utilization`]. Approaches 1.0 as a receiver —
+    /// a replica under vote implosion — becomes ingest-bound. Zero when no
+    /// ingress bandwidth is configured (receivers then ingest for free and
+    /// no ingress rows exist). Only replica NICs own ingress lanes: the
+    /// aggregate client pool stands for many independent client NICs and
+    /// never ingest-serialises, so reply fan-in cannot masquerade as a
+    /// saturated replica here.
+    pub fn max_ingress_utilization(&self) -> f64 {
+        let duration_ns = (self.total_duration_s * 1e9) as u64;
+        self.link_usage
+            .iter()
+            .filter(|u| u.direction == Direction::Ingress)
+            .map(|u| u.utilization(duration_ns))
+            .fold(0.0, f64::max)
+    }
+
+    /// The usage entry with the most wire-occupancy time across *all*
+    /// lanes — egress and ingress alike — if any link ever transmitted
+    /// (under unlimited bandwidth none does).
     pub fn busiest_link(&self) -> Option<&LinkUsage> {
         self.link_usage.iter().max_by_key(|u| u.busy_ns)
     }
@@ -156,6 +179,7 @@ mod tests {
                 LinkUsage {
                     nic: Nic::Replica(flexitrust_types::ReplicaId(0)),
                     class: LinkClass::Wan,
+                    direction: Direction::Egress,
                     busy_ns: 500_000_000,
                     queue_delay_ns: 150_000_000,
                     messages: 900,
@@ -163,9 +187,18 @@ mod tests {
                 LinkUsage {
                     nic: Nic::Replica(flexitrust_types::ReplicaId(1)),
                     class: LinkClass::Wan,
+                    direction: Direction::Egress,
                     busy_ns: 100_000_000,
                     queue_delay_ns: 0,
                     messages: 180,
+                },
+                LinkUsage {
+                    nic: Nic::Replica(flexitrust_types::ReplicaId(0)),
+                    class: LinkClass::Wan,
+                    direction: Direction::Ingress,
+                    busy_ns: 250_000_000,
+                    queue_delay_ns: 75_000_000,
+                    messages: 600,
                 },
             ],
             commit_log: Vec::new(),
@@ -193,6 +226,32 @@ mod tests {
         let busiest = r.busiest_link().unwrap();
         assert_eq!(busiest.nic, Nic::Replica(flexitrust_types::ReplicaId(0)));
         assert_eq!(busiest.messages, 900);
+    }
+
+    #[test]
+    fn max_ingress_utilization_only_sees_ingress_lanes() {
+        let r = report();
+        // The busiest ingress lane carries 250 ms over the 1 s run — the
+        // 500 ms egress row must not leak into the receive-side figure.
+        assert!((r.max_ingress_utilization() - 0.25).abs() < 1e-9);
+        let mut egress_only = r.clone();
+        egress_only
+            .link_usage
+            .retain(|u| u.direction == Direction::Egress);
+        assert_eq!(egress_only.max_ingress_utilization(), 0.0);
+        // And the reciprocal: an ingress lane hotter than every egress lane
+        // must not leak into the sender-side figure.
+        let mut hot_ingress = r.clone();
+        hot_ingress.link_usage.push(LinkUsage {
+            nic: Nic::Replica(flexitrust_types::ReplicaId(2)),
+            class: LinkClass::Wan,
+            direction: Direction::Ingress,
+            busy_ns: 990_000_000,
+            queue_delay_ns: 0,
+            messages: 1,
+        });
+        assert!((hot_ingress.max_link_utilization() - 0.5).abs() < 1e-9);
+        assert!((hot_ingress.max_ingress_utilization() - 0.99).abs() < 1e-9);
     }
 
     #[test]

@@ -131,6 +131,32 @@ impl NetworkModel {
         BandwidthConfig::transmit_time_ns(self.bandwidth.client_mbps, bytes)
     }
 
+    /// Ingest (receive-side) time of `bytes` at a replica NIC: zero for
+    /// self-delivery (no NIC involved) or when no ingress bandwidth is
+    /// configured — receivers then ingest for free, the sender-side-only
+    /// model.
+    pub fn replica_ingress_ns(&self, from: ReplicaId, to: ReplicaId, bytes: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        BandwidthConfig::transmit_time_ns(self.bandwidth.ingress_mbps, bytes)
+    }
+
+    /// Ingest (receive-side) time of `bytes` at a replica's client-facing
+    /// lane (request uploads landing at the primary). Replies to the
+    /// aggregate client pool pay no ingress — the pool stands for many
+    /// independent client NICs, not one ingest pipe.
+    pub fn client_ingress_ns(&self, bytes: usize) -> u64 {
+        BandwidthConfig::transmit_time_ns(self.bandwidth.ingress_mbps, bytes)
+    }
+
+    /// The MTU-style chunk size transfers are split into on the serialising
+    /// link queues, if configured. A hand-built `Some(0)` is clamped to one
+    /// byte so chunked transfers always make progress.
+    pub fn chunk_bytes(&self) -> Option<usize> {
+        self.bandwidth.chunk_bytes.map(|c| c.max(1))
+    }
+
     /// One-way latency between a client and a replica, in microseconds.
     ///
     /// Clients are modelled as co-located with the first region (where the
@@ -220,11 +246,51 @@ mod tests {
     }
 
     #[test]
+    fn ingress_time_applies_to_remote_deliveries_only() {
+        // No ingress bandwidth: receivers ingest for free.
+        let free = NetworkModel::wan(12, 6);
+        assert_eq!(
+            free.replica_ingress_ns(ReplicaId(0), ReplicaId(1), 1 << 20),
+            0
+        );
+        assert_eq!(free.client_ingress_ns(1 << 20), 0);
+        // 100 Mbps ingest: 100 kB takes 8 ms to ingest, on replica and
+        // client lanes alike — but self-delivery never touches the NIC.
+        let rx = NetworkModel::wan(12, 6)
+            .with_bandwidth(BandwidthConfig::unlimited().with_ingress_mbps(100));
+        assert_eq!(
+            rx.replica_ingress_ns(ReplicaId(0), ReplicaId(1), 100_000),
+            8_000_000
+        );
+        assert_eq!(rx.client_ingress_ns(100_000), 8_000_000);
+        assert_eq!(
+            rx.replica_ingress_ns(ReplicaId(2), ReplicaId(2), 100_000),
+            0
+        );
+    }
+
+    #[test]
+    fn chunk_bytes_passes_through_and_clamps_zero() {
+        assert_eq!(NetworkModel::lan(4).chunk_bytes(), None);
+        let chunked = NetworkModel::lan(4)
+            .with_bandwidth(BandwidthConfig::uniform(100).with_chunk_bytes(1_500));
+        assert_eq!(chunked.chunk_bytes(), Some(1_500));
+        // A hand-built zero chunk is clamped so chunked transfers always
+        // make progress.
+        let zero = NetworkModel::lan(4).with_bandwidth(BandwidthConfig {
+            chunk_bytes: Some(0),
+            ..BandwidthConfig::uniform(100)
+        });
+        assert_eq!(zero.chunk_bytes(), Some(1));
+    }
+
+    #[test]
     fn transmit_time_scales_with_wire_size_and_picks_the_link_class() {
         let net = NetworkModel::wan(12, 6).with_bandwidth(BandwidthConfig {
             local_mbps: Some(10_000),
             wan_mbps: Some(100),
             client_mbps: None,
+            ..BandwidthConfig::default()
         });
         // Replicas 0 and 6 share San Jose: the fast local link applies.
         let local = net.replica_transmit_ns(ReplicaId(0), ReplicaId(6), 100_000);

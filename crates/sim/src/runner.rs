@@ -29,18 +29,20 @@
 
 use crate::cost::CostModel;
 use crate::faults::{DeliveryFate, FaultPlan};
-use crate::link::{LinkClass, LinkQueues, Nic};
+use crate::link::{Direction, LinkClass, LinkQueues, Nic};
 use crate::metrics::{latency_stats_ms, CommittedTxn, SimReport};
 use crate::net::NetworkModel;
 use crate::registry::{build_replicas, ReplicaSetup};
 use crate::spec::ScenarioSpec;
 use flexitrust_host::{Dispatcher, EngineHost, TimerToken};
-use flexitrust_protocol::{ClientReply, ConsensusEngine, Message, TimerKind};
+use flexitrust_protocol::{
+    result_key, result_matches_key, ClientReply, ConsensusEngine, KvResultKey, Message, TimerKind,
+};
 use flexitrust_trusted::SharedEnclave;
 use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, SeqNum, Transaction};
 use flexitrust_workload::WorkloadGenerator;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 type Ns = u64;
 
@@ -59,24 +61,58 @@ enum EventKind {
     /// transfer that physically leaves first. Zero-transmit traffic skips
     /// this hop and schedules its `Deliver` directly (the bit-exact
     /// pure-latency path).
+    ///
+    /// With `chunk_bytes` configured, a transfer crosses the lane one
+    /// MTU-sized chunk at a time: `offset_bytes` marks how much has already
+    /// cleared the wire, and each chunk's completion schedules the next
+    /// chunk as a fresh `Transmit`, letting other transfers that became
+    /// ready in between interleave instead of waiting for the last byte.
     Transmit {
         to: ReplicaId,
         from: ReplicaId,
         msg: Message,
+        /// Total wire size, computed once at send time — chunk events must
+        /// not re-walk the message (a batch) per chunk.
+        bytes: usize,
         transmit_ns: u64,
         extra_ns: u64,
+        offset_bytes: usize,
+    },
+    /// A message whose last byte reached the receiver: reserves the
+    /// receiver's ingress lane (FIFO in arrival order) before the engine
+    /// sees it, so a vote implosion at the leader serialises on its ingest
+    /// NIC. Skipped entirely when no ingress bandwidth is configured (the
+    /// bit-exact receivers-ingest-for-free path).
+    Ingest {
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+        rx_ns: u64,
     },
     /// A client reply departing over a finite-bandwidth client lane;
-    /// same departure-time FIFO as `Transmit`.
+    /// same departure-time FIFO (and chunking) as `Transmit`. Replies pay
+    /// no ingress: the aggregate client pool stands for hundreds of
+    /// independent client NICs, not one ingest pipe.
     TransmitReply {
         from: ReplicaId,
         reply: ClientReply,
+        bytes: usize,
         transmit_ns: u64,
+        offset_bytes: usize,
     },
     /// A batch of client request uploads ready to cross the aggregate
-    /// client uplink; same departure-time FIFO as `Transmit`.
+    /// client uplink; same departure-time FIFO (and chunking) as
+    /// `Transmit`.
     ClientUpload {
         txns: Vec<Transaction>,
+        bytes: usize,
+        offset_bytes: usize,
+    },
+    /// A batch of client request uploads arriving at the primary's
+    /// client-facing NIC; same ingress serialisation as `Ingest`.
+    IngestUpload {
+        txns: Vec<Transaction>,
+        rx_ns: u64,
     },
     Timer {
         replica: ReplicaId,
@@ -90,6 +126,17 @@ enum EventKind {
         client: ClientId,
         request: RequestId,
     },
+}
+
+/// Which stateless transmit-time function governs a transfer's lane, so
+/// the shared chunk-reservation step can cut cumulative chunk spans for
+/// replica links and client links alike.
+#[derive(Clone, Copy)]
+enum ChunkLane {
+    /// A replica-to-replica link (local or WAN bandwidth by region).
+    Replica { from: ReplicaId, to: ReplicaId },
+    /// A client↔replica link (client bandwidth).
+    Client,
 }
 
 struct Event {
@@ -125,10 +172,51 @@ struct Host {
 
 struct RequestTracker {
     submit: Ns,
-    replies: BTreeSet<ReplicaId>,
+    /// Votes per `(seq, result digest)` candidate, mirroring
+    /// `ClientLibrary`: divergent speculative replies must not count
+    /// towards one quorum, however many distinct replicas sent them.
+    /// A small insertion-ordered list, probed by comparing against the
+    /// incoming reply without cloning its result bytes — almost every
+    /// request only ever has one candidate.
+    votes: Vec<((SeqNum, KvResultKey), BTreeSet<ReplicaId>)>,
+    /// Every distinct replica that replied, across all candidates. Arms the
+    /// fast-path fallback timer: hearing from a fallback quorum of replicas
+    /// without completing means the fast path has failed, whether the
+    /// replies agree or not.
+    repliers: BTreeSet<ReplicaId>,
+    /// Sequence number of the candidate that completed the request; set
+    /// when the quorum (or fallback) is reached. Completion removes the
+    /// tracker from the request map, so a tracker's presence *is* the
+    /// not-yet-completed state.
     seq: SeqNum,
-    completed: bool,
     fallback_scheduled: bool,
+}
+
+impl RequestTracker {
+    fn new(submit: Ns) -> Self {
+        RequestTracker {
+            submit,
+            votes: Vec::new(),
+            repliers: BTreeSet::new(),
+            seq: SeqNum(0),
+            fallback_scheduled: false,
+        }
+    }
+
+    /// The strongest `(seq, digest)` candidate and its vote count; ties
+    /// break towards the smallest candidate so the choice is deterministic
+    /// regardless of hash-map iteration order.
+    fn best_candidate(&self) -> Option<(SeqNum, usize)> {
+        let mut best: Option<(&(SeqNum, KvResultKey), usize)> = None;
+        for (candidate, voters) in &self.votes {
+            let count = voters.len();
+            best = match best {
+                Some((bk, bc)) if bc > count || (bc == count && bk <= candidate) => Some((bk, bc)),
+                _ => Some((candidate, count)),
+            };
+        }
+        best.map(|(k, c)| (k.0, c))
+    }
 }
 
 /// The simulator's [`EngineHost`] implementation: one engine invocation's
@@ -160,16 +248,30 @@ impl EngineHost for SimEnv<'_> {
             DeliveryFate::Deliver => 0,
             DeliveryFate::Delay(extra_us) => extra_us * 1_000,
         };
-        let transmit_ns = self
-            .net
-            .replica_transmit_ns(from, to, msg.wire_size_bytes());
+        let bytes = msg.wire_size_bytes();
+        let transmit_ns = self.net.replica_transmit_ns(from, to, bytes);
         if transmit_ns == 0 {
             // Self-delivery or an unlimited link class: pure latency, no
-            // NIC involved — the seed's schedule, bit-exactly.
+            // sender NIC involved — but the receiver's ingest lane may
+            // still be constrained.
             let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
             let arrival = self.at + latency_ns + extra_ns;
-            self.events
-                .push((arrival, EventKind::Deliver { to, from, msg }));
+            let rx_ns = self.net.replica_ingress_ns(from, to, bytes);
+            if rx_ns == 0 {
+                // The seed's schedule, bit-exactly.
+                self.events
+                    .push((arrival, EventKind::Deliver { to, from, msg }));
+            } else {
+                self.events.push((
+                    arrival,
+                    EventKind::Ingest {
+                        to,
+                        from,
+                        msg,
+                        rx_ns,
+                    },
+                ));
+            }
         } else {
             // The sender's NIC is a serial resource: the transfer reserves
             // it when the clock reaches the departure time, queueing behind
@@ -181,15 +283,18 @@ impl EngineHost for SimEnv<'_> {
                     to,
                     from,
                     msg,
+                    bytes,
                     transmit_ns,
                     extra_ns,
+                    offset_bytes: 0,
                 },
             ));
         }
     }
 
     fn reply(&mut self, from: ReplicaId, reply: ClientReply) {
-        let transmit_ns = self.net.client_transmit_ns(reply.wire_size_bytes());
+        let bytes = reply.wire_size_bytes();
+        let transmit_ns = self.net.client_transmit_ns(bytes);
         if transmit_ns == 0 {
             let arrive = self.at + self.net.client_latency_us(from) * 1_000;
             self.replies.push((from, reply, arrive));
@@ -199,7 +304,9 @@ impl EngineHost for SimEnv<'_> {
                 EventKind::TransmitReply {
                     from,
                     reply,
+                    bytes,
                     transmit_ns,
+                    offset_bytes: 0,
                 },
             ));
         }
@@ -272,8 +379,10 @@ pub struct Simulation {
     reply_quorum: usize,
     fallback_quorum: usize,
     all_replicas_rule: bool,
-    pending_resubmits: Vec<Transaction>,
-    pending_resubmit_at: Ns,
+    /// Transactions the closed-loop clients will resubmit, each with its
+    /// own deadline: several clients completing in one event drain must not
+    /// clobber each other's resubmit time.
+    pending_resubmits: Vec<(Ns, Transaction)>,
 }
 
 impl Simulation {
@@ -344,7 +453,6 @@ impl Simulation {
             fallback_quorum,
             all_replicas_rule: properties.reply_quorum == QuorumRule::AllReplicas,
             pending_resubmits: Vec::new(),
-            pending_resubmit_at: 0,
             spec,
         }
     }
@@ -395,15 +503,30 @@ impl Simulation {
                     to,
                     from,
                     msg,
+                    bytes,
                     transmit_ns,
                     extra_ns,
-                } => self.on_transmit(to, from, msg, transmit_ns, extra_ns),
+                    offset_bytes,
+                } => self.on_transmit(to, from, msg, bytes, transmit_ns, extra_ns, offset_bytes),
+                EventKind::Ingest {
+                    to,
+                    from,
+                    msg,
+                    rx_ns,
+                } => self.on_ingest(to, from, msg, rx_ns),
                 EventKind::TransmitReply {
                     from,
                     reply,
+                    bytes,
                     transmit_ns,
-                } => self.on_transmit_reply(from, reply, transmit_ns),
-                EventKind::ClientUpload { txns } => self.on_client_upload(txns),
+                    offset_bytes,
+                } => self.on_transmit_reply(from, reply, bytes, transmit_ns, offset_bytes),
+                EventKind::ClientUpload {
+                    txns,
+                    bytes,
+                    offset_bytes,
+                } => self.on_client_upload(txns, bytes, offset_bytes),
+                EventKind::IngestUpload { txns, rx_ns } => self.on_ingest_upload(txns, rx_ns),
                 EventKind::Timer {
                     replica,
                     timer,
@@ -424,9 +547,16 @@ impl Simulation {
         if self.pending_resubmits.is_empty() {
             return;
         }
-        let txns = std::mem::take(&mut self.pending_resubmits);
-        let ready = self.pending_resubmit_at.max(self.now + 1);
-        self.schedule_client_upload(ready, txns);
+        // Group resubmissions by their own deadline (completions in one
+        // drain usually share one, so this is normally a single upload) —
+        // a BTreeMap keeps the grouping deterministic.
+        let mut groups: BTreeMap<Ns, Vec<Transaction>> = BTreeMap::new();
+        for (at, txn) in std::mem::take(&mut self.pending_resubmits) {
+            groups.entry(at.max(self.now + 1)).or_default().push(txn);
+        }
+        for (ready, txns) in groups {
+            self.schedule_client_upload(ready, txns);
+        }
     }
 
     /// Routes a batch of request uploads towards the primary: under
@@ -437,10 +567,20 @@ impl Simulation {
     /// on the pipe.
     fn schedule_client_upload(&mut self, ready: Ns, txns: Vec<Transaction>) {
         let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
-        if self.net.client_transmit_ns(bytes) == 0 {
-            self.push_event(ready, EventKind::ClientArrival { txns });
+        let rx_ns = self.net.client_ingress_ns(bytes);
+        if self.net.client_transmit_ns(bytes) > 0 {
+            self.push_event(
+                ready,
+                EventKind::ClientUpload {
+                    txns,
+                    bytes,
+                    offset_bytes: 0,
+                },
+            );
+        } else if rx_ns > 0 {
+            self.push_event(ready, EventKind::IngestUpload { txns, rx_ns });
         } else {
-            self.push_event(ready, EventKind::ClientUpload { txns });
+            self.push_event(ready, EventKind::ClientArrival { txns });
         }
     }
 
@@ -510,21 +650,23 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn on_client_arrival(&mut self, txns: Vec<Transaction>) {
+        let now = self.now;
+        for txn in &txns {
+            // `or_insert` keeps the original submit time on a
+            // retransmission, so latency covers the whole client wait.
+            self.requests
+                .entry((txn.client.0, txn.request.0))
+                .or_insert_with(|| RequestTracker::new(now));
+        }
         let primary = self.current_primary();
         if self.spec.faults.is_failed(primary) {
+            // The primary is down: a real client hears nothing, times out,
+            // and retransmits to whoever leads once the view has moved on.
+            // Dropping the batch here would wedge the closed-loop clients
+            // forever.
+            let timeout_ns = self.spec.system_config().client_timeout_us * 1_000;
+            self.schedule_client_upload(now + timeout_ns.max(1), txns);
             return;
-        }
-        for txn in &txns {
-            self.requests.insert(
-                (txn.client.0, txn.request.0),
-                RequestTracker {
-                    submit: self.now,
-                    replies: BTreeSet::new(),
-                    seq: SeqNum(0),
-                    completed: false,
-                    fallback_scheduled: false,
-                },
-            );
         }
         let base_cost = self.spec.cost.client_request_cost_ns(txns.len());
         self.run_engine(primary, base_cost, move |dispatcher, engine, env| {
@@ -532,48 +674,251 @@ impl Simulation {
         });
     }
 
-    /// A message reached the head of its departure queue: reserve the
-    /// sender's NIC (FIFO behind everything reserved before `now`) and
-    /// schedule the delivery for when the last byte has crossed the wire
-    /// and the propagation latency has passed.
+    /// A chunk of a message reached the head of its departure queue:
+    /// reserve the sender's NIC for it (FIFO behind everything reserved
+    /// before `now`). Without `chunk_bytes` the whole transfer is one
+    /// chunk — the atomic reservation. The last chunk schedules the
+    /// delivery (cut-through: propagation latency is paid once, after the
+    /// final byte clears the wire).
+    // The parameter list is the `Transmit` event payload, destructured at
+    // the single dispatch site.
+    #[allow(clippy::too_many_arguments)]
     fn on_transmit(
         &mut self,
         to: ReplicaId,
         from: ReplicaId,
         msg: Message,
+        bytes: usize,
         transmit_ns: u64,
         extra_ns: u64,
+        offset_bytes: usize,
     ) {
-        let sent = self.links.reserve(
+        let (done, end) = self.reserve_transfer_step(
             Nic::Replica(from),
             self.net.replica_link_class(from, to),
-            self.now,
+            ChunkLane::Replica { from, to },
+            bytes,
+            offset_bytes,
             transmit_ns,
         );
+        if end < bytes {
+            self.push_event(
+                done,
+                EventKind::Transmit {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                    transmit_ns,
+                    extra_ns,
+                    offset_bytes: end,
+                },
+            );
+        } else {
+            self.schedule_replica_arrival(to, from, msg, bytes, done, extra_ns);
+        }
+    }
+
+    /// One reservation step of a (possibly chunked) transfer on an egress
+    /// lane. Returns `(done, end)`: the instant the reserved span clears
+    /// the wire and the byte offset it reached — `end == total_bytes`
+    /// means the transfer's last byte left at `done`; otherwise the caller
+    /// re-enqueues its continuation event at `done` with offset `end`, so
+    /// transfers that became ready in between interleave chunk by chunk.
+    /// Chunk wire times are cut as cumulative differences, so the chunk
+    /// times of one transfer sum to `atomic_ns` exactly — per-chunk
+    /// rounding never inflates the total.
+    fn reserve_transfer_step(
+        &mut self,
+        nic: Nic,
+        class: LinkClass,
+        lane: ChunkLane,
+        total_bytes: usize,
+        offset_bytes: usize,
+        atomic_ns: u64,
+    ) -> (Ns, usize) {
+        match self.net.chunk_bytes() {
+            // A dead lane (0 Mbps saturates to u64::MAX) must never be
+            // chunked: every cumulative difference would be
+            // MAX.saturating_sub(MAX) = 0, turning the never-delivers link
+            // infinitely fast — the exact edge the saturation exists for.
+            Some(chunk) if total_bytes > chunk && atomic_ns < u64::MAX => {
+                let end = (offset_bytes + chunk).min(total_bytes);
+                let chunk_ns = self
+                    .lane_transmit_ns(lane, end)
+                    .saturating_sub(self.lane_transmit_ns(lane, offset_bytes));
+                // Only the first chunk counts a message: `messages` tallies
+                // transfers, not the chunks they crossed the wire in.
+                let done = if offset_bytes == 0 {
+                    self.links
+                        .reserve(nic, class, Direction::Egress, self.now, chunk_ns)
+                } else {
+                    self.links.reserve_continuation(
+                        nic,
+                        class,
+                        Direction::Egress,
+                        self.now,
+                        chunk_ns,
+                    )
+                };
+                (done, end)
+            }
+            _ => {
+                let sent = self
+                    .links
+                    .reserve(nic, class, Direction::Egress, self.now, atomic_ns);
+                (sent, total_bytes)
+            }
+        }
+    }
+
+    /// The stateless transmit-time function of a transfer's lane, for
+    /// cutting cumulative chunk spans.
+    fn lane_transmit_ns(&self, lane: ChunkLane, bytes: usize) -> u64 {
+        match lane {
+            ChunkLane::Replica { from, to } => self.net.replica_transmit_ns(from, to, bytes),
+            ChunkLane::Client => self.net.client_transmit_ns(bytes),
+        }
+    }
+
+    /// The last byte of a transfer left the sender at `sent`: schedule its
+    /// arrival, routed through the receiver's ingress lane when one is
+    /// configured.
+    fn schedule_replica_arrival(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+        bytes: usize,
+        sent: Ns,
+        extra_ns: u64,
+    ) {
         let latency_ns = self.net.replica_latency_us(from, to) * 1_000;
         let arrival = sent.saturating_add(latency_ns).saturating_add(extra_ns);
-        self.push_event(arrival, EventKind::Deliver { to, from, msg });
+        let rx_ns = self.net.replica_ingress_ns(from, to, bytes);
+        if rx_ns == 0 {
+            self.push_event(arrival, EventKind::Deliver { to, from, msg });
+        } else {
+            self.push_event(
+                arrival,
+                EventKind::Ingest {
+                    to,
+                    from,
+                    msg,
+                    rx_ns,
+                },
+            );
+        }
     }
 
-    /// A client reply departing over a finite-bandwidth client lane:
-    /// reserve the replica's client lane and account the reply at its
-    /// arrival time.
-    fn on_transmit_reply(&mut self, from: ReplicaId, reply: ClientReply, transmit_ns: u64) {
-        let sent = self
-            .links
-            .reserve(Nic::Replica(from), LinkClass::Client, self.now, transmit_ns);
-        let arrive = sent.saturating_add(self.net.client_latency_us(from) * 1_000);
-        self.record_reply(from, &reply, arrive);
+    /// A message's last byte reached the receiver: serialise it on the
+    /// receiver's ingress lane. The reservation is backdated by the ingest
+    /// wire time — the bits streamed into the NIC while crossing the wire —
+    /// so an uncontended message is delivered at its arrival instant
+    /// (transmit is paid once) and only ingress *contention* adds delay:
+    /// delivery = tx queue + transmit + latency + rx queue. The backdated
+    /// window saturates at clock 0: a message whose ingest time exceeds the
+    /// sim time so far cannot have been streaming before the run started,
+    /// so its delivery waits for a full ingest window — a boundary artifact
+    /// of the approximation, bounded by one `rx_ns` at the start of a run.
+    fn on_ingest(&mut self, to: ReplicaId, from: ReplicaId, msg: Message, rx_ns: u64) {
+        let class = self.net.replica_link_class(from, to);
+        let done = self.links.reserve(
+            Nic::Replica(to),
+            class,
+            Direction::Ingress,
+            self.now.saturating_sub(rx_ns),
+            rx_ns,
+        );
+        self.push_event(done.max(self.now), EventKind::Deliver { to, from, msg });
     }
 
-    /// A batch of request uploads crossing the aggregate client uplink.
-    fn on_client_upload(&mut self, txns: Vec<Transaction>) {
-        let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
+    /// A chunk of a client reply departing over a finite-bandwidth client
+    /// lane; the last chunk accounts the reply at its arrival time.
+    fn on_transmit_reply(
+        &mut self,
+        from: ReplicaId,
+        reply: ClientReply,
+        bytes: usize,
+        transmit_ns: u64,
+        offset_bytes: usize,
+    ) {
+        let (done, end) = self.reserve_transfer_step(
+            Nic::Replica(from),
+            LinkClass::Client,
+            ChunkLane::Client,
+            bytes,
+            offset_bytes,
+            transmit_ns,
+        );
+        if end < bytes {
+            self.push_event(
+                done,
+                EventKind::TransmitReply {
+                    from,
+                    reply,
+                    bytes,
+                    transmit_ns,
+                    offset_bytes: end,
+                },
+            );
+        } else {
+            // Replies pay no ingress: the aggregate client pool stands for
+            // hundreds of independent client NICs, not one ingest pipe.
+            let arrive = done.saturating_add(self.net.client_latency_us(from) * 1_000);
+            self.record_reply(from, &reply, arrive);
+        }
+    }
+
+    /// A chunk of a request-upload batch crossing the aggregate client
+    /// uplink; the last chunk lands the batch at the primary (through its
+    /// client-facing ingress lane when one is configured).
+    fn on_client_upload(&mut self, txns: Vec<Transaction>, bytes: usize, offset_bytes: usize) {
         let transmit_ns = self.net.client_transmit_ns(bytes);
-        let arrival = self
-            .links
-            .reserve(Nic::ClientPool, LinkClass::Client, self.now, transmit_ns);
-        self.push_event(arrival, EventKind::ClientArrival { txns });
+        let (done, end) = self.reserve_transfer_step(
+            Nic::ClientPool,
+            LinkClass::Client,
+            ChunkLane::Client,
+            bytes,
+            offset_bytes,
+            transmit_ns,
+        );
+        if end < bytes {
+            self.push_event(
+                done,
+                EventKind::ClientUpload {
+                    txns,
+                    bytes,
+                    offset_bytes: end,
+                },
+            );
+            return;
+        }
+        let rx_ns = self.net.client_ingress_ns(bytes);
+        if rx_ns > 0 {
+            self.push_event(done, EventKind::IngestUpload { txns, rx_ns });
+        } else {
+            self.push_event(done, EventKind::ClientArrival { txns });
+        }
+    }
+
+    /// A request-upload batch's last byte reached the primary: serialise it
+    /// on the primary's client-facing ingress lane. The primary is resolved
+    /// at ingest start; `on_client_arrival` re-resolves it at dispatch, so
+    /// if a view change completed within the ingest span the charged NIC
+    /// and the processing replica could diverge by that one span — an
+    /// accepted approximation (the arrival handler must re-resolve anyway
+    /// to handle a failed primary).
+    fn on_ingest_upload(&mut self, txns: Vec<Transaction>, rx_ns: u64) {
+        let primary = self.current_primary();
+        let done = self.links.reserve(
+            Nic::Replica(primary),
+            LinkClass::Client,
+            Direction::Ingress,
+            self.now.saturating_sub(rx_ns),
+            rx_ns,
+        );
+        self.push_event(done.max(self.now), EventKind::ClientArrival { txns });
     }
 
     fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {
@@ -601,13 +946,40 @@ impl Simulation {
 
     fn on_fallback(&mut self, client: ClientId, request: RequestId) {
         let key = (client.0, request.0);
-        let Some(tracker) = self.requests.get(&key) else {
+        let Some(tracker) = self.requests.get_mut(&key) else {
+            // Unknown or already completed (completion removes the
+            // tracker): nothing to do.
             return;
         };
-        if tracker.completed || tracker.replies.len() < self.fallback_quorum {
-            return;
+        // The fallback round trip gathers a commit certificate for the
+        // strongest (seq, digest) candidate — divergent speculative replies
+        // still do not count together.
+        if let Some((seq, count)) = tracker.best_candidate() {
+            if count >= self.fallback_quorum {
+                tracker.seq = seq;
+                self.complete_request(key, self.now);
+                return;
+            }
         }
-        self.complete_request(key, self.now);
+        // No candidate holds a fallback quorum yet (replies diverged, e.g.
+        // across a view change): the client keeps waiting and retries the
+        // certificate round after another timeout, so the request cannot
+        // wedge out of the closed loop while late replies may still
+        // reconcile it.
+        self.schedule_fallback(client, request, self.now);
+    }
+
+    /// Arms (or re-arms) the fast-path fallback for a request: a client
+    /// timeout plus one round trip to whichever replica currently leads —
+    /// after a view change the primary may sit in a different region, and a
+    /// stale RTT base would misprice every fallback.
+    fn schedule_fallback(&mut self, client: ClientId, request: RequestId, at: Ns) {
+        let timeout_ns = self.spec.system_config().client_timeout_us * 1_000;
+        let rtt_ns = 2 * self.net.client_latency_us(self.current_primary()) * 1_000;
+        self.push_event(
+            at + timeout_ns + rtt_ns,
+            EventKind::FallbackComplete { client, request },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -617,44 +989,51 @@ impl Simulation {
     fn record_reply(&mut self, replica: ReplicaId, reply: &ClientReply, at: Ns) {
         let key = (reply.client.0, reply.request.0);
         let Some(tracker) = self.requests.get_mut(&key) else {
+            // Unknown or already completed (completion removes the
+            // tracker): late replies are normal in BFT systems.
             return;
         };
-        if tracker.completed {
-            return;
-        }
-        tracker.replies.insert(replica);
-        // The aggregate client model counts distinct repliers without
-        // matching (seq, result) votes, so the logged seq is the one carried
-        // by the reply that completes the quorum. In failure-free runs (what
-        // the cross-host equivalence test exercises) every reply agrees; a
-        // divergent-seq scenario would need per-seq vote counting here to
-        // mirror `ClientLibrary` exactly.
-        tracker.seq = reply.seq;
-        let count = tracker.replies.len();
+        // Mirror `ClientLibrary`: a quorum is a set of distinct replicas
+        // voting for the same (seq, result digest) candidate. Divergent
+        // speculative replies — same request, different seq or result —
+        // accumulate in separate candidates and can never complete one
+        // quorum between them. Probe existing candidates without cloning
+        // the reply's result bytes; a key is only built when a new
+        // candidate first appears.
+        let voters = match tracker.votes.iter().position(|((seq, result), _)| {
+            *seq == reply.seq && result_matches_key(&reply.result, result)
+        }) {
+            Some(i) => &mut tracker.votes[i].1,
+            None => {
+                tracker
+                    .votes
+                    .push(((reply.seq, result_key(&reply.result)), BTreeSet::new()));
+                &mut tracker.votes.last_mut().expect("just pushed").1
+            }
+        };
+        voters.insert(replica);
+        let count = voters.len();
+        tracker.repliers.insert(replica);
         if count >= self.reply_quorum {
+            tracker.seq = reply.seq;
             self.complete_request(key, at);
-        } else if self.all_replicas_rule
-            && count >= self.fallback_quorum
-            && !tracker.fallback_scheduled
+        } else if !tracker.fallback_scheduled
+            && tracker.repliers.len() >= self.fallback_quorum
+            && (self.all_replicas_rule || tracker.votes.len() > 1)
         {
-            // Zyzzyva / MinZZ: the fast path needs every replica; if that
-            // never happens the client falls back after a timeout plus an
-            // extra round trip (gathering/distributing a commit certificate).
+            // Two ways the fast path can have failed despite a fallback
+            // quorum of distinct repliers: Zyzzyva / MinZZ need every
+            // replica and will never hear from a crashed one, or replies
+            // diverged across candidates (e.g. over a view change) so no
+            // single (seq, digest) can complete. Either way the client
+            // falls back after a timeout plus an extra round trip
+            // (gathering/distributing a commit certificate); `on_fallback`
+            // completes the strongest candidate once it holds the fallback
+            // quorum and re-arms otherwise, so a divergent request can
+            // still converge instead of silently dropping its client out
+            // of the closed loop.
             tracker.fallback_scheduled = true;
-            // The extra round trip goes to whichever replica currently
-            // leads, not a hard-coded replica 0: after a view change the
-            // primary may sit in a different region, and the stale RTT base
-            // would misprice every fallback.
-            let primary = self.current_primary();
-            let timeout_ns = self.spec.system_config().client_timeout_us * 1_000;
-            let rtt_ns = 2 * self.net.client_latency_us(primary) * 1_000;
-            self.push_event(
-                at + timeout_ns + rtt_ns,
-                EventKind::FallbackComplete {
-                    client: reply.client,
-                    request: reply.request,
-                },
-            );
+            self.schedule_fallback(reply.client, reply.request, at);
         }
     }
 
@@ -664,7 +1043,6 @@ impl Simulation {
         let Some(tracker) = self.requests.get_mut(&key) else {
             return;
         };
-        tracker.completed = true;
         let submit = tracker.submit;
         if self.spec.record_commit_log {
             self.commit_log.push(CommittedTxn {
@@ -680,12 +1058,14 @@ impl Simulation {
         // The closed-loop client immediately submits its next transaction
         // after one client round trip to the replica it actually contacts —
         // the current primary, which may have moved since the run started.
+        // The deadline rides with the transaction: several clients
+        // completing in one drain each keep their own resubmit time.
         let client = key.0 as usize;
         if client < self.spec.clients {
             let txn = self.fresh_txn(client);
-            self.pending_resubmits.push(txn);
             let primary = self.current_primary();
-            self.pending_resubmit_at = at + 2 * self.net.client_latency_us(primary) * 1_000;
+            let resubmit_at = at + 2 * self.net.client_latency_us(primary) * 1_000;
+            self.pending_resubmits.push((resubmit_at, txn));
         }
         self.requests.remove(&key);
     }
@@ -742,11 +1122,153 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexitrust_types::{BandwidthConfig, ProtocolId};
+    use flexitrust_types::{BandwidthConfig, KvResult, ProtocolId, View};
 
     fn run_quick(protocol: ProtocolId) -> SimReport {
         let spec = ScenarioSpec::quick_test(protocol);
         Simulation::new(spec).run()
+    }
+
+    #[test]
+    fn arrivals_at_a_failed_primary_are_retransmitted_not_dropped() {
+        let mut spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        spec.clients = 3;
+        spec.faults = crate::faults::FaultPlan::single_failure(ReplicaId(0));
+        let timeout_ns = spec.system_config().client_timeout_us * 1_000;
+        let mut sim = Simulation::new(spec);
+        sim.now = 5_000;
+        let txns: Vec<Transaction> = (0..3).map(|c| sim.fresh_txn(c)).collect();
+        let retry = txns.clone();
+        sim.on_client_arrival(txns);
+        // The transactions stay tracked — the closed loop must not wedge…
+        assert_eq!(sim.requests.len(), 3);
+        // …and the batch is rescheduled after the client timeout instead of
+        // vanishing (unlimited client bandwidth: a direct arrival event).
+        let Reverse(event) = sim.events.pop().expect("a retransmission is scheduled");
+        assert_eq!(event.at, 5_000 + timeout_ns);
+        assert!(matches!(event.kind, EventKind::ClientArrival { ref txns } if txns.len() == 3));
+        assert!(sim.events.pop().is_none());
+        // A retransmission arriving later keeps the original submit time,
+        // so the eventual latency covers the whole client wait.
+        sim.now = 5_000 + timeout_ns;
+        sim.on_client_arrival(retry);
+        for tracker in sim.requests.values() {
+            assert_eq!(tracker.submit, 5_000);
+        }
+    }
+
+    #[test]
+    fn resubmit_deadlines_are_per_transaction() {
+        let spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        let rtt_ns = 2 * 250 * 1_000; // LAN client round trip
+        let mut sim = Simulation::new(spec);
+        sim.requests.insert((0, 1), RequestTracker::new(0));
+        sim.requests.insert((1, 1), RequestTracker::new(0));
+        sim.now = 10_000;
+        // Two clients complete in the same drain with different reply
+        // arrival times: each must resubmit after its *own* round trip, not
+        // whichever deadline was written last.
+        sim.complete_request((0, 1), 1_000_000);
+        sim.complete_request((1, 1), 2_000_000);
+        assert_eq!(sim.pending_resubmits.len(), 2);
+        sim.flush_resubmits();
+        let Reverse(first) = sim.events.pop().unwrap();
+        let Reverse(second) = sim.events.pop().unwrap();
+        assert_eq!(first.at, 1_000_000 + rtt_ns);
+        assert_eq!(second.at, 2_000_000 + rtt_ns);
+        assert!(matches!(first.kind, EventKind::ClientArrival { ref txns } if txns.len() == 1));
+        assert!(matches!(second.kind, EventKind::ClientArrival { ref txns } if txns.len() == 1));
+    }
+
+    #[test]
+    fn divergent_speculative_replies_cannot_complete_a_quorum() {
+        let spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+        let mut sim = Simulation::new(spec);
+        assert_eq!(sim.reply_quorum, 2, "Flexi-BFT f=1 completes at f + 1");
+        sim.requests.insert((0, 1), RequestTracker::new(0));
+        let reply = |replica: u32, seq: u64, value: u8| ClientReply {
+            client: ClientId(0),
+            request: RequestId(1),
+            seq: SeqNum(seq),
+            view: View(0),
+            replica: ReplicaId(replica),
+            result: KvResult::Value(Some(vec![value])),
+            speculative: true,
+        };
+        // Three distinct replicas reply, but no two agree on (seq, result):
+        // under distinct-replier counting this would already have completed
+        // twice over.
+        sim.record_reply(ReplicaId(0), &reply(0, 5, 1), 100);
+        sim.record_reply(ReplicaId(1), &reply(1, 6, 1), 100); // divergent seq
+        sim.record_reply(ReplicaId(2), &reply(2, 5, 2), 100); // divergent result
+        assert!(
+            sim.requests.contains_key(&(0, 1)),
+            "divergent replies must not form a quorum"
+        );
+        // Observed divergence arms the fallback watchdog even for a
+        // quorum-rule protocol, so the request can converge later instead
+        // of wedging its client out of the closed loop.
+        assert!(sim.requests[&(0, 1)].fallback_scheduled);
+        // A second vote for the (5, value 1) candidate completes it — and
+        // logs the candidate's sequence number, not a bystander's.
+        sim.record_reply(ReplicaId(3), &reply(3, 5, 1), 100);
+        assert!(!sim.requests.contains_key(&(0, 1)));
+        let logged = sim.commit_log.last().expect("completion is logged");
+        assert_eq!(logged.seq, SeqNum(5));
+        // Duplicate votes from one replica still count once.
+        sim.requests.insert((0, 2), RequestTracker::new(0));
+        let dup = |seq| ClientReply {
+            request: RequestId(2),
+            ..reply(0, seq, 1)
+        };
+        sim.record_reply(ReplicaId(0), &dup(7), 100);
+        sim.record_reply(ReplicaId(0), &dup(7), 100);
+        assert!(sim.requests.contains_key(&(0, 2)));
+    }
+
+    #[test]
+    fn divergent_fallback_rearms_until_a_candidate_quorum_forms() {
+        // MinZZ (all-replicas fast path, f = 1, n = 3): the fallback timer
+        // arms once a fallback quorum of *distinct* replicas has replied —
+        // hearing from them without completing means the fast path failed,
+        // agreeing or not — but it may only complete on a candidate that
+        // itself holds the quorum, retrying otherwise instead of wedging
+        // the closed loop.
+        let spec = ScenarioSpec::quick_test(ProtocolId::MinZz);
+        let mut sim = Simulation::new(spec);
+        assert!(sim.all_replicas_rule);
+        assert_eq!(sim.reply_quorum, 3);
+        assert_eq!(sim.fallback_quorum, 2);
+        sim.requests.insert((0, 1), RequestTracker::new(0));
+        let reply = |replica: u32, seq: u64| ClientReply {
+            client: ClientId(0),
+            request: RequestId(1),
+            seq: SeqNum(seq),
+            view: View(0),
+            replica: ReplicaId(replica),
+            result: KvResult::Written,
+            speculative: true,
+        };
+        sim.record_reply(ReplicaId(0), &reply(0, 5), 100);
+        sim.record_reply(ReplicaId(1), &reply(1, 6), 100); // divergent seq
+        assert!(sim.requests[&(0, 1)].fallback_scheduled);
+        let Reverse(armed) = sim.events.pop().expect("fallback timer armed");
+        assert!(matches!(armed.kind, EventKind::FallbackComplete { .. }));
+        // The timer fires with no candidate at quorum: the request stays
+        // alive and the timer re-arms.
+        sim.now = armed.at;
+        sim.on_fallback(ClientId(0), RequestId(1));
+        assert!(sim.requests.contains_key(&(0, 1)));
+        let Reverse(rearmed) = sim.events.pop().expect("fallback timer re-armed");
+        assert!(matches!(rearmed.kind, EventKind::FallbackComplete { .. }));
+        assert!(rearmed.at > armed.at);
+        // A third reply joins the (seq 5) candidate: the next fallback
+        // completes on it and logs its sequence number.
+        sim.record_reply(ReplicaId(2), &reply(2, 5), 200);
+        sim.now = rearmed.at;
+        sim.on_fallback(ClientId(0), RequestId(1));
+        assert!(!sim.requests.contains_key(&(0, 1)));
+        assert_eq!(sim.commit_log.last().unwrap().seq, SeqNum(5));
     }
 
     #[test]

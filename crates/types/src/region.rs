@@ -138,6 +138,28 @@ pub struct BandwidthConfig {
     /// Bandwidth of client↔replica links: charged on request uploads
     /// (client → primary arrival) and on reply downloads (replica → client).
     pub client_mbps: Option<u64>,
+    /// Receive-side (ingest) bandwidth of a replica NIC's per-link-class
+    /// ingress lanes. `None` (the default) means receivers ingest for free
+    /// — the sender-side-only model. When set, every delivery to a replica
+    /// additionally serialises on the receiver's ingress lane of its link
+    /// class for its wire time, so a leader collecting n − 1 simultaneous
+    /// same-class votes pays for them one after another (vote implosion).
+    /// Like the egress side, lanes of different classes on one NIC are
+    /// independent (same-region and cross-region ingest do not share a
+    /// rate yet). Replies to the aggregate client pool pay no ingress: the
+    /// pool stands for many independent client NICs, not one ingest pipe.
+    pub ingress_mbps: Option<u64>,
+    /// MTU-style transfer chunking. `None` (the default) reserves a link
+    /// atomically for a transfer's whole wire time — a megabyte batch holds
+    /// its lane until the last byte, head-of-line blocking every small
+    /// control message queued behind it. `Some(bytes)` splits transfers
+    /// into chunks reserved independently, so later broadcast copies and
+    /// small votes interleave with a large batch; delivery still completes
+    /// when the final chunk lands (cut-through: latency is paid once) and
+    /// the chunk wire times sum exactly to the atomic transfer time.
+    /// Chunking applies to egress lanes; ingress reservations (when
+    /// `ingress_mbps` is set) stay atomic.
+    pub chunk_bytes: Option<usize>,
 }
 
 impl BandwidthConfig {
@@ -160,6 +182,7 @@ impl BandwidthConfig {
             local_mbps: Some(mbps),
             wan_mbps: Some(mbps),
             client_mbps: Some(mbps),
+            ..BandwidthConfig::default()
         }
     }
 
@@ -176,7 +199,27 @@ impl BandwidthConfig {
             local_mbps: Some(10_000),
             wan_mbps: Some(wan_mbps),
             client_mbps: None,
+            ..BandwidthConfig::default()
         }
+    }
+
+    /// Sets the MTU-style chunk size transfers are split into on the link
+    /// queues. Panics on 0 bytes: a zero-byte chunk never makes progress.
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        self.chunk_bytes = Some(chunk_bytes);
+        self
+    }
+
+    /// Sets the receive-side (ingest) bandwidth of every NIC.
+    /// Panics on 0 Mbps, like [`BandwidthConfig::uniform`].
+    pub fn with_ingress_mbps(mut self, mbps: u64) -> Self {
+        assert!(
+            mbps > 0,
+            "bandwidth must be positive (0 Mbps never delivers)"
+        );
+        self.ingress_mbps = Some(mbps);
+        self
     }
 
     /// Nanoseconds needed to push `bytes` through a link of `mbps` megabits
@@ -375,6 +418,37 @@ mod tests {
         assert!(wan.local_mbps.unwrap() > 100);
         let uniform = BandwidthConfig::uniform(250);
         assert_eq!(uniform.client_mbps, Some(250));
+    }
+
+    #[test]
+    fn chunking_and_ingress_default_to_the_sender_side_atomic_model() {
+        // Every preset leaves transfers atomic and receivers free: the
+        // bit-exact PR 2 configuration.
+        for bw in [
+            BandwidthConfig::unlimited(),
+            BandwidthConfig::uniform(100),
+            BandwidthConfig::wan_constrained(20),
+        ] {
+            assert_eq!(bw.chunk_bytes, None);
+            assert_eq!(bw.ingress_mbps, None);
+        }
+        let tuned = BandwidthConfig::wan_constrained(100)
+            .with_chunk_bytes(1_500)
+            .with_ingress_mbps(200);
+        assert_eq!(tuned.chunk_bytes, Some(1_500));
+        assert_eq!(tuned.ingress_mbps, Some(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_is_rejected() {
+        let _ = BandwidthConfig::unlimited().with_chunk_bytes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_ingress_bandwidth_is_rejected() {
+        let _ = BandwidthConfig::unlimited().with_ingress_mbps(0);
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod prelude {
     };
     pub use flexitrust_runtime::{Cluster, ClusterSummary};
     pub use flexitrust_sim::{
-        CostModel, FaultPlan, LinkClass, LinkQueues, LinkUsage, NetworkModel, Nic, ScenarioSpec,
-        SimReport, Simulation,
+        CostModel, Direction, FaultPlan, LinkClass, LinkQueues, LinkUsage, NetworkModel, Nic,
+        ScenarioSpec, SimReport, Simulation,
     };
     pub use flexitrust_trusted::{Enclave, EnclaveConfig, EnclaveRegistry, TrustedHardware};
     pub use flexitrust_types::{

@@ -79,3 +79,13 @@ fn flexi_bft_commits_identically_in_simulator_and_threaded_cluster() {
 fn pbft_commits_identically_in_simulator_and_threaded_cluster() {
     assert_same_commit_sequence(ProtocolId::Pbft);
 }
+
+/// Flexi-ZZ replies speculatively after a single phase, so the client-side
+/// quorum logic is load-bearing: the simulator's aggregate client model
+/// must count votes per (seq, result digest) exactly like the
+/// `ClientLibrary` the threaded cluster uses, or the two hosts drift on
+/// when a request completes.
+#[test]
+fn flexi_zz_speculative_replies_commit_identically_in_both_hosts() {
+    assert_same_commit_sequence(ProtocolId::FlexiZz);
+}
