@@ -71,6 +71,37 @@ pub fn mixed_elephant_spec(mut spec: ScenarioSpec) -> ScenarioSpec {
     spec
 }
 
+/// The receive-side twin of [`mixed_elephant_spec`]: every link is
+/// unlimited *except* replica ingest (`ingress_mbps`), and the workload is
+/// all 4 kB updates in batches of 50 — so each PrePrepare is a ~200 kB
+/// elephant on every receiver's ingest lane while the votes it triggers
+/// stay mice on the same lane. With atomic rx reservations a vote arriving
+/// mid-ingest waits for the elephant's last byte (the receive-side
+/// head-of-line blocking that egress chunking alone cannot fix); with
+/// `chunk_bytes` set it slips between ingest chunks. One definition shared
+/// by the `fig6vi_wan` CI gate and the `tests/link_queue.rs` pin.
+pub fn mixed_elephant_rx_spec(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.workload = WorkloadConfig {
+        value_size: 4096,
+        read_proportion: 0.0,
+        update_proportion: 1.0,
+        insert_proportion: 0.0,
+        rmw_proportion: 0.0,
+        scan_proportion: 0.0,
+        max_scan_len: 1,
+        record_count: 1_000,
+        distribution: flexitrust::workload::KeyDistribution::Uniform,
+    };
+    spec.batch_size = 50;
+    let mut bandwidth = BandwidthConfig::unlimited();
+    bandwidth.ingress_mbps = Some(400);
+    spec.bandwidth = bandwidth;
+    spec.duration_us = 1_200_000;
+    spec.warmup_us = 300_000;
+    spec.clients = 100;
+    spec
+}
+
 /// The standard evaluation scenario used by the figure benches.
 pub fn eval_spec(protocol: ProtocolId, f: usize) -> ScenarioSpec {
     let mut spec = ScenarioSpec::paper_default(protocol);

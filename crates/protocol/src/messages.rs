@@ -53,18 +53,26 @@ pub struct ClientReply {
 }
 
 impl ClientReply {
-    /// Wire size of the reply in bytes: client + request + seq + view +
-    /// replica + speculative flag, the channel MAC, and the execution
-    /// result's payload. Feeds the simulator's client-link bandwidth model.
+    /// Exact wire size of the reply in bytes, equal to the canonical
+    /// codec's reply frame (`flexitrust-wire`): the frame header (length
+    /// prefix + sender replica + kind tag), the client / request / seq /
+    /// view identifiers, the speculative flag, the encoded execution
+    /// result, and the 32-byte channel-authenticator slot. Feeds the
+    /// simulator's client-link bandwidth model.
     pub fn wire_size_bytes(&self) -> usize {
-        const FIELDS: usize = 8 + 8 + 8 + 8 + 4 + 1;
+        // len prefix + sender + kind tag.
+        const FRAME: usize = 4 + 4 + 1;
+        const FIELDS: usize = 8 + 8 + 8 + 8 + 1;
         const MAC: usize = 32;
         let result = match &self.result {
-            KvResult::Value(v) => 1 + v.as_ref().map_or(0, Vec::len),
+            KvResult::Value(None) => 1 + 1,
+            KvResult::Value(Some(v)) => 1 + 1 + 4 + v.len(),
             KvResult::Written | KvResult::Noop => 1,
-            KvResult::Range(rows) => 1 + rows.iter().map(|(_, v)| 8 + v.len()).sum::<usize>(),
+            KvResult::Range(rows) => {
+                1 + 4 + rows.iter().map(|(_, v)| 8 + 4 + v.len()).sum::<usize>()
+            }
         };
-        FIELDS + MAC + result
+        FRAME + FIELDS + result + MAC
     }
 }
 
@@ -214,41 +222,48 @@ impl Message {
         }
     }
 
-    /// Wire size of the message in bytes, derived from the real payload
-    /// sizes: batch/transaction bytes, digests, the channel MAC, and the
-    /// exact attestation encoding defined by the trusted substrate
-    /// ([`Attestation::WIRE_SIZE`]). The simulator's bandwidth model
-    /// (delivery time = latency + size/bandwidth) and per-byte CPU model
-    /// both consume this.
+    /// Exact wire size of the message in bytes: the length of the frame the
+    /// canonical codec (`flexitrust-wire`) produces for it, pinned equal by
+    /// proptest (`tests/wire_codec.rs`). The frame is the length prefix,
+    /// the sender id, the kind tag, two fixed `u64` header slots (the
+    /// variant's view/seq-shaped pair), the variant body — batches,
+    /// digests, optional attestations at the exact trusted-substrate
+    /// encoding ([`Attestation::WIRE_SIZE`]) behind one-byte presence
+    /// flags — and the 32-byte channel-authenticator slot. The simulator's
+    /// bandwidth model (delivery time = latency + size/bandwidth) and
+    /// per-byte CPU model both consume this, so the sim charges the same
+    /// bytes the TCP transport carries.
     pub fn wire_size_bytes(&self) -> usize {
-        // Kind tag + view + seq + sender id.
-        const FIELDS: usize = 4 + 8 + 8 + 4;
+        // Length prefix + sender id + kind tag + the two header slots.
+        const FIELDS: usize = 4 + 4 + 1 + 8 + 8;
         // HMAC-SHA256 channel authenticator.
         const MAC: usize = 32;
         const HEADER: usize = FIELDS + MAC;
-        const ATTEST: usize = Attestation::WIRE_SIZE;
+        // An optional attestation: presence byte, plus the encoding.
+        const ATTEST: usize = 1 + Attestation::WIRE_SIZE;
+        const NO_ATTEST: usize = 1;
         const DIGEST: usize = 32;
+        // A `u32` collection count prefix.
+        const COUNT: usize = 4;
+        let att = |a: &Option<Attestation>| if a.is_some() { ATTEST } else { NO_ATTEST };
         match self {
             Message::PrePrepare {
                 batch, attestation, ..
-            } => HEADER + batch.wire_size() + attestation.as_ref().map_or(0, |_| ATTEST),
+            } => HEADER + att(attestation) + batch.wire_size(),
             Message::Prepare { attestation, .. } | Message::Commit { attestation, .. } => {
-                HEADER + DIGEST + attestation.as_ref().map_or(0, |_| ATTEST)
+                HEADER + DIGEST + att(attestation)
             }
-            Message::Checkpoint { attestation, .. } => {
-                HEADER + DIGEST + attestation.as_ref().map_or(0, |_| ATTEST)
-            }
+            Message::Checkpoint { attestation, .. } => HEADER + DIGEST + att(attestation),
             Message::ViewChange { prepared, .. } => {
                 HEADER
+                    + COUNT
                     + prepared
                         .iter()
                         .map(|p| {
-                            // Per-proof header (view + seq + digest) plus the
-                            // re-proposable batch and its attestation.
-                            8 + 8
-                                + DIGEST
-                                + p.batch.wire_size()
-                                + p.attestation.as_ref().map_or(0, |_| ATTEST)
+                            // Per-proof header (view + seq + digest + vote
+                            // count) plus the re-proposable batch and its
+                            // attestation slot.
+                            8 + 8 + DIGEST + 4 + p.batch.wire_size() + att(&p.attestation)
                         })
                         .sum::<usize>()
             }
@@ -258,15 +273,16 @@ impl Message {
                 ..
             } => {
                 HEADER
-                    + counter_attestation.as_ref().map_or(0, |_| ATTEST)
+                    + att(counter_attestation)
+                    + COUNT
                     + proposals
                         .iter()
-                        .map(|(_, b, a)| 8 + b.wire_size() + a.as_ref().map_or(0, |_| ATTEST))
+                        .map(|(_, b, a)| 8 + b.wire_size() + att(a))
                         .sum::<usize>()
             }
             Message::ClientRetry { txn } => HEADER + txn.wire_size(),
             Message::ForwardRequest { txns } => {
-                HEADER + txns.iter().map(Transaction::wire_size).sum::<usize>()
+                HEADER + COUNT + txns.iter().map(Transaction::wire_size).sum::<usize>()
             }
         }
     }

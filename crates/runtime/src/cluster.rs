@@ -1,4 +1,9 @@
 //! A threaded cluster: one thread per replica, channels as the network.
+//!
+//! The replica loop, the timer machinery and the closed-loop workload
+//! driver here are shared with the TCP deployment (`crate::tcp`): both
+//! hosts differ only in their [`Transport`] — how an outbound message or
+//! reply physically leaves the replica thread.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzyva};
@@ -10,17 +15,78 @@ use flexitrust_protocol::{
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry};
 use flexitrust_types::{ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::primary::PrimaryTracker;
+
 /// Messages flowing into a replica thread.
-enum Input {
+pub(crate) enum Input {
+    /// A peer protocol message.
     Peer(ReplicaId, Message),
+    /// A batch of client transactions.
     Client(Vec<Transaction>),
+    /// Stop the replica loop.
     Shutdown,
 }
 
-/// Summary of a workload run against the cluster.
+/// How a replica thread's outbound traffic leaves the process: over
+/// channels ([`ChannelTransport`]) or over TCP sockets
+/// (`crate::tcp::SocketTransport`). Cross-replica sends must never block —
+/// two replicas with mutually full inboxes would deadlock the cluster — so
+/// implementations drop (and count) what they cannot enqueue; BFT protocols
+/// tolerate message loss by design.
+pub(crate) trait Transport {
+    /// Queue `msg` from `from` for delivery to `to`.
+    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: Message);
+
+    /// Queue `msg` from `from` for delivery to every replica (sender
+    /// included). The default fans out to per-destination sends; a
+    /// serialising transport overrides it to encode the wire bytes once
+    /// per broadcast instead of once per destination.
+    fn broadcast_peer(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+        for to in 0..replicas {
+            self.send_peer(from, ReplicaId(to as u32), msg.clone());
+        }
+    }
+
+    /// Queue a client reply emitted by `from`.
+    fn send_reply(&mut self, from: ReplicaId, reply: ClientReply);
+}
+
+/// The channel-network transport: peers are reached through their bounded
+/// inboxes, clients through a shared reply channel.
+pub(crate) struct ChannelTransport {
+    pub(crate) peers: Vec<Sender<Input>>,
+    pub(crate) replies: Sender<ClientReply>,
+    pub(crate) dropped: Arc<AtomicU64>,
+}
+
+impl Transport for ChannelTransport {
+    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        // `try_send`, not `send`: a blocking send on a full inbox while our
+        // own inbox is also full (with the peer blocked symmetrically on
+        // ours) deadlocks both replicas. Dropping is safe — every protocol
+        // here already survives lossy networks — and is surfaced through
+        // the drop counter in `ClusterSummary`.
+        if self.peers[to.as_usize()]
+            .try_send(Input::Peer(from, msg))
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn send_reply(&mut self, _from: ReplicaId, reply: ClientReply) {
+        if self.replies.try_send(reply).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Summary of a workload run against a cluster (channel or TCP).
 #[derive(Debug, Clone)]
 pub struct ClusterSummary {
     /// Transactions whose reply quorum was reached.
@@ -31,6 +97,10 @@ pub struct ClusterSummary {
     pub throughput_tps: f64,
     /// Number of replicas in the cluster.
     pub n: usize,
+    /// Messages (peer sends and replies) dropped because a transport queue
+    /// was full; nonzero values mean the run shed load instead of
+    /// deadlocking.
+    pub dropped_messages: u64,
     /// Every completed transaction with the sequence number it executed at,
     /// sorted by sequence; comparable against the simulator's commit log.
     pub commit_log: Vec<CommittedTxn>,
@@ -41,10 +111,12 @@ pub struct Cluster {
     config: SystemConfig,
     inboxes: Vec<Sender<Input>>,
     replies: Receiver<ClientReply>,
+    tracker: PrimaryTracker,
+    dropped: Arc<AtomicU64>,
     handles: Vec<JoinHandle<()>>,
 }
 
-fn build_engine(
+pub(crate) fn build_engine(
     protocol: ProtocolId,
     config: &SystemConfig,
     id: ReplicaId,
@@ -101,17 +173,25 @@ fn build_engine(
     }
 }
 
+/// Builds the standard cluster configuration for a threaded deployment.
+pub(crate) fn cluster_config(protocol: ProtocolId, f: usize, batch_size: usize) -> SystemConfig {
+    let mut config = SystemConfig::for_protocol(protocol, f);
+    config.batch_size = batch_size;
+    // Keep view-change timers long: the threaded runtimes are used for
+    // failure-free correctness runs and examples.
+    config.view_timeout_us = 30_000_000;
+    config
+}
+
 impl Cluster {
     /// Starts a cluster of `n` replica threads for `protocol` with fault
     /// threshold `f` and the given batch size, using real Ed25519
     /// attestations.
     pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> Self {
-        let mut config = SystemConfig::for_protocol(protocol, f);
-        config.batch_size = batch_size;
-        // Keep view-change timers long: the threaded runtime is used for
-        // failure-free correctness runs and examples.
-        config.view_timeout_us = 30_000_000;
+        let config = cluster_config(protocol, f, batch_size);
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
+        let tracker = PrimaryTracker::new(config.n);
+        let dropped = Arc::new(AtomicU64::new(0));
 
         let (reply_tx, reply_rx) = bounded::<ClientReply>(1 << 16);
         let mut inbox_txs = Vec::with_capacity(config.n);
@@ -126,10 +206,14 @@ impl Cluster {
         for (i, rx) in inbox_rxs.into_iter().enumerate() {
             let id = ReplicaId(i as u32);
             let mut engine = build_engine(protocol, &config, id, &registry);
-            let peers = inbox_txs.clone();
-            let replies = reply_tx.clone();
+            let transport = ChannelTransport {
+                peers: inbox_txs.clone(),
+                replies: reply_tx.clone(),
+                dropped: Arc::clone(&dropped),
+            };
+            let thread_tracker = tracker.clone();
             handles.push(std::thread::spawn(move || {
-                replica_loop(&mut *engine, rx, peers, replies);
+                replica_loop(&mut *engine, rx, transport, thread_tracker);
             }));
         }
 
@@ -137,6 +221,8 @@ impl Cluster {
             config,
             inboxes: inbox_txs,
             replies: reply_rx,
+            tracker,
+            dropped,
             handles,
         }
     }
@@ -146,9 +232,16 @@ impl Cluster {
         &self.config
     }
 
-    /// Submits transactions to the primary replica.
+    /// The replica currently believed to lead (the primary of the most
+    /// advanced view any replica has published).
+    pub fn current_primary(&self) -> ReplicaId {
+        self.tracker.current_primary()
+    }
+
+    /// Submits transactions to the current primary replica.
     pub fn submit(&self, txns: Vec<Transaction>) {
-        let _ = self.inboxes[0].send(Input::Client(txns));
+        let primary = self.tracker.current_primary();
+        let _ = self.inboxes[primary.as_usize()].send(Input::Client(txns));
     }
 
     /// Runs `total_txns` transactions (from `clients` logical clients)
@@ -160,79 +253,15 @@ impl Cluster {
         clients: usize,
         timeout: Duration,
     ) -> ClusterSummary {
-        let properties_quorum = {
-            // The reply rule follows the protocol (Figure 1 column mapping).
-            use flexitrust_protocol::ProtocolProperties;
-            ProtocolProperties::for_protocol(self.config.protocol).reply_quorum
-        };
-        let mut libraries: HashMap<u64, ClientLibrary> = (0..clients as u64)
-            .map(|c| {
-                (
-                    c,
-                    ClientLibrary::new(ClientId(c), &self.config, properties_quorum),
-                )
-            })
-            .collect();
-
-        let start = Instant::now();
-        let mut submitted = Vec::with_capacity(total_txns);
-        for i in 0..total_txns {
-            let client = ClientId((i % clients) as u64);
-            let request = RequestId((i / clients) as u64 + 1);
-            let txn = Transaction::new(
-                client,
-                request,
-                flexitrust_types::KvOp::Update {
-                    key: i as u64,
-                    value: vec![i as u8; 16],
-                },
-            );
-            libraries
-                .get_mut(&client.0)
-                .expect("library exists")
-                .begin(request);
-            submitted.push(txn);
-        }
-        for chunk in submitted.chunks(self.config.batch_size.max(1)) {
-            self.submit(chunk.to_vec());
-        }
-
-        let mut completed = 0u64;
-        let mut commit_log: Vec<CommittedTxn> = Vec::with_capacity(total_txns);
-        while completed < total_txns as u64 && start.elapsed() < timeout {
-            match self.replies.recv_timeout(Duration::from_millis(50)) {
-                Ok(reply) => {
-                    if let Some(library) = libraries.get_mut(&reply.client.0) {
-                        // Count a request exactly when it first completes;
-                        // late duplicate replies also report `Complete` (with
-                        // the same matching count), so the status alone would
-                        // overcount under load.
-                        let before = library.completed();
-                        let status = library.on_reply(&reply);
-                        if library.completed() > before {
-                            if let RequestStatus::Complete { seq, .. } = status {
-                                completed += 1;
-                                commit_log.push(CommittedTxn {
-                                    seq,
-                                    client: reply.client,
-                                    request: reply.request,
-                                });
-                            }
-                        }
-                    }
-                }
-                Err(_) => continue,
-            }
-        }
-        let elapsed = start.elapsed();
-        commit_log.sort_unstable();
-        ClusterSummary {
-            completed_txns: completed,
-            throughput_tps: completed as f64 / elapsed.as_secs_f64(),
-            elapsed,
-            n: self.config.n,
-            commit_log,
-        }
+        drive_workload(
+            &self.config,
+            |txns| self.submit(txns),
+            &self.replies,
+            &self.dropped,
+            total_txns,
+            clients,
+            timeout,
+        )
     }
 
     /// Stops every replica thread.
@@ -246,22 +275,119 @@ impl Cluster {
     }
 }
 
-/// The threaded runtime's [`EngineHost`]: channel sends as the network, a
+/// The shared closed-loop workload driver: submits `total_txns` in
+/// batch-size chunks through `submit`, drains `replies` through per-client
+/// `ClientLibrary` quorum tracking, and reports the commit log.
+pub(crate) fn drive_workload(
+    config: &SystemConfig,
+    mut submit: impl FnMut(Vec<Transaction>),
+    replies: &Receiver<ClientReply>,
+    dropped: &AtomicU64,
+    total_txns: usize,
+    clients: usize,
+    timeout: Duration,
+) -> ClusterSummary {
+    // Snapshot the shared drop counter so the summary reports *this run's*
+    // drops, not the cluster's lifetime total (a second workload on the
+    // same cluster must not inherit the first run's shed load).
+    let dropped_at_start = dropped.load(Ordering::Relaxed);
+    let properties_quorum = {
+        // The reply rule follows the protocol (Figure 1 column mapping).
+        use flexitrust_protocol::ProtocolProperties;
+        ProtocolProperties::for_protocol(config.protocol).reply_quorum
+    };
+    let mut libraries: HashMap<u64, ClientLibrary> = (0..clients as u64)
+        .map(|c| {
+            (
+                c,
+                ClientLibrary::new(ClientId(c), config, properties_quorum),
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut submitted = Vec::with_capacity(total_txns);
+    for i in 0..total_txns {
+        let client = ClientId((i % clients) as u64);
+        let request = RequestId((i / clients) as u64 + 1);
+        let txn = Transaction::new(
+            client,
+            request,
+            flexitrust_types::KvOp::Update {
+                key: i as u64,
+                value: vec![i as u8; 16],
+            },
+        );
+        libraries
+            .get_mut(&client.0)
+            .expect("library exists")
+            .begin(request);
+        submitted.push(txn);
+    }
+    for chunk in submitted.chunks(config.batch_size.max(1)) {
+        submit(chunk.to_vec());
+    }
+
+    let mut completed = 0u64;
+    let mut commit_log: Vec<CommittedTxn> = Vec::with_capacity(total_txns);
+    while completed < total_txns as u64 && start.elapsed() < timeout {
+        match replies.recv_timeout(Duration::from_millis(50)) {
+            Ok(reply) => {
+                if let Some(library) = libraries.get_mut(&reply.client.0) {
+                    // Count a request exactly when it first completes;
+                    // late duplicate replies also report `Complete` (with
+                    // the same matching count), so the status alone would
+                    // overcount under load.
+                    let before = library.completed();
+                    let status = library.on_reply(&reply);
+                    if library.completed() > before {
+                        if let RequestStatus::Complete { seq, .. } = status {
+                            completed += 1;
+                            commit_log.push(CommittedTxn {
+                                seq,
+                                client: reply.client,
+                                request: reply.request,
+                            });
+                        }
+                    }
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    let elapsed = start.elapsed();
+    commit_log.sort_unstable();
+    ClusterSummary {
+        completed_txns: completed,
+        throughput_tps: completed as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        n: config.n,
+        dropped_messages: dropped
+            .load(Ordering::Relaxed)
+            .saturating_sub(dropped_at_start),
+        commit_log,
+    }
+}
+
+/// The threaded runtimes' [`EngineHost`]: transport sends as the network, a
 /// per-thread deadline list as the clock. All `Action` translation and timer
 /// bookkeeping live in the shared [`Dispatcher`].
-struct ThreadEnv {
-    peers: Vec<Sender<Input>>,
-    replies: Sender<ClientReply>,
+struct ThreadEnv<T: Transport> {
+    transport: T,
     timers: Vec<(Instant, TimerKind, TimerToken)>,
 }
 
-impl EngineHost for ThreadEnv {
+impl<T: Transport> EngineHost for ThreadEnv<T> {
     fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
-        let _ = self.peers[to.as_usize()].send(Input::Peer(from, msg));
+        self.transport.send_peer(from, to, msg);
     }
 
-    fn reply(&mut self, _from: ReplicaId, reply: ClientReply) {
-        let _ = self.replies.send(reply);
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+        self.transport.broadcast_peer(from, replicas, msg);
+    }
+
+    fn reply(&mut self, from: ReplicaId, reply: ClientReply) {
+        self.transport.send_reply(from, reply);
     }
 
     fn schedule_timer(
@@ -286,16 +412,16 @@ impl EngineHost for ThreadEnv {
     }
 }
 
-fn replica_loop(
+/// One replica's event loop, shared by the channel and TCP deployments.
+pub(crate) fn replica_loop<T: Transport>(
     engine: &mut dyn ConsensusEngine,
     rx: Receiver<Input>,
-    peers: Vec<Sender<Input>>,
-    replies: Sender<ClientReply>,
+    transport: T,
+    tracker: PrimaryTracker,
 ) {
-    let mut dispatcher = Dispatcher::new(peers.len());
+    let mut dispatcher = Dispatcher::new(engine.config().n);
     let mut env = ThreadEnv {
-        peers,
-        replies,
+        transport,
         timers: Vec::new(),
     };
     loop {
@@ -328,6 +454,9 @@ fn replica_loop(
         for (timer, token) in due {
             dispatcher.timer_expired(engine, timer, token, &mut env);
         }
+
+        // Publish our view so submission paths can find the primary.
+        tracker.observe(engine.id(), engine.view());
     }
 }
 
@@ -347,6 +476,7 @@ mod tests {
         let summary = run(ProtocolId::FlexiBft, 100);
         assert_eq!(summary.completed_txns, 100);
         assert!(summary.throughput_tps > 0.0);
+        assert_eq!(summary.dropped_messages, 0);
     }
 
     #[test]
@@ -365,5 +495,44 @@ mod tests {
     fn pbft_commits_real_crypto_workload() {
         let summary = run(ProtocolId::Pbft, 50);
         assert_eq!(summary.completed_txns, 50);
+    }
+
+    #[test]
+    fn full_inboxes_drop_instead_of_deadlocking() {
+        // Two replicas with mutually full inboxes used to deadlock on the
+        // old blocking `send`; `try_send` must shed the message and count
+        // the drop without ever blocking the calling replica thread.
+        let (tx, _rx) = bounded::<Input>(1);
+        assert!(tx.try_send(Input::Client(Vec::new())).is_ok());
+        let (reply_tx, _reply_rx) = bounded::<ClientReply>(1);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let mut transport = ChannelTransport {
+            peers: vec![tx],
+            replies: reply_tx,
+            dropped: Arc::clone(&dropped),
+        };
+        let msg = Message::ClientRetry {
+            txn: Transaction::noop(),
+        };
+        let start = Instant::now();
+        transport.send_peer(ReplicaId(1), ReplicaId(0), msg);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "send must not block"
+        );
+        assert_eq!(dropped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn submissions_route_to_the_published_primary() {
+        // Build a cluster, then force the tracker's board forward: submit
+        // must follow the published view's primary, not replica 0.
+        let cluster = Cluster::start(ProtocolId::Pbft, 1, 10);
+        assert_eq!(cluster.current_primary(), ReplicaId(0));
+        cluster
+            .tracker
+            .observe(ReplicaId(3), flexitrust_types::View(1));
+        assert_eq!(cluster.current_primary(), ReplicaId(1));
+        cluster.shutdown();
     }
 }

@@ -11,6 +11,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is handed back.
+        Full(T),
+        /// The receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv_timeout`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum RecvTimeoutError {
@@ -37,6 +46,15 @@ pub mod channel {
         /// Sends `value`, blocking while the channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+
+        /// Sends `value` without blocking, failing when the channel is full
+        /// or the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                std::sync::mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -86,6 +104,18 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(RecvTimeoutError::Timeout)
         );
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected_without_blocking() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

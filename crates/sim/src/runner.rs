@@ -83,11 +83,21 @@ enum EventKind {
     /// sees it, so a vote implosion at the leader serialises on its ingest
     /// NIC. Skipped entirely when no ingress bandwidth is configured (the
     /// bit-exact receivers-ingest-for-free path).
+    ///
+    /// With `chunk_bytes` configured, ingest crosses the lane chunk by
+    /// chunk exactly like egress (`offset_bytes` marks how much has been
+    /// ingested; each chunk's completion schedules the next), so an
+    /// elephant no longer head-of-line blocks the receiver's ingest lane
+    /// that egress chunking opened up on the send side.
     Ingest {
         to: ReplicaId,
         from: ReplicaId,
         msg: Message,
+        /// Total wire size, for cutting chunk spans.
+        bytes: usize,
+        /// Atomic ingest wire time of the whole message.
         rx_ns: u64,
+        offset_bytes: usize,
     },
     /// A client reply departing over a finite-bandwidth client lane;
     /// same departure-time FIFO (and chunking) as `Transmit`. Replies pay
@@ -109,10 +119,20 @@ enum EventKind {
         offset_bytes: usize,
     },
     /// A batch of client request uploads arriving at the primary's
-    /// client-facing NIC; same ingress serialisation as `Ingest`.
+    /// client-facing NIC; same ingress serialisation (and chunking) as
+    /// `Ingest`.
     IngestUpload {
         txns: Vec<Transaction>,
+        /// Total wire size, for cutting chunk spans.
+        bytes: usize,
+        /// Atomic ingest wire time of the whole batch.
         rx_ns: u64,
+        offset_bytes: usize,
+        /// The NIC charged for this ingest: resolved from the current
+        /// primary when the first chunk starts, then pinned so later
+        /// chunks of one batch cannot smear across NICs if a view change
+        /// completes mid-ingest.
+        nic: Option<ReplicaId>,
     },
     Timer {
         replica: ReplicaId,
@@ -137,6 +157,11 @@ enum ChunkLane {
     Replica { from: ReplicaId, to: ReplicaId },
     /// A client↔replica link (client bandwidth).
     Client,
+    /// The receive side of a replica-to-replica link (ingress bandwidth).
+    ReplicaIngress { from: ReplicaId, to: ReplicaId },
+    /// The receive side of a replica's client-facing lane (ingress
+    /// bandwidth on request uploads).
+    ClientIngress,
 }
 
 struct Event {
@@ -268,7 +293,9 @@ impl EngineHost for SimEnv<'_> {
                         to,
                         from,
                         msg,
+                        bytes,
                         rx_ns,
+                        offset_bytes: 0,
                     },
                 ));
             }
@@ -512,8 +539,10 @@ impl Simulation {
                     to,
                     from,
                     msg,
+                    bytes,
                     rx_ns,
-                } => self.on_ingest(to, from, msg, rx_ns),
+                    offset_bytes,
+                } => self.on_ingest(to, from, msg, bytes, rx_ns, offset_bytes),
                 EventKind::TransmitReply {
                     from,
                     reply,
@@ -526,7 +555,13 @@ impl Simulation {
                     bytes,
                     offset_bytes,
                 } => self.on_client_upload(txns, bytes, offset_bytes),
-                EventKind::IngestUpload { txns, rx_ns } => self.on_ingest_upload(txns, rx_ns),
+                EventKind::IngestUpload {
+                    txns,
+                    bytes,
+                    rx_ns,
+                    offset_bytes,
+                    nic,
+                } => self.on_ingest_upload(txns, bytes, rx_ns, offset_bytes, nic),
                 EventKind::Timer {
                     replica,
                     timer,
@@ -566,7 +601,9 @@ impl Simulation {
     /// serialise FIFO in departure-time order behind earlier uploads still
     /// on the pipe.
     fn schedule_client_upload(&mut self, ready: Ns, txns: Vec<Transaction>) {
-        let bytes: usize = txns.iter().map(Transaction::wire_size).sum();
+        // Charge the exact bytes of the canonical submission frame the TCP
+        // transport would carry, framing overhead included.
+        let bytes = flexitrust_wire::client_upload_wire_size(&txns);
         let rx_ns = self.net.client_ingress_ns(bytes);
         if self.net.client_transmit_ns(bytes) > 0 {
             self.push_event(
@@ -578,7 +615,16 @@ impl Simulation {
                 },
             );
         } else if rx_ns > 0 {
-            self.push_event(ready, EventKind::IngestUpload { txns, rx_ns });
+            self.push_event(
+                ready,
+                EventKind::IngestUpload {
+                    txns,
+                    bytes,
+                    rx_ns,
+                    offset_bytes: 0,
+                    nic: None,
+                },
+            );
         } else {
             self.push_event(ready, EventKind::ClientArrival { txns });
         }
@@ -696,10 +742,12 @@ impl Simulation {
         let (done, end) = self.reserve_transfer_step(
             Nic::Replica(from),
             self.net.replica_link_class(from, to),
+            Direction::Egress,
             ChunkLane::Replica { from, to },
             bytes,
             offset_bytes,
             transmit_ns,
+            self.now,
         );
         if end < bytes {
             self.push_event(
@@ -719,23 +767,29 @@ impl Simulation {
         }
     }
 
-    /// One reservation step of a (possibly chunked) transfer on an egress
-    /// lane. Returns `(done, end)`: the instant the reserved span clears
-    /// the wire and the byte offset it reached — `end == total_bytes`
-    /// means the transfer's last byte left at `done`; otherwise the caller
-    /// re-enqueues its continuation event at `done` with offset `end`, so
-    /// transfers that became ready in between interleave chunk by chunk.
-    /// Chunk wire times are cut as cumulative differences, so the chunk
-    /// times of one transfer sum to `atomic_ns` exactly — per-chunk
-    /// rounding never inflates the total.
+    /// One reservation step of a (possibly chunked) transfer on a link
+    /// lane — egress and ingress alike. Returns `(done, end)`: the instant
+    /// the reserved span clears the lane and the byte offset it reached —
+    /// `end == total_bytes` means the transfer's last byte cleared at
+    /// `done`; otherwise the caller re-enqueues its continuation event at
+    /// `done` with offset `end`, so transfers that became ready in between
+    /// interleave chunk by chunk. Chunk wire times are cut as cumulative
+    /// differences, so the chunk times of one transfer sum to `atomic_ns`
+    /// exactly — per-chunk rounding never inflates the total.
+    ///
+    /// `ready` is the instant this span may start (the clock for egress;
+    /// the backdated arrival for an ingress first chunk).
+    #[allow(clippy::too_many_arguments)]
     fn reserve_transfer_step(
         &mut self,
         nic: Nic,
         class: LinkClass,
+        direction: Direction,
         lane: ChunkLane,
         total_bytes: usize,
         offset_bytes: usize,
         atomic_ns: u64,
+        ready: Ns,
     ) -> (Ns, usize) {
         match self.net.chunk_bytes() {
             // A dead lane (0 Mbps saturates to u64::MAX) must never be
@@ -745,39 +799,33 @@ impl Simulation {
             Some(chunk) if total_bytes > chunk && atomic_ns < u64::MAX => {
                 let end = (offset_bytes + chunk).min(total_bytes);
                 let chunk_ns = self
-                    .lane_transmit_ns(lane, end)
-                    .saturating_sub(self.lane_transmit_ns(lane, offset_bytes));
+                    .lane_wire_ns(lane, end)
+                    .saturating_sub(self.lane_wire_ns(lane, offset_bytes));
                 // Only the first chunk counts a message: `messages` tallies
                 // transfers, not the chunks they crossed the wire in.
                 let done = if offset_bytes == 0 {
-                    self.links
-                        .reserve(nic, class, Direction::Egress, self.now, chunk_ns)
+                    self.links.reserve(nic, class, direction, ready, chunk_ns)
                 } else {
-                    self.links.reserve_continuation(
-                        nic,
-                        class,
-                        Direction::Egress,
-                        self.now,
-                        chunk_ns,
-                    )
+                    self.links
+                        .reserve_continuation(nic, class, direction, ready, chunk_ns)
                 };
                 (done, end)
             }
             _ => {
-                let sent = self
-                    .links
-                    .reserve(nic, class, Direction::Egress, self.now, atomic_ns);
-                (sent, total_bytes)
+                let done = self.links.reserve(nic, class, direction, ready, atomic_ns);
+                (done, total_bytes)
             }
         }
     }
 
-    /// The stateless transmit-time function of a transfer's lane, for
-    /// cutting cumulative chunk spans.
-    fn lane_transmit_ns(&self, lane: ChunkLane, bytes: usize) -> u64 {
+    /// The stateless wire-time function of a transfer's lane, for cutting
+    /// cumulative chunk spans.
+    fn lane_wire_ns(&self, lane: ChunkLane, bytes: usize) -> u64 {
         match lane {
             ChunkLane::Replica { from, to } => self.net.replica_transmit_ns(from, to, bytes),
             ChunkLane::Client => self.net.client_transmit_ns(bytes),
+            ChunkLane::ReplicaIngress { from, to } => self.net.replica_ingress_ns(from, to, bytes),
+            ChunkLane::ClientIngress => self.net.client_ingress_ns(bytes),
         }
     }
 
@@ -805,32 +853,82 @@ impl Simulation {
                     to,
                     from,
                     msg,
+                    bytes,
                     rx_ns,
+                    offset_bytes: 0,
                 },
             );
         }
     }
 
-    /// A message's last byte reached the receiver: serialise it on the
-    /// receiver's ingress lane. The reservation is backdated by the ingest
-    /// wire time — the bits streamed into the NIC while crossing the wire —
-    /// so an uncontended message is delivered at its arrival instant
-    /// (transmit is paid once) and only ingress *contention* adds delay:
-    /// delivery = tx queue + transmit + latency + rx queue. The backdated
-    /// window saturates at clock 0: a message whose ingest time exceeds the
-    /// sim time so far cannot have been streaming before the run started,
-    /// so its delivery waits for a full ingest window — a boundary artifact
-    /// of the approximation, bounded by one `rx_ns` at the start of a run.
-    fn on_ingest(&mut self, to: ReplicaId, from: ReplicaId, msg: Message, rx_ns: u64) {
+    /// A message's last byte reached the receiver (or, for a continuation
+    /// chunk, the previous chunk finished ingesting): serialise it on the
+    /// receiver's ingress lane. The first reservation is backdated by the
+    /// ingest wire time — the bits streamed into the NIC while crossing
+    /// the wire — so an uncontended message is delivered at its arrival
+    /// instant (transmit is paid once) and only ingress *contention* adds
+    /// delay: delivery = tx queue + transmit + latency + rx queue. The
+    /// backdated window saturates at clock 0: a message whose ingest time
+    /// exceeds the sim time so far cannot have been streaming before the
+    /// run started, so its delivery waits for a full ingest window — a
+    /// boundary artifact of the approximation, bounded by one `rx_ns` at
+    /// the start of a run.
+    ///
+    /// With `chunk_bytes` configured the ingest crosses the lane one chunk
+    /// at a time, chunk spans cut as cumulative differences (they sum to
+    /// `rx_ns` exactly, so an uncontended chunked ingest still lands at
+    /// the arrival instant); messages arriving in between slip into the
+    /// lane instead of waiting for an elephant's last byte — the same
+    /// head-of-line fix egress chunking applies on the send side.
+    fn on_ingest(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+        bytes: usize,
+        rx_ns: u64,
+        offset_bytes: usize,
+    ) {
         let class = self.net.replica_link_class(from, to);
-        let done = self.links.reserve(
+        let ready = if offset_bytes == 0 {
+            self.now.saturating_sub(rx_ns)
+        } else {
+            // Continuation chunks fire when their predecessor clears the
+            // lane; the backdating already happened on the first chunk.
+            self.now
+        };
+        let (done, end) = self.reserve_transfer_step(
             Nic::Replica(to),
             class,
             Direction::Ingress,
-            self.now.saturating_sub(rx_ns),
+            ChunkLane::ReplicaIngress { from, to },
+            bytes,
+            offset_bytes,
             rx_ns,
+            ready,
         );
-        self.push_event(done.max(self.now), EventKind::Deliver { to, from, msg });
+        if end < bytes {
+            // `done` can precede `self.now` (the first chunk's span starts
+            // at the backdated ready), so this push briefly runs the clock
+            // backwards — by construction the window [done, now] holds no
+            // other event (the heap minimum was `now`), only this chunk
+            // chain, and delivery is clamped to the arrival instant below.
+            // Handlers keyed to a monotone clock must not run off Ingest
+            // continuation events.
+            self.push_event(
+                done,
+                EventKind::Ingest {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                    rx_ns,
+                    offset_bytes: end,
+                },
+            );
+        } else {
+            self.push_event(done.max(self.now), EventKind::Deliver { to, from, msg });
+        }
     }
 
     /// A chunk of a client reply departing over a finite-bandwidth client
@@ -846,10 +944,12 @@ impl Simulation {
         let (done, end) = self.reserve_transfer_step(
             Nic::Replica(from),
             LinkClass::Client,
+            Direction::Egress,
             ChunkLane::Client,
             bytes,
             offset_bytes,
             transmit_ns,
+            self.now,
         );
         if end < bytes {
             self.push_event(
@@ -878,10 +978,12 @@ impl Simulation {
         let (done, end) = self.reserve_transfer_step(
             Nic::ClientPool,
             LinkClass::Client,
+            Direction::Egress,
             ChunkLane::Client,
             bytes,
             offset_bytes,
             transmit_ns,
+            self.now,
         );
         if end < bytes {
             self.push_event(
@@ -896,29 +998,71 @@ impl Simulation {
         }
         let rx_ns = self.net.client_ingress_ns(bytes);
         if rx_ns > 0 {
-            self.push_event(done, EventKind::IngestUpload { txns, rx_ns });
+            self.push_event(
+                done,
+                EventKind::IngestUpload {
+                    txns,
+                    bytes,
+                    rx_ns,
+                    offset_bytes: 0,
+                    nic: None,
+                },
+            );
         } else {
             self.push_event(done, EventKind::ClientArrival { txns });
         }
     }
 
-    /// A request-upload batch's last byte reached the primary: serialise it
-    /// on the primary's client-facing ingress lane. The primary is resolved
-    /// at ingest start; `on_client_arrival` re-resolves it at dispatch, so
-    /// if a view change completed within the ingest span the charged NIC
-    /// and the processing replica could diverge by that one span — an
+    /// A request-upload batch's last byte reached the primary (or a
+    /// continuation chunk finished): serialise it on the primary's
+    /// client-facing ingress lane, chunked exactly like `on_ingest`. The
+    /// primary is resolved when the first chunk starts and pinned for the
+    /// rest of the batch; `on_client_arrival` re-resolves it at dispatch,
+    /// so if a view change completed within the ingest span the charged
+    /// NIC and the processing replica could diverge by that one span — an
     /// accepted approximation (the arrival handler must re-resolve anyway
     /// to handle a failed primary).
-    fn on_ingest_upload(&mut self, txns: Vec<Transaction>, rx_ns: u64) {
-        let primary = self.current_primary();
-        let done = self.links.reserve(
+    fn on_ingest_upload(
+        &mut self,
+        txns: Vec<Transaction>,
+        bytes: usize,
+        rx_ns: u64,
+        offset_bytes: usize,
+        nic: Option<ReplicaId>,
+    ) {
+        let primary = nic.unwrap_or_else(|| self.current_primary());
+        let ready = if offset_bytes == 0 {
+            self.now.saturating_sub(rx_ns)
+        } else {
+            self.now
+        };
+        let (done, end) = self.reserve_transfer_step(
             Nic::Replica(primary),
             LinkClass::Client,
             Direction::Ingress,
-            self.now.saturating_sub(rx_ns),
+            ChunkLane::ClientIngress,
+            bytes,
+            offset_bytes,
             rx_ns,
+            ready,
         );
-        self.push_event(done.max(self.now), EventKind::ClientArrival { txns });
+        if end < bytes {
+            // As in `on_ingest`: `done` may precede `self.now` on the
+            // backdated first chunk — an event-free window only this chunk
+            // chain occupies, with arrival clamped below.
+            self.push_event(
+                done,
+                EventKind::IngestUpload {
+                    txns,
+                    bytes,
+                    rx_ns,
+                    offset_bytes: end,
+                    nic: Some(primary),
+                },
+            );
+        } else {
+            self.push_event(done.max(self.now), EventKind::ClientArrival { txns });
+        }
     }
 
     fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {

@@ -157,8 +157,9 @@ pub struct BandwidthConfig {
     /// small votes interleave with a large batch; delivery still completes
     /// when the final chunk lands (cut-through: latency is paid once) and
     /// the chunk wire times sum exactly to the atomic transfer time.
-    /// Chunking applies to egress lanes; ingress reservations (when
-    /// `ingress_mbps` is set) stay atomic.
+    /// Chunking applies to egress and (when `ingress_mbps` is set) ingress
+    /// lanes alike, so an elephant neither holds a sender's wire nor a
+    /// receiver's ingest lane against small control messages.
     pub chunk_bytes: Option<usize>,
 }
 

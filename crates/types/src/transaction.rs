@@ -54,14 +54,15 @@ impl KvOp {
         matches!(self, KvOp::Read { .. } | KvOp::Scan { .. } | KvOp::Noop)
     }
 
-    /// Approximate wire size of the operation in bytes, used by the
-    /// simulator's bandwidth model.
+    /// Exact wire size of the operation in bytes, equal to the canonical
+    /// codec's encoding (`flexitrust-wire`): a one-byte kind tag, the key,
+    /// and — for writes — a `u32` length prefix plus the value bytes.
     pub fn wire_size(&self) -> usize {
         match self {
-            KvOp::Read { .. } => 16,
-            KvOp::Update { value, .. } | KvOp::Insert { value, .. } => 16 + value.len(),
-            KvOp::ReadModifyWrite { value, .. } => 16 + value.len(),
-            KvOp::Scan { .. } => 20,
+            KvOp::Read { .. } => 1 + 8,
+            KvOp::Update { value, .. } | KvOp::Insert { value, .. } => 1 + 8 + 4 + value.len(),
+            KvOp::ReadModifyWrite { value, .. } => 1 + 8 + 4 + value.len(),
+            KvOp::Scan { .. } => 1 + 8 + 4,
             KvOp::Noop => 1,
         }
     }
@@ -131,9 +132,10 @@ impl Transaction {
         matches!(self.op, KvOp::Noop) && self.client == ClientId(u64::MAX)
     }
 
-    /// Approximate wire size in bytes of this transaction.
+    /// Exact wire size in bytes of this transaction, equal to the canonical
+    /// codec's encoding: client id + request id + op payload + the 64-byte
+    /// client-signature slot (Ed25519).
     pub fn wire_size(&self) -> usize {
-        // Client id + request id + op payload + client signature (64 B Ed25519).
         8 + 8 + self.op.wire_size() + 64
     }
 
@@ -231,9 +233,11 @@ impl Batch {
         self.txns.is_empty()
     }
 
-    /// Approximate wire size of the batch in bytes.
+    /// Exact wire size of the batch in bytes, equal to the canonical
+    /// codec's encoding: the batch digest, a `u32` transaction count, and
+    /// every member transaction.
     pub fn wire_size(&self) -> usize {
-        32 + self.txns.iter().map(Transaction::wire_size).sum::<usize>()
+        32 + 4 + self.txns.iter().map(Transaction::wire_size).sum::<usize>()
     }
 
     /// Concatenated canonical bytes of all member transactions; the input to

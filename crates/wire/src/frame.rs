@@ -1,0 +1,425 @@
+//! Frame assembly and the blocking stream I/O used by the TCP transport.
+
+use crate::codec::{
+    encode_transaction, header_slots, message_kind_tag, read_message_body, read_reply_body,
+    read_transaction, read_vec, write_message_body, write_reply_body, write_vec, Reader, WireError,
+};
+use flexitrust_protocol::{ClientReply, Message};
+use flexitrust_types::{ReplicaId, Transaction};
+use std::io::{self, Read, Write};
+
+/// The `sender` field value of frames originated by a client rather than a
+/// replica.
+pub const CLIENT_SENDER: u32 = u32::MAX;
+
+/// Frame kind tag of a client transaction batch ([`Frame::Submit`]).
+pub const KIND_SUBMIT: u8 = 8;
+
+/// Frame kind tag of a client reply ([`Frame::Reply`]).
+pub const KIND_REPLY: u8 = 9;
+
+/// Refuse frames larger than this (64 MiB): a corrupt length prefix must
+/// not look like a multi-gigabyte allocation request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// The channel-authenticator slot appended to every frame.
+const MAC_BYTES: usize = 32;
+
+/// Everything that crosses a transport connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A protocol message between replicas.
+    Peer {
+        /// The sending replica.
+        from: ReplicaId,
+        /// The message.
+        msg: Message,
+    },
+    /// A batch of transactions submitted by a client to the primary.
+    Submit {
+        /// The submitted transactions.
+        txns: Vec<Transaction>,
+    },
+    /// A reply from a replica to a client.
+    Reply {
+        /// The reply (its `replica` field is the frame sender).
+        reply: ClientReply,
+    },
+}
+
+/// Encodes a frame to its complete wire bytes (length prefix included).
+///
+/// The encoded length of a [`Frame::Peer`] equals the message's
+/// `wire_size_bytes()`, and that of a [`Frame::Reply`] equals the reply's
+/// `wire_size_bytes()` — the pin that makes this codec the ground truth of
+/// the simulator's bandwidth model.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Peer { from, msg } => encode_message(*from, msg),
+        Frame::Submit { txns } => encode_submit(txns),
+        Frame::Reply { reply } => encode_reply(reply),
+    }
+}
+
+/// Starts a frame buffer: the exact frame length is known up front (the
+/// size functions are pinned equal to the encoding), so one allocation
+/// suffices — a broadcast-sized batch must not pay a doubling-realloc
+/// ladder per destination. The length prefix is a placeholder patched by
+/// [`finish_frame`].
+fn start_frame(capacity: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(capacity);
+    out.extend_from_slice(&[0u8; 4]);
+    out
+}
+
+/// Patches the length prefix and checks the size pin held.
+///
+/// Panics when the frame exceeds [`MAX_FRAME_BYTES`]: the strict decoder
+/// rejects such frames (and past 4 GiB the `u32` prefix would wrap and
+/// desync the stream), so an encoder producing one is a configuration
+/// error that must fail loudly at the sender, not as a dead connection at
+/// the receiver.
+fn finish_frame(mut out: Vec<u8>, capacity: usize) -> Vec<u8> {
+    assert!(
+        out.len() - 4 <= MAX_FRAME_BYTES,
+        "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap the decoder enforces",
+        out.len() - 4,
+    );
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    debug_assert_eq!(out.len(), capacity, "size function drifted from codec");
+    out
+}
+
+fn encode_submit(txns: &[Transaction]) -> Vec<u8> {
+    let capacity = client_upload_wire_size(txns);
+    let mut out = start_frame(capacity);
+    out.extend_from_slice(&CLIENT_SENDER.to_le_bytes());
+    out.push(KIND_SUBMIT);
+    write_vec(&mut out, txns, encode_transaction);
+    // Submissions carry per-transaction client signatures, no frame MAC.
+    finish_frame(out, capacity)
+}
+
+fn encode_reply(reply: &ClientReply) -> Vec<u8> {
+    let capacity = reply.wire_size_bytes();
+    let mut out = start_frame(capacity);
+    out.extend_from_slice(&reply.replica.0.to_le_bytes());
+    out.push(KIND_REPLY);
+    write_reply_body(&mut out, reply);
+    out.extend_from_slice(&[0u8; MAC_BYTES]);
+    finish_frame(out, capacity)
+}
+
+/// Decodes a complete frame (length prefix included), strictly: truncated,
+/// oversize, unknown-tag and trailing-byte conditions are all errors.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(bytes);
+    let declared = r.len("frame length")?;
+    if declared != r.remaining() {
+        return Err(WireError::Truncated {
+            context: "frame body",
+        });
+    }
+    let sender = r.u32("frame sender")?;
+    let kind = r.u8("frame kind")?;
+    let frame = match kind {
+        KIND_SUBMIT => Frame::Submit {
+            txns: read_vec(&mut r, "submit txn count", read_transaction)?,
+        },
+        KIND_REPLY => {
+            let reply = read_reply_body(ReplicaId(sender), &mut r)?;
+            r.take(MAC_BYTES, "frame mac")?;
+            Frame::Reply { reply }
+        }
+        kind => {
+            let a = r.u64("header slot a")?;
+            let b = r.u64("header slot b")?;
+            let msg = read_message_body(kind, a, b, &mut r)?;
+            r.take(MAC_BYTES, "frame mac")?;
+            Frame::Peer {
+                from: ReplicaId(sender),
+                msg,
+            }
+        }
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Encodes one peer message frame directly from the borrow (the transport
+/// hot path encodes per broadcast destination — no message clone); its
+/// length equals `msg.wire_size_bytes()`.
+pub fn encode_message(from: ReplicaId, msg: &Message) -> Vec<u8> {
+    let capacity = msg.wire_size_bytes();
+    let mut out = start_frame(capacity);
+    out.extend_from_slice(&from.0.to_le_bytes());
+    out.push(message_kind_tag(msg));
+    let (a, b) = header_slots(msg);
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    write_message_body(&mut out, msg);
+    out.extend_from_slice(&[0u8; MAC_BYTES]);
+    finish_frame(out, capacity)
+}
+
+/// Decodes a peer message frame back to `(from, message)`.
+pub fn decode_message(bytes: &[u8]) -> Result<(ReplicaId, Message), WireError> {
+    match decode_frame(bytes)? {
+        Frame::Peer { from, msg } => Ok((from, msg)),
+        _ => Err(WireError::BadTag {
+            context: "peer frame",
+            tag: bytes.get(8).copied().unwrap_or(0),
+        }),
+    }
+}
+
+/// Wire bytes of a client submission frame carrying `txns`: the frame
+/// header (length prefix + sender + kind + count) plus every transaction's
+/// encoding. The simulator charges client uploads exactly this.
+pub fn client_upload_wire_size(txns: &[Transaction]) -> usize {
+    4 + 4 + 1 + 4 + txns.iter().map(Transaction::wire_size).sum::<usize>()
+}
+
+/// Writes one frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from a blocking stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary; malformed frames surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    // Only an EOF before the *first* byte is a clean end-of-stream; a
+    // stream torn mid-prefix (the peer died after 1–3 bytes) is a
+    // truncated frame and must error like any other truncation.
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut len_bytes[1..])?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&len_bytes);
+    r.read_exact(&mut frame[4..])?;
+    decode_frame(&frame)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexitrust_crypto::Signature;
+    use flexitrust_protocol::PreparedProof;
+    use flexitrust_trusted::{AttestKind, Attestation};
+    use flexitrust_types::{Batch, ClientId, Digest, KvOp, KvResult, RequestId, SeqNum, View};
+
+    fn txn(value_len: usize) -> Transaction {
+        Transaction::new(
+            ClientId(7),
+            RequestId(3),
+            KvOp::Update {
+                key: 42,
+                value: vec![0xab; value_len],
+            },
+        )
+    }
+
+    fn batch() -> Batch {
+        Batch::new(vec![txn(16), txn(0)], Digest::from_u64_tag(9))
+    }
+
+    fn attestation() -> Attestation {
+        Attestation {
+            host: ReplicaId(2),
+            counter: 5,
+            value: 11,
+            digest: Digest::from_u64_tag(4),
+            kind: AttestKind::LogSlot,
+            signature: Signature([0x5c; 64]),
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::PrePrepare {
+                view: View(1),
+                seq: SeqNum(2),
+                batch: batch(),
+                attestation: Some(attestation()),
+            },
+            Message::Prepare {
+                view: View(1),
+                seq: SeqNum(2),
+                digest: Digest::from_u64_tag(8),
+                attestation: None,
+            },
+            Message::Commit {
+                view: View(3),
+                seq: SeqNum(4),
+                digest: Digest::from_u64_tag(8),
+                attestation: Some(attestation()),
+            },
+            Message::Checkpoint {
+                seq: SeqNum(100),
+                state_digest: Digest::from_u64_tag(12),
+                attestation: Some(attestation()),
+            },
+            Message::ViewChange {
+                new_view: View(6),
+                last_stable: SeqNum(90),
+                prepared: vec![PreparedProof {
+                    view: View(5),
+                    seq: SeqNum(91),
+                    digest: Digest::from_u64_tag(13),
+                    batch: batch(),
+                    attestation: Some(attestation()),
+                    prepare_votes: 3,
+                }],
+            },
+            Message::NewView {
+                view: View(6),
+                supporting_votes: 5,
+                proposals: vec![
+                    (SeqNum(91), batch(), Some(attestation())),
+                    (SeqNum(92), Batch::noop(92), None),
+                ],
+                counter_attestation: Some(attestation()),
+            },
+            Message::ClientRetry { txn: txn(16) },
+            Message::ForwardRequest {
+                txns: vec![txn(16), txn(1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_variant_round_trips_and_matches_wire_size() {
+        for msg in sample_messages() {
+            let from = ReplicaId(3);
+            let bytes = encode_message(from, &msg);
+            assert_eq!(
+                bytes.len(),
+                msg.wire_size_bytes(),
+                "{}: encoded length diverges from wire_size_bytes",
+                msg.kind()
+            );
+            let (decoded_from, decoded) = decode_message(&bytes).expect("decodes");
+            assert_eq!(decoded_from, from, "{}", msg.kind());
+            assert_eq!(decoded, msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_and_match_wire_size() {
+        let results = [
+            KvResult::Value(None),
+            KvResult::Value(Some(vec![1, 2, 3])),
+            KvResult::Written,
+            KvResult::Noop,
+            KvResult::Range(vec![(1, vec![9; 10]), (2, vec![])]),
+        ];
+        for (i, result) in results.into_iter().enumerate() {
+            let reply = ClientReply {
+                client: ClientId(4),
+                request: RequestId(i as u64),
+                seq: SeqNum(17),
+                view: View(2),
+                replica: ReplicaId(1),
+                result,
+                speculative: i % 2 == 0,
+            };
+            let frame = Frame::Reply {
+                reply: reply.clone(),
+            };
+            let bytes = encode_frame(&frame);
+            assert_eq!(bytes.len(), reply.wire_size_bytes(), "result #{i}");
+            assert_eq!(decode_frame(&bytes).expect("decodes"), frame);
+        }
+    }
+
+    #[test]
+    fn submissions_round_trip_and_match_upload_size() {
+        let txns = vec![txn(16), txn(200), Transaction::noop()];
+        let frame = Frame::Submit { txns: txns.clone() };
+        let bytes = encode_frame(&frame);
+        assert_eq!(bytes.len(), client_upload_wire_size(&txns));
+        assert_eq!(decode_frame(&bytes).expect("decodes"), frame);
+        // An empty submission is legal and still carries its header.
+        assert_eq!(client_upload_wire_size(&[]), 13);
+    }
+
+    #[test]
+    fn frames_cross_a_byte_stream() {
+        let mut pipe: Vec<u8> = Vec::new();
+        let frames = [
+            Frame::Peer {
+                from: ReplicaId(0),
+                msg: sample_messages().remove(1),
+            },
+            Frame::Submit { txns: vec![txn(8)] },
+        ];
+        for frame in &frames {
+            write_frame(&mut pipe, frame).unwrap();
+        }
+        let mut cursor = &pipe[..];
+        for frame in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(frame));
+        }
+        // Clean EOF at a frame boundary.
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_partially_decoded() {
+        let good = encode_message(ReplicaId(0), &sample_messages()[0]);
+        // Truncated body.
+        assert!(decode_frame(&good[..good.len() - 1]).is_err());
+        // Trailing bytes.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_frame(&long).is_err());
+        // Unknown message kind.
+        let mut bad_kind = good.clone();
+        bad_kind[8] = 200;
+        assert!(decode_frame(&bad_kind).is_err());
+        // A mid-stream EOF is an error, not a silent None.
+        let mut cursor = &good[..good.len() - 3];
+        assert!(read_frame(&mut cursor).is_err());
+        // So is a stream torn inside the length prefix itself: only an EOF
+        // before the first byte is a clean end-of-stream.
+        let mut cursor = &good[..2];
+        assert!(read_frame(&mut cursor).is_err());
+        // An oversize length prefix is refused before allocating.
+        let mut huge = good;
+        huge[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn standalone_attestation_and_transaction_codecs_round_trip() {
+        let att = attestation();
+        let mut bytes = Vec::new();
+        encode_attestation(&mut bytes, &att);
+        assert_eq!(bytes.len(), Attestation::WIRE_SIZE);
+        assert_eq!(decode_attestation(&bytes).unwrap(), att);
+
+        let t = txn(32);
+        let mut bytes = Vec::new();
+        encode_transaction(&mut bytes, &t);
+        assert_eq!(bytes.len(), t.wire_size());
+        assert_eq!(decode_transaction(&bytes).unwrap(), t);
+    }
+
+    use crate::codec::{decode_attestation, decode_transaction, encode_attestation};
+}

@@ -12,6 +12,8 @@
 //! * [`workload`] — the YCSB-style workload generator.
 //! * [`exec`] — the key-value state machine and in-order execution queue.
 //! * [`protocol`] — the engine trait and shared consensus infrastructure.
+//! * [`wire`] — the canonical binary codec: the frame bytes the TCP
+//!   transport carries and the simulator's bandwidth model charges.
 //! * [`host`] — the shared engine-hosting layer (the `EngineHost`
 //!   environment contract and the single `Action` dispatcher) every
 //!   environment below builds on.
@@ -47,6 +49,7 @@ pub use flexitrust_runtime as runtime;
 pub use flexitrust_sim as sim;
 pub use flexitrust_trusted as trusted;
 pub use flexitrust_types as types;
+pub use flexitrust_wire as wire;
 pub use flexitrust_workload as workload;
 
 /// The most commonly used items, re-exported flat.
@@ -56,7 +59,7 @@ pub mod prelude {
     pub use flexitrust_protocol::{
         ClientLibrary, ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
     };
-    pub use flexitrust_runtime::{Cluster, ClusterSummary};
+    pub use flexitrust_runtime::{Cluster, ClusterSummary, PrimaryTracker, TcpCluster};
     pub use flexitrust_sim::{
         CostModel, Direction, FaultPlan, LinkClass, LinkQueues, LinkUsage, NetworkModel, Nic,
         ScenarioSpec, SimReport, Simulation,
@@ -65,6 +68,10 @@ pub mod prelude {
     pub use flexitrust_types::{
         BandwidthConfig, Batch, ClientId, ProtocolId, QuorumRule, ReplicaId, RequestId, SeqNum,
         SystemConfig, Transaction, View,
+    };
+    pub use flexitrust_wire::{
+        client_upload_wire_size, decode_frame, decode_message, encode_frame, encode_message,
+        read_frame, write_frame, Frame, WireError,
     };
     pub use flexitrust_workload::{WorkloadConfig, WorkloadGenerator};
 }

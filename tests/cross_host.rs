@@ -1,11 +1,13 @@
-//! Cross-host equivalence: the discrete-event simulator and the threaded
-//! runtime drive the same engines through the same shared host layer
-//! (`flexitrust-host`), so the same workload must commit the same
-//! transactions at the same sequence numbers in both environments.
+//! Cross-host equivalence: the discrete-event simulator, the threaded
+//! channel cluster and the loopback-TCP cluster drive the same engines
+//! through the same shared host layer (`flexitrust-host`), so the same
+//! workload must commit the same transactions at the same sequence numbers
+//! in all three environments.
 //!
-//! This pins the dispatch refactor by construction: a regression in either
-//! host's Action translation (dropped broadcasts, wrong batching order,
-//! broken timer bookkeeping on the commit path) shows up as a diverging
+//! This pins the dispatch refactor — and the wire codec — by construction:
+//! a regression in any host's Action translation (dropped broadcasts,
+//! wrong batching order, broken timer bookkeeping on the commit path) or
+//! in the TCP transport's encode/decode path shows up as a diverging
 //! commit log.
 
 use flexitrust::host::CommittedTxn;
@@ -49,9 +51,24 @@ fn cluster_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
     summary.commit_log
 }
 
+/// Commit log of the loopback-TCP cluster: same engines and replica loop
+/// as the channel cluster, but every message round-trips through the
+/// canonical wire codec and a real socket.
+fn tcp_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
+    let cluster = TcpCluster::start(protocol, F, BATCH).expect("tcp cluster starts");
+    let summary = cluster.run_workload(CLIENTS, CLIENTS, Duration::from_secs(60));
+    cluster.shutdown();
+    assert_eq!(
+        summary.completed_txns, CLIENTS as u64,
+        "{protocol}: TCP cluster did not commit the full workload"
+    );
+    summary.commit_log
+}
+
 fn assert_same_commit_sequence(protocol: ProtocolId) {
     let sim = simulator_commits(protocol);
     let cluster = cluster_commits(protocol);
+    let tcp = tcp_commits(protocol);
     assert_eq!(
         sim.len(),
         CLIENTS,
@@ -62,7 +79,11 @@ fn assert_same_commit_sequence(protocol: ProtocolId) {
         sim, cluster,
         "{protocol}: simulator and threaded cluster commit logs diverge"
     );
-    // Spot-check the shape both hosts must agree on: every initial request
+    assert_eq!(
+        sim, tcp,
+        "{protocol}: simulator and TCP cluster commit logs diverge"
+    );
+    // Spot-check the shape all hosts must agree on: every initial request
     // commits exactly once, within the expected sequence window.
     for entry in &sim {
         assert_eq!(entry.request, RequestId(1));
@@ -71,21 +92,21 @@ fn assert_same_commit_sequence(protocol: ProtocolId) {
 }
 
 #[test]
-fn flexi_bft_commits_identically_in_simulator_and_threaded_cluster() {
+fn flexi_bft_commits_identically_in_all_three_hosts() {
     assert_same_commit_sequence(ProtocolId::FlexiBft);
 }
 
 #[test]
-fn pbft_commits_identically_in_simulator_and_threaded_cluster() {
+fn pbft_commits_identically_in_all_three_hosts() {
     assert_same_commit_sequence(ProtocolId::Pbft);
 }
 
 /// Flexi-ZZ replies speculatively after a single phase, so the client-side
 /// quorum logic is load-bearing: the simulator's aggregate client model
 /// must count votes per (seq, result digest) exactly like the
-/// `ClientLibrary` the threaded cluster uses, or the two hosts drift on
-/// when a request completes.
+/// `ClientLibrary` the threaded clusters use, or the hosts drift on when a
+/// request completes.
 #[test]
-fn flexi_zz_speculative_replies_commit_identically_in_both_hosts() {
+fn flexi_zz_speculative_replies_commit_identically_in_all_three_hosts() {
     assert_same_commit_sequence(ProtocolId::FlexiZz);
 }

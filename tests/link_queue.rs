@@ -166,6 +166,115 @@ proptest! {
         );
     }
 
+    /// Chunked ingest is pure pipelining, never overhead: with no
+    /// competing arrivals, a chunked rx reservation — first chunk
+    /// backdated by the whole ingest wire time exactly like the atomic
+    /// one, continuations reserved as each chunk clears, spans cut as
+    /// cumulative differences — completes at exactly the instant the
+    /// atomic reservation would, for any chunk size, bandwidth and
+    /// pre-existing ingest backlog.
+    #[test]
+    fn chunked_ingest_without_competition_matches_atomic(
+        bytes in 1usize..200_000,
+        chunk in 1usize..50_000,
+        mbps in 1u64..10_000,
+        backlog in 0u64..1_000_000,
+        arrival in 0u64..1_000_000,
+    ) {
+        let rx_ns = tt(mbps, bytes);
+        // Stay clear of the clock-0 backdating saturation boundary, which
+        // is a start-of-run artifact rather than queue behaviour.
+        let arrival = arrival.max(rx_ns);
+        let mut atomic = LinkQueues::new();
+        let mut chunked = LinkQueues::new();
+        if backlog > 0 {
+            atomic.reserve(NIC, LinkClass::Wan, RX, 0, backlog);
+            chunked.reserve(NIC, LinkClass::Wan, RX, 0, backlog);
+        }
+        let atomic_done = atomic.reserve(NIC, LinkClass::Wan, RX, arrival - rx_ns, rx_ns);
+        // Replay the runner's event order: the first chunk is backdated,
+        // each continuation fires when its predecessor clears the lane.
+        let mut offset = 0usize;
+        let mut at = arrival - rx_ns;
+        while offset < bytes {
+            let end = (offset + chunk).min(bytes);
+            let chunk_ns = tt(mbps, end) - tt(mbps, offset);
+            at = if offset == 0 {
+                chunked.reserve(NIC, LinkClass::Wan, RX, at, chunk_ns)
+            } else {
+                chunked.reserve_continuation(NIC, LinkClass::Wan, RX, at, chunk_ns)
+            };
+            offset = end;
+        }
+        prop_assert_eq!(at, atomic_done);
+        prop_assert_eq!(chunked.total_busy_ns(), atomic.total_busy_ns());
+        let count = |q: &LinkQueues| q.usage().iter().map(|u| u.messages).sum::<u64>();
+        prop_assert_eq!(count(&chunked), count(&atomic));
+    }
+
+    /// The receive-side head-of-line fix: a small message arriving while an
+    /// elephant occupies the ingest lane is delivered **no later** than
+    /// under atomic rx reservation — it slips between ingest chunks
+    /// instead of waiting for the elephant's last byte. (Ties in event
+    /// order are resolved in the elephant's favour, the worst case for the
+    /// small message.)
+    #[test]
+    fn small_ingest_is_never_later_under_chunking(
+        big_bytes in 10_000usize..500_000,
+        chunk in 500usize..20_000,
+        mbps in 1u64..1_000,
+        small_bytes in 1usize..1_400,
+        arrival_delta in 0u64..100_000_000,
+    ) {
+        let big_rx = tt(mbps, big_bytes);
+        let small_rx = tt(mbps, small_bytes);
+        let big_arrival = big_rx; // earliest backdate-safe arrival
+        let small_arrival = big_arrival.max(small_rx) + arrival_delta;
+
+        // Atomic: the small message queues behind the whole elephant.
+        let mut q = LinkQueues::new();
+        q.reserve(NIC, LinkClass::Wan, RX, big_arrival - big_rx, big_rx);
+        let atomic_done = q
+            .reserve(NIC, LinkClass::Wan, RX, small_arrival - small_rx, small_rx)
+            .max(small_arrival);
+
+        // Chunked: replay the simulator's event order — ingest chunk k + 1
+        // is reserved when chunk k clears; the small arrival fires at its
+        // own event time.
+        let mut q = LinkQueues::new();
+        let mut offset = 0usize;
+        let mut at = big_arrival - big_rx;
+        let mut small_done = None;
+        while offset < big_bytes {
+            if small_done.is_none() && small_arrival < at {
+                small_done = Some(q.reserve(
+                    NIC,
+                    LinkClass::Wan,
+                    RX,
+                    small_arrival - small_rx,
+                    small_rx,
+                ));
+            }
+            let end = (offset + chunk).min(big_bytes);
+            let chunk_ns = tt(mbps, end) - tt(mbps, offset);
+            at = if offset == 0 {
+                q.reserve(NIC, LinkClass::Wan, RX, at, chunk_ns)
+            } else {
+                q.reserve_continuation(NIC, LinkClass::Wan, RX, at, chunk_ns)
+            };
+            offset = end;
+        }
+        let small_done = small_done
+            .unwrap_or_else(|| {
+                q.reserve(NIC, LinkClass::Wan, RX, small_arrival - small_rx, small_rx)
+            })
+            .max(small_arrival);
+        prop_assert!(
+            small_done <= atomic_done,
+            "chunked rx {small_done} > atomic rx {atomic_done}"
+        );
+    }
+
     /// Receive-side fan-in: k simultaneous arrivals on one ingress lane
     /// serialise exactly — the first ingests for free (its bits streamed in
     /// while crossing the wire), the k-th completes k − 1 ingest times
@@ -415,16 +524,59 @@ fn chunking_cuts_tail_latency_under_mixed_traffic() {
     );
 }
 
+/// The receive-side twin of the tail-latency test (the shared
+/// `flexitrust_bench::mixed_elephant_rx_spec` scenario, also gated in the
+/// CI bench smoke run): with every link unlimited except replica ingest,
+/// each ~200 kB PrePrepare is an elephant on the backups' ingest lanes and
+/// the votes it triggers are mice on the same lanes. Atomic rx
+/// reservations make a vote arriving mid-ingest wait for the elephant's
+/// last byte — exactly the head-of-line blocking egress chunking was
+/// supposed to remove, reintroduced on the receive side. Chunked rx lets
+/// the votes slip through: p99 must not regress, and the run must not
+/// starve.
+#[test]
+fn chunked_ingress_cuts_tail_latency_under_elephant_preprepares() {
+    let run = |chunk: Option<usize>| {
+        let mut spec = flexitrust_bench::mixed_elephant_rx_spec(ScenarioSpec::quick_test(
+            ProtocolId::FlexiBft,
+        ));
+        spec.bandwidth.chunk_bytes = chunk;
+        Simulation::new(spec).run()
+    };
+    let atomic = run(None);
+    let chunked = run(Some(1_500));
+    assert!(atomic.completed_txns > 0 && chunked.completed_txns > 0);
+    // Both runs pay for ingest: the contended lanes are really there.
+    assert!(atomic.max_ingress_utilization() > 0.5);
+    assert!(chunked.max_ingress_utilization() > 0.5);
+    assert!(
+        chunked.p99_latency_ms <= atomic.p99_latency_ms,
+        "chunked rx p99 {} > atomic rx p99 {}",
+        chunked.p99_latency_ms,
+        atomic.p99_latency_ms
+    );
+    // And the pipelining gain is real, not a tie: commits are not delayed
+    // behind elephants they never needed to wait for.
+    assert!(
+        chunked.throughput_tps >= atomic.throughput_tps,
+        "chunked rx tput {} < atomic rx tput {}",
+        chunked.throughput_tps,
+        atomic.throughput_tps
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Regression pins: `chunk_bytes: None` + unlimited ingress is the PR 2
 // sender-side-only schedule, bit-exactly.
 // ---------------------------------------------------------------------------
 
 /// `BandwidthConfig::unlimited()` (the `quick_test` default) must reproduce
-/// the seed's pure-latency schedule bit-exactly: identical completion
-/// counts, message counts, commit logs and mean latency. The expected
-/// values are a snapshot of the seed (pre-link-queue) simulator on the same
-/// deterministic scenarios.
+/// the pure-latency schedule bit-exactly: identical completion counts,
+/// message counts, commit logs and mean latency. The expected values are a
+/// snapshot of the seed (pre-link-queue) simulator on the same
+/// deterministic scenarios, re-based when `wire_size_bytes()` became the
+/// canonical codec's exact encoded length (the per-byte CPU cost now
+/// charges the true frame bytes, shifting schedules slightly).
 #[test]
 fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
     struct Pin {
@@ -442,7 +594,7 @@ fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
             completed: 21_900,
             messages: 52_310,
             commit_len: 26_120,
-            avg_ms: 0.862943247,
+            avg_ms: 0.862938961,
         },
         Pin {
             protocol: ProtocolId::FlexiBft,
@@ -450,7 +602,7 @@ fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
             completed: 200,
             messages: 920,
             commit_len: 400,
-            avg_ms: 62.841037150,
+            avg_ms: 62.844424400,
         },
         Pin {
             protocol: ProtocolId::FlexiZz,
@@ -458,15 +610,15 @@ fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
             completed: 27_000,
             messages: 12_946,
             commit_len: 32_230,
-            avg_ms: 0.607522609,
+            avg_ms: 0.607518400,
         },
         Pin {
             protocol: ProtocolId::Pbft,
             regions: 1,
-            completed: 19_300,
-            messages: 83_692,
+            completed: 19_310,
+            messages: 83_635,
             commit_len: 23_200,
-            avg_ms: 1.043954388,
+            avg_ms: 1.044994429,
         },
     ];
     for pin in pins {
@@ -490,11 +642,13 @@ fn unlimited_bandwidth_reproduces_the_latency_only_schedule_bit_exactly() {
 }
 
 /// On *bandwidth-constrained* links, `chunk_bytes: None` plus unlimited
-/// ingress must reproduce the PR 2 link schedule bit-exactly: identical
-/// completions, message counts, commit logs, mean latency and — byte for
-/// byte — the same wire occupancy and queueing totals. The pinned values
-/// are a snapshot of the PR 2 (sender-side-only, atomic-reservation)
-/// simulator on the same deterministic scenarios.
+/// ingress must reproduce the sender-side-only atomic-reservation link
+/// schedule bit-exactly: identical completions, message counts, commit
+/// logs, mean latency and — byte for byte — the same wire occupancy and
+/// queueing totals. The pinned values are a snapshot of that simulator on
+/// the same deterministic scenarios, re-based when `wire_size_bytes()`
+/// became the canonical codec's exact encoded length (links now carry the
+/// true frame bytes, so occupancy totals moved with the sizes).
 #[test]
 fn atomic_transfers_with_free_ingest_reproduce_the_pr2_schedule_bit_exactly() {
     struct Pin {
@@ -526,31 +680,31 @@ fn atomic_transfers_with_free_ingest_reproduce_the_pr2_schedule_bit_exactly() {
             label: "FlexiBft wan25",
             spec: wan(ProtocolId::FlexiBft),
             completed: 7_200,
-            messages: 18_449,
+            messages: 18_458,
             commit_len: 9_200,
-            avg_ms: 62.781765494,
-            busy_ns: 1_006_021_054,
-            queue_ns: 5_967_786_972,
+            avg_ms: 62.770860101,
+            busy_ns: 985_230_301,
+            queue_ns: 5_795_544_287,
         },
         Pin {
             label: "Pbft wan25",
             spec: wan(ProtocolId::Pbft),
-            completed: 7_130,
-            messages: 31_736,
-            commit_len: 8_860,
-            avg_ms: 63.260763903,
-            busy_ns: 1_153_027_128,
-            queue_ns: 10_397_425_124,
+            completed: 7_120,
+            messages: 31_791,
+            commit_len: 8_880,
+            avg_ms: 63.219711990,
+            busy_ns: 1_140_925_108,
+            queue_ns: 10_032_224_773,
         },
         Pin {
             label: "FlexiZz uniform50",
             spec: uniform(ProtocolId::FlexiZz),
-            completed: 2_400,
-            messages: 1_229,
-            commit_len: 3_030,
-            avg_ms: 11.034059725,
-            busy_ns: 380_498_400,
-            queue_ns: 10_398_433_492,
+            completed: 2_500,
+            messages: 1_277,
+            commit_len: 3_140,
+            avg_ms: 10.609501744,
+            busy_ns: 405_956_800,
+            queue_ns: 10_464_940_976,
         },
     ];
     for pin in pins {
