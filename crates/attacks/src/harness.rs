@@ -8,9 +8,10 @@
 //! per-replica queues and recording client-visible observations.
 
 use flexitrust_host::{Dispatcher, EngineHost, TimerToken};
-use flexitrust_protocol::{ClientReply, ConsensusEngine, Message, TimerKind};
+use flexitrust_protocol::{ClientReply, ConsensusEngine, SharedMessage, TimerKind};
 use flexitrust_sim::{DeliveryFate, FaultPlan};
 use flexitrust_types::{ReplicaId, Transaction};
+use std::sync::Arc;
 
 /// Everything observed while driving the cluster.
 #[derive(Debug, Default)]
@@ -31,13 +32,13 @@ pub struct Observations {
 /// driver fires them explicitly to model client complaints.
 struct RecordingEnv<'a> {
     faults: &'a FaultPlan,
-    queues: Vec<Vec<(ReplicaId, Message)>>,
-    delayed: Vec<Vec<(ReplicaId, Message)>>,
+    queues: Vec<Vec<(ReplicaId, SharedMessage)>>,
+    delayed: Vec<Vec<(ReplicaId, SharedMessage)>>,
     obs: Observations,
 }
 
 impl RecordingEnv<'_> {
-    fn route(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+    fn route(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         match self.faults.fate(from, to, &msg) {
             DeliveryFate::Deliver => self.queues[to.as_usize()].push((from, msg)),
             DeliveryFate::Delay(_) => self.delayed[to.as_usize()].push((from, msg)),
@@ -47,22 +48,22 @@ impl RecordingEnv<'_> {
 }
 
 impl EngineHost for RecordingEnv<'_> {
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         if msg.kind() == "ViewChange" {
             self.obs.view_change_votes += 1;
         }
         self.route(from, to, msg);
     }
 
-    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: SharedMessage) {
         // A broadcast counts as one vote on the wire regardless of fan-out,
         // which is why the harness overrides the default per-destination
-        // expansion.
+        // expansion. Each queued copy shares the sender's allocation.
         if msg.kind() == "ViewChange" {
             self.obs.view_change_votes += 1;
         }
         for to in 0..replicas {
-            self.route(from, ReplicaId(to as u32), msg.clone());
+            self.route(from, ReplicaId(to as u32), Arc::clone(&msg));
         }
     }
 

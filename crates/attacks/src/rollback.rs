@@ -69,7 +69,7 @@ fn equivocating_proposals(
 
     let batch_t = make_batch(vec![txn(1)]);
     let (seq_t, att_t) = primary_enclave
-        .append_f(0, batch_t.digest)
+        .append_f(0, batch_t.digest())
         .expect("fresh counter accepts the first append");
 
     if control.restore(&snapshot).is_err() {
@@ -78,7 +78,7 @@ fn equivocating_proposals(
 
     let batch_t_prime = make_batch(vec![txn(2)]);
     let (seq_t_prime, att_t_prime) = primary_enclave
-        .append_f(0, batch_t_prime.digest)
+        .append_f(0, batch_t_prime.digest())
         .expect("rolled-back counter accepts the conflicting append");
     assert_eq!(seq_t, seq_t_prime, "both proposals bind to the same slot");
     Some((batch_t, att_t, batch_t_prime, att_t_prime))
@@ -155,7 +155,7 @@ pub fn rollback_attack_minbft(f: usize, hardware: TrustedHardware) -> RollbackRe
         Message::Prepare {
             view: View(0),
             seq: SeqNum(1),
-            digest: batch_t.digest,
+            digest: batch_t.digest(),
             attestation: Some(att_t.clone()),
         },
     ));
@@ -164,7 +164,7 @@ pub fn rollback_attack_minbft(f: usize, hardware: TrustedHardware) -> RollbackRe
         Message::Prepare {
             view: View(0),
             seq: SeqNum(1),
-            digest: batch_tp.digest,
+            digest: batch_tp.digest(),
             attestation: Some(att_tp.clone()),
         },
     ));
@@ -191,7 +191,7 @@ pub fn rollback_attack_minbft(f: usize, hardware: TrustedHardware) -> RollbackRe
         protocol: ProtocolId::MinBft,
         rollback_succeeded: true,
         seq: SeqNum(1),
-        digests: (batch_t.digest, batch_tp.digest),
+        digests: (batch_t.digest(), batch_tp.digest()),
         executed_t,
         executed_t_prime: executed_tp,
         safety_violated: executed_t > 0 && executed_tp > 0,
@@ -269,7 +269,7 @@ pub fn rollback_attack_flexibft(f: usize, hardware: TrustedHardware) -> Rollback
         Message::Prepare {
             view: View(0),
             seq: SeqNum(1),
-            digest: batch_t.digest,
+            digest: batch_t.digest(),
             attestation: None,
         },
     ));
@@ -278,7 +278,7 @@ pub fn rollback_attack_flexibft(f: usize, hardware: TrustedHardware) -> Rollback
         Message::Prepare {
             view: View(0),
             seq: SeqNum(1),
-            digest: batch_tp.digest,
+            digest: batch_tp.digest(),
             attestation: None,
         },
     ));
@@ -304,7 +304,7 @@ pub fn rollback_attack_flexibft(f: usize, hardware: TrustedHardware) -> Rollback
         protocol: ProtocolId::FlexiBft,
         rollback_succeeded: true,
         seq: SeqNum(1),
-        digests: (batch_t.digest, batch_tp.digest),
+        digests: (batch_t.digest(), batch_tp.digest()),
         executed_t,
         executed_t_prime: executed_tp,
         safety_violated: executed_t > 0 && executed_tp > 0,

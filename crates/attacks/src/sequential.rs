@@ -52,10 +52,10 @@ pub fn out_of_order_probe_minbft(f: usize) -> SequentialReport {
     let (b1, b2) = batches();
     // The (honest but concurrent) primary attested both proposals in order.
     let att1 = primary_enclave
-        .append(0, 1, b1.digest)
+        .append(0, 1, b1.digest())
         .expect("first append");
     let att2 = primary_enclave
-        .append(0, 2, b2.digest)
+        .append(0, 2, b2.digest())
         .expect("second append");
 
     // Deliver out of order: seq 2 first, then seq 1.
@@ -102,10 +102,10 @@ pub fn out_of_order_probe_flexizz(f: usize) -> SequentialReport {
 
     let (b1, b2) = batches();
     let (_, att1) = primary_enclave
-        .append_f(0, b1.digest)
+        .append_f(0, b1.digest())
         .expect("first append");
     let (_, att2) = primary_enclave
-        .append_f(0, b2.digest)
+        .append_f(0, b2.digest())
         .expect("second append");
 
     let mut out = Outbox::new();

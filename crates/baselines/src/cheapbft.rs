@@ -14,6 +14,7 @@
 use crate::common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{ProtocolId, QuorumRule, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// Builder for CheapBFT replica engines.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,7 +48,7 @@ impl CheapBft {
 
     /// Creates the engine for replica `id`.
     pub fn engine(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,

@@ -23,6 +23,7 @@ use flexitrust_types::{
     Batch, Digest, ProtocolId, QuorumRule, ReplicaId, SeqNum, SystemConfig, Transaction, View,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// How the primary binds a batch to a sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,12 +122,13 @@ impl PbftFamilyEngine {
     /// `enclave` must be `Some` when the style uses a trusted component;
     /// `registry` must be `Some` when attestations should be verified.
     pub fn new(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         style: ProtocolStyle,
         enclave: Option<SharedEnclave>,
         registry: Option<EnclaveRegistry>,
     ) -> Self {
+        let config = config.into();
         let prepare_quorum = config.quorum(style.prepare_quorum_rule);
         let commit_quorum = config.quorum(style.commit_quorum_rule);
         let join_quorum = config.small_quorum();
@@ -211,7 +213,7 @@ impl PbftFamilyEngine {
             };
             let seq = SeqNum(self.next_seq);
             self.next_seq += 1;
-            let attestation = self.primary_attestation(seq, batch.digest);
+            let attestation = self.primary_attestation(seq, batch.digest());
             self.my_outstanding.insert(seq.0);
             out.broadcast(Message::PrePrepare {
                 view: self.core.view(),
@@ -282,7 +284,7 @@ impl PbftFamilyEngine {
             // Already accepted a proposal for this slot in this view.
             return;
         }
-        let digest = batch.digest;
+        let digest = batch.digest();
         slot.batch = Some(batch.clone());
         slot.digest = Some(digest);
         slot.view = view;
@@ -549,7 +551,7 @@ impl PbftFamilyEngine {
                 .proposals
                 .iter()
                 .map(|(seq, batch)| {
-                    let att = self.primary_attestation(*seq, batch.digest);
+                    let att = self.primary_attestation(*seq, batch.digest());
                     (*seq, batch.clone(), att)
                 })
                 .collect();
@@ -606,7 +608,7 @@ impl PbftFamilyEngine {
     // ------------------------------------------------------------------
 
     fn on_client_retry(&mut self, txn: Transaction, out: &mut Outbox) {
-        if let Some(reply) = self.core.cached_reply(txn.client, txn.request) {
+        if let Some(reply) = self.core.cached_reply(txn.client(), txn.request()) {
             out.reply(reply.clone());
             return;
         }
@@ -929,7 +931,7 @@ mod tests {
             .collect();
         assert_eq!(prepares.len(), 1);
         match prepares[0] {
-            Message::Prepare { digest, .. } => assert_eq!(*digest, batch_a.digest),
+            Message::Prepare { digest, .. } => assert_eq!(*digest, batch_a.digest()),
             _ => unreachable!(),
         }
     }

@@ -18,6 +18,7 @@
 use crate::common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{ProtocolId, QuorumRule, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// Builder for MinBFT replica engines.
 #[derive(Debug, Clone, Copy, Default)]
@@ -50,7 +51,7 @@ impl MinBft {
 
     /// Creates the engine for replica `id` with its trusted counter enclave.
     pub fn engine(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,

@@ -11,6 +11,7 @@
 use crate::common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{ProtocolId, QuorumRule, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// Builder for MinZZ replica engines.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,7 +44,7 @@ impl MinZz {
 
     /// Creates the engine for replica `id` with its trusted counter enclave.
     pub fn engine(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,

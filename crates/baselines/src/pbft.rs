@@ -10,6 +10,7 @@
 
 use crate::common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
 use flexitrust_types::{ProtocolId, QuorumRule, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// Builder for PBFT replica engines.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +37,7 @@ impl Pbft {
     }
 
     /// Creates the engine for replica `id`.
-    pub fn engine(config: SystemConfig, id: ReplicaId) -> PbftFamilyEngine {
+    pub fn engine(config: impl Into<Arc<SystemConfig>>, id: ReplicaId) -> PbftFamilyEngine {
         PbftFamilyEngine::new(config, id, Self::style(), None, None)
     }
 }

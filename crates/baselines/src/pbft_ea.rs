@@ -12,6 +12,7 @@
 use crate::common::{PbftFamilyEngine, PrimaryAttest, ProtocolStyle, ReplicaAttest};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{ProtocolId, QuorumRule, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// Builder for PBFT-EA replica engines.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,7 +45,7 @@ impl PbftEa {
 
     /// Creates the engine for replica `id` with its trusted log enclave.
     pub fn engine(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,

@@ -16,6 +16,7 @@ use flexitrust_protocol::{
 use flexitrust_trusted::{AttestKind, Attestation, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{Batch, Digest, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// A proposal accepted by this replica for one sequence number.
 #[derive(Debug, Clone)]
@@ -58,11 +59,12 @@ pub struct FlexiCore {
 impl FlexiCore {
     /// Creates the shared FlexiTrust state for replica `id`.
     pub fn new(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,
     ) -> Self {
+        let config = config.into();
         let join_quorum = config.small_quorum();
         FlexiCore {
             replica: ReplicaCore::new(config, id),
@@ -146,7 +148,7 @@ impl FlexiCore {
             let Some(batch) = self.pending_batches.pop_front() else {
                 return;
             };
-            let Ok((seq, attestation)) = self.enclave.append_f(self.counter_id, batch.digest)
+            let Ok((seq, attestation)) = self.enclave.append_f(self.counter_id, batch.digest())
             else {
                 // The counter is unusable (should not happen for an honest
                 // primary); drop the batch back and stop proposing.
@@ -202,7 +204,7 @@ impl FlexiCore {
         let attestation = attestation?;
         if attestation.host != from
             || attestation.value != seq.0
-            || attestation.digest != batch.digest
+            || attestation.digest != batch.digest()
             || attestation.kind != AttestKind::CounterBind
             || self.registry.verify(&attestation).is_err()
         {
@@ -214,7 +216,7 @@ impl FlexiCore {
         }
         let proposal = AcceptedProposal {
             view,
-            digest: batch.digest,
+            digest: batch.digest(),
             batch,
             attestation,
         };
@@ -314,7 +316,7 @@ impl FlexiCore {
         self.counter_id = counter_id;
         let mut proposals = Vec::with_capacity(plan.proposals.len());
         for (seq, batch) in &plan.proposals {
-            match self.enclave.append_f(self.counter_id, batch.digest) {
+            match self.enclave.append_f(self.counter_id, batch.digest()) {
                 Ok((value, attestation)) => {
                     debug_assert_eq!(value, seq.0, "re-proposals must stay contiguous");
                     proposals.push((*seq, batch.clone(), Some(attestation)));
@@ -524,7 +526,7 @@ mod tests {
             host: ReplicaId(0),
             counter: 0,
             value: 1,
-            digest: batch.digest,
+            digest: batch.digest(),
             kind: AttestKind::CounterBind,
             signature: flexitrust_crypto::Signature::zero(),
         };

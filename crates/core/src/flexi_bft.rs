@@ -22,6 +22,7 @@ use flexitrust_protocol::{
 };
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{Digest, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View};
+use std::sync::Arc;
 
 /// A Flexi-BFT replica engine.
 pub struct FlexiBft {
@@ -50,11 +51,12 @@ impl FlexiBft {
 
     /// Creates the engine for replica `id`.
     pub fn new(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,
     ) -> Self {
+        let config = config.into();
         let prepare_quorum = config.large_quorum();
         let sequential = config.protocol == ProtocolId::OFlexiBft || config.max_in_flight == 1;
         FlexiBft {
@@ -248,7 +250,7 @@ impl ConsensusEngine for FlexiBft {
                 self.adopt_proposals(from, view, adopted, out);
             }
             Message::ClientRetry { txn } => {
-                if let Some(reply) = self.flexi.replica.cached_reply(txn.client, txn.request) {
+                if let Some(reply) = self.flexi.replica.cached_reply(txn.client(), txn.request()) {
                     out.reply(reply.clone());
                 } else if self.flexi.replica.is_primary() {
                     self.flexi.enqueue(vec![txn], out);
@@ -458,7 +460,7 @@ mod tests {
         engines[0].on_client_request(txns(1), &mut out);
         let preprepare = out.broadcasts()[0].clone();
         let digest = match &preprepare {
-            Message::PrePrepare { batch, .. } => batch.digest,
+            Message::PrePrepare { batch, .. } => batch.digest(),
             _ => unreachable!(),
         };
         let mut out = Outbox::new();

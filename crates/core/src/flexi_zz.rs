@@ -29,6 +29,7 @@ use flexitrust_protocol::{ConsensusEngine, Message, Outbox, ProtocolProperties, 
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{Batch, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A Flexi-ZZ replica engine.
 pub struct FlexiZz {
@@ -60,11 +61,12 @@ impl FlexiZz {
 
     /// Creates the engine for replica `id`.
     pub fn new(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         id: ReplicaId,
         enclave: SharedEnclave,
         registry: EnclaveRegistry,
     ) -> Self {
+        let config = config.into();
         let sequential = config.protocol == ProtocolId::OFlexiZz || config.max_in_flight == 1;
         FlexiZz {
             sequential,
@@ -110,7 +112,7 @@ impl FlexiZz {
             return;
         };
         // Cancel any pending forwarded-request timers satisfied by this batch.
-        for txn in &accepted.batch.txns {
+        for txn in accepted.batch.txns() {
             let tag = forwarded_tag(txn);
             if self.forwarded.remove(&tag).is_some() {
                 out.cancel_timer(TimerKind::RequestForwarded(tag));
@@ -129,7 +131,7 @@ impl FlexiZz {
 
     fn on_client_retry(&mut self, txn: Transaction, out: &mut Outbox) {
         // (1) Already executed? Answer from the reply cache.
-        if let Some(reply) = self.flexi.replica.cached_reply(txn.client, txn.request) {
+        if let Some(reply) = self.flexi.replica.cached_reply(txn.client(), txn.request()) {
             out.reply(reply.clone());
             return;
         }
@@ -169,7 +171,7 @@ impl FlexiZz {
                     && self
                         .flexi
                         .accepted(*seq)
-                        .map(|a| a.digest != batch.digest)
+                        .map(|a| a.digest != batch.digest())
                         .unwrap_or(false)
             });
             let overshoot =
@@ -488,7 +490,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(out.replies().len(), 1);
-        assert_eq!(out.replies()[0].request, request[0].request);
+        assert_eq!(out.replies()[0].request, request[0].request());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub fn sha256_concat<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Digest {
 
 /// Computes the digest Δ of a single transaction (`Hash(⟨T⟩_c)`).
 pub fn digest_transaction(txn: &Transaction) -> Digest {
-    sha256(&txn.canonical_bytes())
+    sha256(txn.canonical_bytes())
 }
 
 /// Computes the digest of a whole batch of transactions.
@@ -39,13 +39,7 @@ pub fn digest_transaction(txn: &Transaction) -> Digest {
 /// The protocols order batches, so the batch digest is what appears in
 /// `Preprepare` messages and in trusted-component attestations.
 pub fn digest_batch(txns: &[Transaction]) -> Digest {
-    sha256_concat(
-        txns.iter()
-            .map(|t| t.canonical_bytes())
-            .collect::<Vec<_>>()
-            .iter()
-            .map(|v| v.as_slice()),
-    )
+    sha256_concat(txns.iter().map(|t| t.canonical_bytes()))
 }
 
 /// Convenience constructor: builds a [`Batch`] and fills in its digest.
@@ -110,7 +104,7 @@ mod tests {
     #[test]
     fn make_batch_fills_digest() {
         let b = make_batch(vec![txn(5, 6)]);
-        assert_eq!(b.digest, digest_batch(&b.txns));
-        assert!(!b.digest.is_zero());
+        assert_eq!(b.digest(), digest_batch(b.txns()));
+        assert!(!b.digest().is_zero());
     }
 }

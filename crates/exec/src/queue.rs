@@ -100,20 +100,20 @@ impl ExecutionQueue {
         while let Some(batch) = self.pending.remove(&(self.last_executed + 1)) {
             let seq = SeqNum(self.last_executed + 1);
             let outcomes = batch
-                .txns
+                .txns()
                 .iter()
                 .map(|txn| TxnOutcome {
-                    client: txn.client,
-                    request: txn.request,
-                    result: self.store.apply(&txn.op),
+                    client: txn.client(),
+                    request: txn.request(),
+                    result: self.store.apply(txn.op()),
                 })
                 .collect();
             self.executed_count += 1;
-            self.executed_txns += batch.txns.len() as u64;
+            self.executed_txns += batch.len() as u64;
             self.last_executed = seq.0;
             executed.push(ExecutedBatch {
                 seq,
-                digest: batch.digest,
+                digest: batch.digest(),
                 outcomes,
             });
         }

@@ -23,9 +23,12 @@
 //! scheduling an event (simulator), sending on a channel (runtime), or
 //! recording into an observation log (attack harness).
 
-use flexitrust_protocol::{Action, ClientReply, ConsensusEngine, Message, Outbox, TimerKind};
+use flexitrust_protocol::{
+    unshare, Action, ClientReply, ConsensusEngine, Message, Outbox, SharedMessage, TimerKind,
+};
 use flexitrust_types::{ClientId, ReplicaId, RequestId, SeqNum, Transaction};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One committed transaction, as observed by its issuing client: the
 /// consensus slot it executed at and its identity.
@@ -68,15 +71,19 @@ impl TimerToken {
 /// model (the threaded runtime, the attack harness) implement nothing extra.
 pub trait EngineHost {
     /// Deliver `msg` from `from` to `to` over this environment's network.
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message);
+    /// The message arrives as a shared handle: environments queue or route
+    /// the handle itself; payload bytes are never copied on the way out.
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage);
 
     /// Deliver `msg` from `from` to every replica (the sender included, so
     /// engines handle their own votes uniformly). The default fans out to
-    /// [`send`](EngineHost::send); environments override it when a broadcast
-    /// is observed as one event (e.g. vote counting in the attack harness).
-    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+    /// [`send`](EngineHost::send), one reference-count bump per
+    /// destination; environments override it when a broadcast is observed
+    /// as one event (e.g. vote counting in the attack harness) or encoded
+    /// once for all destinations (the TCP transport).
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: SharedMessage) {
         for to in 0..replicas {
-            self.send(from, ReplicaId(to as u32), msg.clone());
+            self.send(from, ReplicaId(to as u32), Arc::clone(&msg));
         }
     }
 
@@ -125,8 +132,8 @@ pub trait EngineHost {
 /// below converts into this so effects can be emitted *after* the batch cost
 /// is known, while preserving the engine's emission order.
 enum Effect {
-    Send { to: ReplicaId, msg: Message },
-    Broadcast { msg: Message },
+    Send { to: ReplicaId, msg: SharedMessage },
+    Broadcast { msg: SharedMessage },
     Reply { reply: ClientReply },
     SetTimer { timer: TimerKind, delay_us: u64 },
     CancelTimer { timer: TimerKind },
@@ -182,16 +189,20 @@ impl Dispatcher {
 
     /// Delivers a peer message to `engine` and dispatches the resulting
     /// actions into `env`.
+    ///
+    /// The shared handle is unwrapped at this boundary: the last holder
+    /// moves the message out for free, earlier holders pay only a shallow
+    /// skeleton clone ([`flexitrust_protocol::unshare`]).
     pub fn deliver<E: EngineHost>(
         &mut self,
         engine: &mut dyn ConsensusEngine,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         env: &mut E,
     ) {
         let replica = engine.id();
         let mut out = Outbox::new();
-        engine.on_message(from, msg, &mut out);
+        engine.on_message(from, unshare(msg), &mut out);
         self.dispatch(replica, out.drain(), env);
     }
 
@@ -246,11 +257,17 @@ impl Dispatcher {
             effects.push(match action {
                 Action::Send { to, msg } => {
                     cost_ns += env.send_cost_ns(&msg, 1);
-                    Effect::Send { to, msg }
+                    // The single point where an outbound message becomes a
+                    // shared payload: everything downstream holds this one
+                    // allocation.
+                    Effect::Send {
+                        to,
+                        msg: Arc::new(msg),
+                    }
                 }
                 Action::Broadcast { msg } => {
                     cost_ns += env.send_cost_ns(&msg, replicas.saturating_sub(1));
-                    Effect::Broadcast { msg }
+                    Effect::Broadcast { msg: Arc::new(msg) }
                 }
                 Action::Reply { reply } => Effect::Reply { reply },
                 Action::SetTimer { timer, delay_us } => Effect::SetTimer { timer, delay_us },
@@ -299,7 +316,7 @@ mod tests {
     }
 
     impl EngineHost for RecordingEnv {
-        fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+        fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
             self.sends.push((from, to, msg.kind().to_string()));
         }
 

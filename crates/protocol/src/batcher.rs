@@ -111,7 +111,10 @@ mod tests {
         let mut b = Batcher::new(3);
         let out = b.push(txns(3));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].digest, flexitrust_crypto::digest_batch(&out[0].txns));
+        assert_eq!(
+            out[0].digest(),
+            flexitrust_crypto::digest_batch(out[0].txns())
+        );
     }
 
     #[test]
@@ -125,7 +128,7 @@ mod tests {
     fn ordering_is_preserved() {
         let mut b = Batcher::new(4);
         let out = b.push(txns(4));
-        let ids: Vec<u64> = out[0].txns.iter().map(|t| t.request.0).collect();
+        let ids: Vec<u64> = out[0].txns().iter().map(|t| t.request().0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 }

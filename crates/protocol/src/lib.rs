@@ -33,7 +33,7 @@ pub use actions::{Action, Outbox};
 pub use batcher::Batcher;
 pub use client::{result_key, result_matches_key, ClientLibrary, KvResultKey, RequestStatus};
 pub use engine::{ConsensusEngine, TimerKind};
-pub use messages::{ClientReply, Message, PreparedProof};
+pub use messages::{unshare, ClientReply, Message, PreparedProof, SharedMessage};
 pub use properties::{MemoryFootprint, ProtocolProperties, TrustedAbstraction};
 pub use quorum::CertificateTracker;
 pub use replica::ReplicaCore;

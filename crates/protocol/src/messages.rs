@@ -13,6 +13,24 @@ use flexitrust_trusted::Attestation;
 use flexitrust_types::{
     Batch, ClientId, Digest, KvResult, ReplicaId, RequestId, SeqNum, Transaction, View,
 };
+use std::sync::Arc;
+
+/// A message as it travels between replicas: one allocation at the sender,
+/// shared by reference with every recipient. A broadcast's fan-out is a
+/// reference-count bump per destination — the payload bytes (the batch
+/// behind its own `Arc`, attestations, digests) are never copied.
+pub type SharedMessage = Arc<Message>;
+
+/// Recovers an owned [`Message`] from a shared handle for engine delivery.
+///
+/// When the handle is the last one (a unicast, or the final copy of a
+/// broadcast) the message moves out for free; otherwise the shallow clone
+/// copies only the enum skeleton — batches and proof sets share their
+/// `Arc`-backed payloads, so no transaction bytes are duplicated either
+/// way.
+pub fn unshare(msg: SharedMessage) -> Message {
+    Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone())
+}
 
 /// Proof that a batch was prepared (or committed) in some view; carried in
 /// `ViewChange` messages so the new primary can re-propose it.

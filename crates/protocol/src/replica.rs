@@ -12,10 +12,13 @@ use crate::messages::{ClientReply, Message};
 use flexitrust_exec::{CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
 use flexitrust_types::{Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Common replica state embedded by every protocol engine.
 pub struct ReplicaCore {
-    config: SystemConfig,
+    /// Shared deployment configuration: one allocation per cluster, a
+    /// reference-count bump per replica that embeds it.
+    config: Arc<SystemConfig>,
     id: ReplicaId,
     view: View,
     exec: ExecutionQueue,
@@ -27,14 +30,16 @@ pub struct ReplicaCore {
 
 impl ReplicaCore {
     /// Creates the core state for replica `id` under `config`, executing
-    /// against an empty key-value store.
-    pub fn new(config: SystemConfig, id: ReplicaId) -> Self {
+    /// against an empty key-value store. Accepts either an owned
+    /// `SystemConfig` or an `Arc<SystemConfig>` shared across the cluster.
+    pub fn new(config: impl Into<Arc<SystemConfig>>, id: ReplicaId) -> Self {
         Self::with_store(config, id, KvStore::new())
     }
 
     /// Creates the core state with a pre-loaded store (e.g. the 600 k-record
     /// YCSB table).
-    pub fn with_store(config: SystemConfig, id: ReplicaId, store: KvStore) -> Self {
+    pub fn with_store(config: impl Into<Arc<SystemConfig>>, id: ReplicaId, store: KvStore) -> Self {
+        let config = config.into();
         let checkpoint_quorum = config.small_quorum();
         ReplicaCore {
             batcher: Batcher::new(config.batch_size),

@@ -216,7 +216,7 @@ mod tests {
         let plan = planner
             .record_view_change(ReplicaId(1), SeqNum(0), vec![proof(2, 1, 2, 20)])
             .unwrap();
-        assert_eq!(plan.proposals[0].1.digest, Digest::from_u64_tag(20));
+        assert_eq!(plan.proposals[0].1.digest(), Digest::from_u64_tag(20));
     }
 
     #[test]

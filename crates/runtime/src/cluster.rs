@@ -10,7 +10,7 @@ use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzy
 use flexitrust_core::{FlexiBft, FlexiZz};
 use flexitrust_host::{CommittedTxn, Dispatcher, EngineHost, TimerToken};
 use flexitrust_protocol::{
-    ClientLibrary, ClientReply, ConsensusEngine, Message, RequestStatus, TimerKind,
+    ClientLibrary, ClientReply, ConsensusEngine, RequestStatus, SharedMessage, TimerKind,
 };
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry};
 use flexitrust_types::{ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction};
@@ -24,8 +24,9 @@ use crate::primary::PrimaryTracker;
 
 /// Messages flowing into a replica thread.
 pub(crate) enum Input {
-    /// A peer protocol message.
-    Peer(ReplicaId, Message),
+    /// A peer protocol message (a shared handle: the sender's allocation,
+    /// reference-counted across every inbox it was fanned out to).
+    Peer(ReplicaId, SharedMessage),
     /// A batch of client transactions.
     Client(Vec<Transaction>),
     /// Stop the replica loop.
@@ -39,16 +40,19 @@ pub(crate) enum Input {
 /// implementations drop (and count) what they cannot enqueue; BFT protocols
 /// tolerate message loss by design.
 pub(crate) trait Transport {
-    /// Queue `msg` from `from` for delivery to `to`.
-    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: Message);
+    /// Queue `msg` from `from` for delivery to `to`. The shared handle is
+    /// queued (or encoded) as-is — payload bytes are never copied per
+    /// destination.
+    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage);
 
     /// Queue `msg` from `from` for delivery to every replica (sender
-    /// included). The default fans out to per-destination sends; a
-    /// serialising transport overrides it to encode the wire bytes once
-    /// per broadcast instead of once per destination.
-    fn broadcast_peer(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+    /// included). The default fans out to per-destination sends, one
+    /// reference-count bump each; a serialising transport overrides it to
+    /// encode the wire bytes once per broadcast instead of once per
+    /// destination.
+    fn broadcast_peer(&mut self, from: ReplicaId, replicas: usize, msg: SharedMessage) {
         for to in 0..replicas {
-            self.send_peer(from, ReplicaId(to as u32), msg.clone());
+            self.send_peer(from, ReplicaId(to as u32), Arc::clone(&msg));
         }
     }
 
@@ -65,7 +69,7 @@ pub(crate) struct ChannelTransport {
 }
 
 impl Transport for ChannelTransport {
-    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         // `try_send`, not `send`: a blocking send on a full inbox while our
         // own inbox is also full (with the peer blocked symmetrically on
         // ours) deadlocks both replicas. Dropping is safe — every protocol
@@ -108,7 +112,7 @@ pub struct ClusterSummary {
 
 /// A running in-process cluster for one protocol.
 pub struct Cluster {
-    config: SystemConfig,
+    config: Arc<SystemConfig>,
     inboxes: Vec<Sender<Input>>,
     replies: Receiver<ClientReply>,
     tracker: PrimaryTracker,
@@ -118,7 +122,7 @@ pub struct Cluster {
 
 pub(crate) fn build_engine(
     protocol: ProtocolId,
-    config: &SystemConfig,
+    config: &Arc<SystemConfig>,
     id: ReplicaId,
     registry: &EnclaveRegistry,
 ) -> Box<dyn ConsensusEngine> {
@@ -126,46 +130,46 @@ pub(crate) fn build_engine(
         || Enclave::shared(EnclaveConfig::counter_only(id, AttestationMode::Real));
     let log_enclave = || Enclave::shared(EnclaveConfig::log_based(id, AttestationMode::Real));
     match protocol {
-        ProtocolId::Pbft => Box::new(Pbft::engine(config.clone(), id)),
-        ProtocolId::Zyzzyva => Box::new(Zyzzyva::engine(config.clone(), id)),
+        ProtocolId::Pbft => Box::new(Pbft::engine(Arc::clone(config), id)),
+        ProtocolId::Zyzzyva => Box::new(Zyzzyva::engine(Arc::clone(config), id)),
         ProtocolId::PbftEa => Box::new(PbftEa::engine(
-            config.clone(),
+            Arc::clone(config),
             id,
             log_enclave(),
             registry.clone(),
         )),
         ProtocolId::OpbftEa => Box::new(OpbftEa::engine(
-            config.clone(),
+            Arc::clone(config),
             id,
             log_enclave(),
             registry.clone(),
         )),
         ProtocolId::MinBft => Box::new(MinBft::engine(
-            config.clone(),
+            Arc::clone(config),
             id,
             counter_enclave(),
             registry.clone(),
         )),
         ProtocolId::MinZz => Box::new(MinZz::engine(
-            config.clone(),
+            Arc::clone(config),
             id,
             counter_enclave(),
             registry.clone(),
         )),
         ProtocolId::CheapBft => Box::new(CheapBft::engine(
-            config.clone(),
+            Arc::clone(config),
             id,
             counter_enclave(),
             registry.clone(),
         )),
         ProtocolId::FlexiBft | ProtocolId::OFlexiBft => Box::new(FlexiBft::new(
-            config.clone(),
+            Arc::clone(config),
             id,
             counter_enclave(),
             registry.clone(),
         )),
         ProtocolId::FlexiZz | ProtocolId::OFlexiZz => Box::new(FlexiZz::new(
-            config.clone(),
+            Arc::clone(config),
             id,
             counter_enclave(),
             registry.clone(),
@@ -188,7 +192,9 @@ impl Cluster {
     /// threshold `f` and the given batch size, using real Ed25519
     /// attestations.
     pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> Self {
-        let config = cluster_config(protocol, f, batch_size);
+        // One config allocation for the whole cluster; replica threads and
+        // engines share it by reference.
+        let config = Arc::new(cluster_config(protocol, f, batch_size));
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
         let tracker = PrimaryTracker::new(config.n);
         let dropped = Arc::new(AtomicU64::new(0));
@@ -378,11 +384,11 @@ struct ThreadEnv<T: Transport> {
 }
 
 impl<T: Transport> EngineHost for ThreadEnv<T> {
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         self.transport.send_peer(from, to, msg);
     }
 
-    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: Message) {
+    fn broadcast(&mut self, from: ReplicaId, replicas: usize, msg: SharedMessage) {
         self.transport.broadcast_peer(from, replicas, msg);
     }
 
@@ -511,9 +517,9 @@ mod tests {
             replies: reply_tx,
             dropped: Arc::clone(&dropped),
         };
-        let msg = Message::ClientRetry {
+        let msg = Arc::new(flexitrust_protocol::Message::ClientRetry {
             txn: Transaction::noop(),
-        };
+        });
         let start = Instant::now();
         transport.send_peer(ReplicaId(1), ReplicaId(0), msg);
         assert!(

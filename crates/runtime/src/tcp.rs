@@ -24,7 +24,7 @@
 //! dedicated reply listener every replica connects back to.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use flexitrust_protocol::ClientReply;
+use flexitrust_protocol::{ClientReply, SharedMessage};
 use flexitrust_trusted::{AttestationMode, EnclaveRegistry};
 use flexitrust_types::{ProtocolId, ReplicaId, SystemConfig, Transaction};
 use flexitrust_wire::{read_frame, write_frame, Frame};
@@ -66,17 +66,12 @@ impl SocketTransport {
 }
 
 impl Transport for SocketTransport {
-    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: flexitrust_protocol::Message) {
+    fn send_peer(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         let bytes = Arc::new(flexitrust_wire::encode_message(from, &msg));
         self.push(to.as_usize(), bytes);
     }
 
-    fn broadcast_peer(
-        &mut self,
-        from: ReplicaId,
-        replicas: usize,
-        msg: flexitrust_protocol::Message,
-    ) {
+    fn broadcast_peer(&mut self, from: ReplicaId, replicas: usize, msg: SharedMessage) {
         // One serialisation per broadcast, not per destination: every
         // writer queue shares the same encoded frame.
         let bytes = Arc::new(flexitrust_wire::encode_message(from, &msg));
@@ -95,7 +90,7 @@ impl Transport for SocketTransport {
 
 /// A running loopback-TCP cluster for one protocol.
 pub struct TcpCluster {
-    config: SystemConfig,
+    config: Arc<SystemConfig>,
     addrs: Vec<SocketAddr>,
     control: Vec<Sender<Input>>,
     replies: Receiver<ClientReply>,
@@ -114,7 +109,7 @@ impl TcpCluster {
     /// and the given batch size, connected over loopback TCP sockets, using
     /// real Ed25519 attestations.
     pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> std::io::Result<Self> {
-        let config = cluster_config(protocol, f, batch_size);
+        let config = Arc::new(cluster_config(protocol, f, batch_size));
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
         let tracker = PrimaryTracker::new(config.n);
         let dropped = Arc::new(AtomicU64::new(0));
@@ -205,7 +200,7 @@ impl TcpCluster {
                             // dropping on the receive side.
                             let delivered = match frame {
                                 Frame::Peer { from, msg } => {
-                                    inbox.send(Input::Peer(from, msg)).is_ok()
+                                    inbox.send(Input::Peer(from, Arc::new(msg))).is_ok()
                                 }
                                 Frame::Submit { txns } => inbox.send(Input::Client(txns)).is_ok(),
                                 Frame::Reply { .. } => true,

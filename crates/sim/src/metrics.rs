@@ -33,6 +33,11 @@ pub struct SimReport {
     pub p99_latency_ms: f64,
     /// Protocol messages delivered during the whole run.
     pub messages_delivered: u64,
+    /// Discrete events processed by the simulation loop during the whole
+    /// run (deliveries, transmit/ingest chunks, timers, client arrivals).
+    /// Divided by wall-clock time this is the simulator's native speed —
+    /// the figure the zero-copy throughput harness gates on.
+    pub events_processed: u64,
     /// Total trusted-component accesses across all replicas.
     pub tc_accesses_total: u64,
     /// Trusted-component accesses at the (initial) primary.
@@ -170,6 +175,7 @@ mod tests {
             p50_latency_ms: 1.2,
             p99_latency_ms: 4.0,
             messages_delivered: 100_000,
+            events_processed: 250_000,
             tc_accesses_total: 500,
             tc_accesses_primary: 500,
             max_replica_executed: 50_000,

@@ -5,7 +5,8 @@ use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzy
 use flexitrust_core::{FlexiBft, FlexiZz};
 use flexitrust_protocol::ConsensusEngine;
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
-use flexitrust_types::{ProtocolId, ReplicaId};
+use flexitrust_types::{ProtocolId, ReplicaId, SystemConfig};
+use std::sync::Arc;
 
 /// One simulated replica: its engine and (when the protocol uses one) its
 /// trusted component, which the simulator observes to charge access latency.
@@ -23,7 +24,10 @@ pub struct ReplicaSetup {
 /// cheap; the *cost* of signing/verifying is charged by the
 /// [`crate::cost::CostModel`] instead.
 pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
-    let config = spec.system_config();
+    // The one allocation the whole cluster shares: every engine holds this
+    // same `Arc`, and the registry's key table is itself Arc-backed, so
+    // replica construction is reference-count bumps from here on.
+    let config: Arc<SystemConfig> = Arc::new(spec.system_config());
     let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Counting);
     let make_enclave = |id: ReplicaId, logs: bool| -> SharedEnclave {
         let base = if logs {
@@ -39,18 +43,18 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
             let id = ReplicaId(i as u32);
             match spec.protocol {
                 ProtocolId::Pbft => ReplicaSetup {
-                    engine: Box::new(Pbft::engine(config.clone(), id)),
+                    engine: Box::new(Pbft::engine(Arc::clone(&config), id)),
                     enclave: None,
                 },
                 ProtocolId::Zyzzyva => ReplicaSetup {
-                    engine: Box::new(Zyzzyva::engine(config.clone(), id)),
+                    engine: Box::new(Zyzzyva::engine(Arc::clone(&config), id)),
                     enclave: None,
                 },
                 ProtocolId::PbftEa => {
                     let enclave = make_enclave(id, true);
                     ReplicaSetup {
                         engine: Box::new(PbftEa::engine(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -62,7 +66,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, true);
                     ReplicaSetup {
                         engine: Box::new(OpbftEa::engine(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -74,7 +78,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, false);
                     ReplicaSetup {
                         engine: Box::new(MinBft::engine(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -86,7 +90,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, false);
                     ReplicaSetup {
                         engine: Box::new(MinZz::engine(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -98,7 +102,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, false);
                     ReplicaSetup {
                         engine: Box::new(CheapBft::engine(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -110,7 +114,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, false);
                     ReplicaSetup {
                         engine: Box::new(FlexiBft::new(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),
@@ -122,7 +126,7 @@ pub fn build_replicas(spec: &ScenarioSpec) -> Vec<ReplicaSetup> {
                     let enclave = make_enclave(id, false);
                     ReplicaSetup {
                         engine: Box::new(FlexiZz::new(
-                            config.clone(),
+                            Arc::clone(&config),
                             id,
                             enclave.clone(),
                             registry.clone(),

@@ -36,7 +36,8 @@ use crate::registry::{build_replicas, ReplicaSetup};
 use crate::spec::ScenarioSpec;
 use flexitrust_host::{Dispatcher, EngineHost, TimerToken};
 use flexitrust_protocol::{
-    result_key, result_matches_key, ClientReply, ConsensusEngine, KvResultKey, Message, TimerKind,
+    result_key, result_matches_key, ClientReply, ConsensusEngine, KvResultKey, Message,
+    SharedMessage, TimerKind,
 };
 use flexitrust_trusted::SharedEnclave;
 use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, SeqNum, Transaction};
@@ -51,7 +52,7 @@ enum EventKind {
     Deliver {
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
     },
     /// A message departing over a finite-bandwidth link: reserves the
     /// sender's NIC when the clock reaches the departure time, so
@@ -70,7 +71,7 @@ enum EventKind {
     Transmit {
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         /// Total wire size, computed once at send time — chunk events must
         /// not re-walk the message (a batch) per chunk.
         bytes: usize,
@@ -92,7 +93,7 @@ enum EventKind {
     Ingest {
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         /// Total wire size, for cutting chunk spans.
         bytes: usize,
         /// Atomic ingest wire time of the whole message.
@@ -267,7 +268,7 @@ struct SimEnv<'a> {
 }
 
 impl EngineHost for SimEnv<'_> {
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: Message) {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: SharedMessage) {
         let extra_ns = match self.faults.fate(from, to, &msg) {
             DeliveryFate::Drop => return,
             DeliveryFate::Deliver => 0,
@@ -403,6 +404,7 @@ pub struct Simulation {
     completed_txns: u64,
     commit_log: Vec<CommittedTxn>,
     messages_delivered: u64,
+    events_processed: u64,
     reply_quorum: usize,
     fallback_quorum: usize,
     all_replicas_rule: bool,
@@ -476,6 +478,7 @@ impl Simulation {
             completed_txns: 0,
             commit_log: Vec::new(),
             messages_delivered: 0,
+            events_processed: 0,
             reply_quorum,
             fallback_quorum,
             all_replicas_rule: properties.reply_quorum == QuorumRule::AllReplicas,
@@ -497,7 +500,11 @@ impl Simulation {
         let request = self.next_request_id[client];
         self.next_request_id[client] += 1;
         let template = self.op_generator.next_transaction();
-        Transaction::new(ClientId(client as u64), RequestId(request), template.op)
+        Transaction::new(
+            ClientId(client as u64),
+            RequestId(request),
+            template.into_op(),
+        )
     }
 
     fn current_primary(&self) -> ReplicaId {
@@ -524,6 +531,7 @@ impl Simulation {
                 break;
             }
             self.now = event.at;
+            self.events_processed += 1;
             match event.kind {
                 EventKind::Deliver { to, from, msg } => self.on_deliver(to, from, msg),
                 EventKind::Transmit {
@@ -701,7 +709,7 @@ impl Simulation {
             // `or_insert` keeps the original submit time on a
             // retransmission, so latency covers the whole client wait.
             self.requests
-                .entry((txn.client.0, txn.request.0))
+                .entry((txn.client().0, txn.request().0))
                 .or_insert_with(|| RequestTracker::new(now));
         }
         let primary = self.current_primary();
@@ -733,7 +741,7 @@ impl Simulation {
         &mut self,
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         bytes: usize,
         transmit_ns: u64,
         extra_ns: u64,
@@ -836,7 +844,7 @@ impl Simulation {
         &mut self,
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         bytes: usize,
         sent: Ns,
         extra_ns: u64,
@@ -884,7 +892,7 @@ impl Simulation {
         &mut self,
         to: ReplicaId,
         from: ReplicaId,
-        msg: Message,
+        msg: SharedMessage,
         bytes: usize,
         rx_ns: u64,
         offset_bytes: usize,
@@ -1065,7 +1073,7 @@ impl Simulation {
         }
     }
 
-    fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: Message) {
+    fn on_deliver(&mut self, to: ReplicaId, from: ReplicaId, msg: SharedMessage) {
         if self.spec.faults.is_failed(to) {
             return;
         }
@@ -1247,6 +1255,7 @@ impl Simulation {
             p50_latency_ms: p50,
             p99_latency_ms: p99,
             messages_delivered: self.messages_delivered,
+            events_processed: self.events_processed,
             tc_accesses_total: tc_accesses.iter().sum(),
             tc_accesses_primary: tc_accesses.first().copied().unwrap_or(0),
             max_replica_executed: self

@@ -111,12 +111,15 @@ pub enum AttestationMode {
     Counting,
 }
 
-/// Registry of enclave verifying keys; every replica holds a copy so it can
-/// verify attestations produced by any other replica's trusted component.
+/// Registry of enclave verifying keys; every replica holds a handle so it
+/// can verify attestations produced by any other replica's trusted
+/// component. The key table sits behind an `Arc`: cloning the registry for
+/// each of n replicas is a reference-count bump, not n copies of the
+/// table.
 #[derive(Clone)]
 pub struct EnclaveRegistry {
     mode: AttestationMode,
-    keys: Vec<ed25519_dalek::VerifyingKey>,
+    keys: std::sync::Arc<[ed25519_dalek::VerifyingKey]>,
 }
 
 impl EnclaveRegistry {

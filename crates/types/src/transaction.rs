@@ -7,6 +7,23 @@
 
 use crate::digest::Digest;
 use crate::ids::{ClientId, RequestId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Counts every [`Batch`] payload allocation (one per `BatchInner`). A
+/// batch *clone* is a reference-count bump and does not count; only
+/// constructing a batch from owned transactions does. Zero-copy regression
+/// tests read this: an n-replica broadcast must allocate the payload once,
+/// not once per recipient.
+static BATCH_PAYLOAD_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`Batch`] payload allocations since process start (monotone,
+/// process-wide). Tests diff two readings around a workload to pin the
+/// zero-copy invariant; concurrent tests only ever make the diff larger,
+/// so upper-bound assertions stay sound.
+pub fn batch_payload_allocations() -> u64 {
+    BATCH_PAYLOAD_ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// A single key-value store operation, mirroring the YCSB core workloads.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -98,15 +115,34 @@ pub enum KvResult {
 ///
 /// The client-side signature is modelled by the crypto substrate; engines
 /// treat requests whose envelope passed verification as well-formed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The identity fields are immutable after construction — private behind
+/// accessors, so the memoized canonical encoding (computed on first use,
+/// shared by clones) can never go stale. Build a new transaction instead
+/// of mutating one.
+#[derive(Debug, Clone)]
 pub struct Transaction {
     /// Issuing client.
-    pub client: ClientId,
+    client: ClientId,
     /// Per-client request id (used for reply matching and deduplication).
-    pub request: RequestId,
+    request: RequestId,
     /// The operation to execute.
-    pub op: KvOp,
+    op: KvOp,
+    /// Memoized canonical encoding; filled lazily (a decoded transaction
+    /// that is never digested never pays for it) and shared across clones
+    /// via the `Arc`.
+    canonical: OnceLock<Arc<[u8]>>,
 }
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is a pure function of the identity fields: compare only
+        // those.
+        self.client == other.client && self.request == other.request && self.op == other.op
+    }
+}
+
+impl Eq for Transaction {}
 
 impl Transaction {
     /// Creates a new transaction.
@@ -115,16 +151,34 @@ impl Transaction {
             client,
             request,
             op,
+            canonical: OnceLock::new(),
         }
+    }
+
+    /// Issuing client.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Per-client request id (used for reply matching and deduplication).
+    pub fn request(&self) -> RequestId {
+        self.request
+    }
+
+    /// The operation to execute.
+    pub fn op(&self) -> &KvOp {
+        &self.op
+    }
+
+    /// Consumes the transaction, returning its operation (used when a
+    /// template transaction's payload is re-tagged for a fresh request).
+    pub fn into_op(self) -> KvOp {
+        self.op
     }
 
     /// Creates a no-op transaction (used by view change gap filling).
     pub fn noop() -> Self {
-        Transaction {
-            client: ClientId(u64::MAX),
-            request: RequestId(0),
-            op: KvOp::Noop,
-        }
+        Transaction::new(ClientId(u64::MAX), RequestId(0), KvOp::Noop)
     }
 
     /// Returns `true` when this is a no-op filler transaction.
@@ -140,38 +194,44 @@ impl Transaction {
     }
 
     /// Stable byte encoding used as input to digests and signatures.
-    pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_size());
-        out.extend_from_slice(&self.client.0.to_le_bytes());
-        out.extend_from_slice(&self.request.0.to_le_bytes());
-        match &self.op {
-            KvOp::Read { key } => {
-                out.push(0);
-                out.extend_from_slice(&key.to_le_bytes());
+    ///
+    /// Computed once per payload and memoized: repeated digest/signature
+    /// calls (and every clone sharing the memo) return the same buffer
+    /// without re-walking the operation.
+    pub fn canonical_bytes(&self) -> &[u8] {
+        self.canonical.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.wire_size());
+            out.extend_from_slice(&self.client.0.to_le_bytes());
+            out.extend_from_slice(&self.request.0.to_le_bytes());
+            match &self.op {
+                KvOp::Read { key } => {
+                    out.push(0);
+                    out.extend_from_slice(&key.to_le_bytes());
+                }
+                KvOp::Update { key, value } => {
+                    out.push(1);
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(value);
+                }
+                KvOp::Insert { key, value } => {
+                    out.push(2);
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(value);
+                }
+                KvOp::ReadModifyWrite { key, value } => {
+                    out.push(3);
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(value);
+                }
+                KvOp::Scan { start_key, count } => {
+                    out.push(4);
+                    out.extend_from_slice(&start_key.to_le_bytes());
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                KvOp::Noop => out.push(5),
             }
-            KvOp::Update { key, value } => {
-                out.push(1);
-                out.extend_from_slice(&key.to_le_bytes());
-                out.extend_from_slice(value);
-            }
-            KvOp::Insert { key, value } => {
-                out.push(2);
-                out.extend_from_slice(&key.to_le_bytes());
-                out.extend_from_slice(value);
-            }
-            KvOp::ReadModifyWrite { key, value } => {
-                out.push(3);
-                out.extend_from_slice(&key.to_le_bytes());
-                out.extend_from_slice(value);
-            }
-            KvOp::Scan { start_key, count } => {
-                out.push(4);
-                out.extend_from_slice(&start_key.to_le_bytes());
-                out.extend_from_slice(&count.to_le_bytes());
-            }
-            KvOp::Noop => out.push(5),
-        }
-        out
+            out.into()
+        })
     }
 }
 
@@ -186,68 +246,124 @@ pub struct TxnOutcome {
     pub result: KvResult,
 }
 
+/// The payload of a [`Batch`], allocated exactly once per distinct batch
+/// and shared by reference everywhere after.
+#[derive(Debug)]
+struct BatchInner {
+    /// The transactions in proposal order.
+    txns: Vec<Transaction>,
+    /// Digest of the canonical encoding of all transactions (Δ).
+    digest: Digest,
+    /// Exact wire size of the batch's canonical-codec encoding, computed
+    /// once at construction so `wire_size()` is O(1) however often the
+    /// bandwidth model asks.
+    wire_size: usize,
+    /// Memoized concatenated canonical bytes (the batch-digest input);
+    /// filled on first use, shared by every clone.
+    canonical: OnceLock<Vec<u8>>,
+}
+
 /// A batch of transactions: the unit over which consensus is run.
 ///
 /// ResilientDB batches client requests both at the client library and at the
 /// primary; the protocols in this repository order whole batches, exactly as
 /// the evaluation section of the paper does (the "batch size" knob of
 /// Figure 6(iv)/(v)).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A `Batch` is a shared handle: the transactions live behind an `Arc`, so
+/// cloning — a broadcast fanning one proposal out to n replicas, an engine
+/// parking an accepted proposal, the execution queue holding it — is a
+/// reference-count bump, never a copy of the payload bytes. The wire size
+/// is computed once at construction and the canonical digest input is
+/// memoized, so both are O(1) on the hot path.
+#[derive(Debug, Clone)]
 pub struct Batch {
-    /// The transactions in proposal order.
-    pub txns: Vec<Transaction>,
-    /// Digest of the canonical encoding of all transactions (Δ in the paper).
-    pub digest: Digest,
+    inner: Arc<BatchInner>,
 }
 
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.digest == other.inner.digest && self.inner.txns == other.inner.txns)
+    }
+}
+
+impl Eq for Batch {}
+
 impl Batch {
-    /// Builds a batch from transactions and a pre-computed digest.
+    /// Builds a batch from transactions and a pre-computed digest. This is
+    /// the single place a batch payload is allocated.
     ///
     /// The digest is computed by the crypto substrate; this constructor only
     /// packages the two together.
     pub fn new(txns: Vec<Transaction>, digest: Digest) -> Self {
-        Batch { txns, digest }
+        BATCH_PAYLOAD_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let wire_size = 32 + 4 + txns.iter().map(Transaction::wire_size).sum::<usize>();
+        Batch {
+            inner: Arc::new(BatchInner {
+                txns,
+                digest,
+                wire_size,
+                canonical: OnceLock::new(),
+            }),
+        }
     }
 
     /// Builds an empty no-op batch for the given tag (used to fill sequence
     /// number gaps during view changes).
     pub fn noop(tag: u64) -> Self {
-        Batch {
-            txns: vec![Transaction::noop()],
-            digest: Digest::from_u64_tag(tag),
-        }
+        Batch::new(vec![Transaction::noop()], Digest::from_u64_tag(tag))
+    }
+
+    /// The transactions in proposal order.
+    pub fn txns(&self) -> &[Transaction] {
+        &self.inner.txns
+    }
+
+    /// Digest of the canonical encoding of all transactions (Δ in the
+    /// paper).
+    pub fn digest(&self) -> Digest {
+        self.inner.digest
+    }
+
+    /// Returns `true` when this batch shares its payload allocation with
+    /// `other` (the zero-copy invariant the regression tests pin).
+    pub fn shares_payload(&self, other: &Batch) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Returns `true` when the batch consists solely of no-op transactions.
     pub fn is_noop(&self) -> bool {
-        self.txns.iter().all(Transaction::is_noop)
+        self.inner.txns.iter().all(Transaction::is_noop)
     }
 
     /// Number of transactions in the batch.
     pub fn len(&self) -> usize {
-        self.txns.len()
+        self.inner.txns.len()
     }
 
     /// Returns `true` when the batch holds no transactions.
     pub fn is_empty(&self) -> bool {
-        self.txns.is_empty()
+        self.inner.txns.is_empty()
     }
 
     /// Exact wire size of the batch in bytes, equal to the canonical
     /// codec's encoding: the batch digest, a `u32` transaction count, and
-    /// every member transaction.
+    /// every member transaction. Memoized at construction — O(1).
     pub fn wire_size(&self) -> usize {
-        32 + 4 + self.txns.iter().map(Transaction::wire_size).sum::<usize>()
+        self.inner.wire_size
     }
 
     /// Concatenated canonical bytes of all member transactions; the input to
-    /// the batch digest.
-    pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        for t in &self.txns {
-            out.extend_from_slice(&t.canonical_bytes());
-        }
-        out
+    /// the batch digest. Computed once per payload and memoized.
+    pub fn canonical_bytes(&self) -> &[u8] {
+        self.inner.canonical.get_or_init(|| {
+            let mut out = Vec::new();
+            for t in &self.inner.txns {
+                out.extend_from_slice(t.canonical_bytes());
+            }
+            out
+        })
     }
 }
 
@@ -287,7 +403,8 @@ mod tests {
         let c = txn(2, 1, 10);
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
         assert_ne!(a.canonical_bytes(), c.canonical_bytes());
-        assert_eq!(a.canonical_bytes(), txn(1, 1, 10).canonical_bytes());
+        let again = txn(1, 1, 10);
+        assert_eq!(a.canonical_bytes(), again.canonical_bytes());
     }
 
     #[test]
@@ -319,9 +436,10 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
         assert!(b.wire_size() > 2 * 80);
+        let single = txn(1, 1, 1);
         assert_eq!(
             b.canonical_bytes().len(),
-            txn(1, 1, 1).canonical_bytes().len() * 2
+            single.canonical_bytes().len() * 2
         );
     }
 

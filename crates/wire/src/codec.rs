@@ -217,9 +217,9 @@ fn decode_op(r: &mut Reader<'_>) -> Result<KvOp, WireError> {
 /// 64-byte client-signature slot (zero-filled — signatures are modelled by
 /// the crypto substrate, but the slot is real wire bytes).
 pub fn encode_transaction(out: &mut Vec<u8>, txn: &Transaction) {
-    out.extend_from_slice(&txn.client.0.to_le_bytes());
-    out.extend_from_slice(&txn.request.0.to_le_bytes());
-    encode_op(out, &txn.op);
+    out.extend_from_slice(&txn.client().0.to_le_bytes());
+    out.extend_from_slice(&txn.request().0.to_le_bytes());
+    encode_op(out, txn.op());
     out.extend_from_slice(&[0u8; 64]);
 }
 
@@ -240,8 +240,8 @@ pub(crate) fn read_transaction(r: &mut Reader<'_>) -> Result<Transaction, WireEr
 }
 
 pub(crate) fn write_batch(out: &mut Vec<u8>, batch: &Batch) {
-    out.extend_from_slice(batch.digest.as_bytes());
-    write_vec(out, &batch.txns, encode_transaction);
+    out.extend_from_slice(batch.digest().as_bytes());
+    write_vec(out, batch.txns(), encode_transaction);
 }
 
 pub(crate) fn read_batch(r: &mut Reader<'_>) -> Result<Batch, WireError> {

@@ -267,8 +267,8 @@ mod tests {
         let mut g = WorkloadGenerator::new(WorkloadConfig::tiny(), ClientId(1), 0);
         let batch = g.next_batch(5);
         for (i, txn) in batch.iter().enumerate() {
-            assert_eq!(txn.request, RequestId(i as u64 + 1));
-            assert_eq!(txn.client, ClientId(1));
+            assert_eq!(txn.request(), RequestId(i as u64 + 1));
+            assert_eq!(txn.client(), ClientId(1));
         }
     }
 
@@ -278,7 +278,7 @@ mod tests {
         let batch = g.next_batch(5_000);
         let reads = batch
             .iter()
-            .filter(|t| matches!(t.op, KvOp::Read { .. }))
+            .filter(|t| matches!(t.op(), KvOp::Read { .. }))
             .count();
         let frac = reads as f64 / batch.len() as f64;
         assert!((frac - 0.95).abs() < 0.02, "read fraction {frac}");
@@ -290,7 +290,7 @@ mod tests {
         assert!(g
             .next_batch(500)
             .iter()
-            .all(|t| matches!(t.op, KvOp::Read { .. })));
+            .all(|t| matches!(t.op(), KvOp::Read { .. })));
     }
 
     #[test]
@@ -298,9 +298,9 @@ mod tests {
         let cfg = WorkloadConfig::tiny();
         let mut g = WorkloadGenerator::new(cfg.clone(), ClientId(1), 3);
         for t in g.next_batch(2_000) {
-            match t.op {
+            match t.op() {
                 KvOp::Read { key } | KvOp::Update { key, .. } => {
-                    assert!(key < cfg.record_count)
+                    assert!(*key < cfg.record_count)
                 }
                 _ => {}
             }
@@ -325,7 +325,7 @@ mod tests {
         };
         let mut g = WorkloadGenerator::new(cfg, ClientId(1), 1);
         let batch = g.next_batch(1_000);
-        let max_key = batch.iter().filter_map(|t| t.op.key()).max().unwrap();
+        let max_key = batch.iter().filter_map(|t| t.op().key()).max().unwrap();
         assert!(max_key < 1_000);
     }
 }

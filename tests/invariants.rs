@@ -134,6 +134,6 @@ proptest! {
             .map(|(i, k)| Transaction::new(ClientId(1), RequestId(i as u64), KvOp::Read { key: *k }))
             .collect();
         let batch = make_batch(txns);
-        prop_assert_eq!(batch.digest, flexitrust::crypto::digest_batch(&batch.txns));
+        prop_assert_eq!(batch.digest(), flexitrust::crypto::digest_batch(batch.txns()));
     }
 }

@@ -196,6 +196,41 @@ proptest! {
         prop_assert_eq!(decoded, msg);
     }
 
+    /// The memoized payload sizes are the codec's encoded lengths:
+    /// `Transaction::wire_size()` (O(1) from the op) equals its encoded
+    /// frame, and `Batch::wire_size()` (computed once at construction)
+    /// equals the digest + count prefix + every member transaction's
+    /// encoding. The canonical-bytes memo is stable — repeated calls
+    /// return the same buffer — and agrees with an unmemoized twin.
+    #[test]
+    fn memoized_sizes_and_canonical_bytes_match_the_codec(seed in any::<u64>()) {
+        let mut rng = Gen::seed_from_u64(seed);
+        let txn = gen_txn(&mut rng);
+        let mut encoded = Vec::new();
+        flexitrust::wire::encode_transaction(&mut encoded, &txn);
+        prop_assert_eq!(encoded.len(), txn.wire_size());
+
+        let batch = gen_batch(&mut rng);
+        let mut batch_len = 32 + 4;
+        for t in batch.txns() {
+            let mut buf = Vec::new();
+            flexitrust::wire::encode_transaction(&mut buf, t);
+            batch_len += buf.len();
+        }
+        prop_assert_eq!(batch_len, batch.wire_size());
+
+        // The memo returns the same allocation on every call…
+        let first = txn.canonical_bytes().as_ptr();
+        let second = txn.canonical_bytes().as_ptr();
+        prop_assert!(std::ptr::eq(first, second));
+        // …and matches a freshly computed twin byte for byte.
+        let twin = Transaction::new(txn.client(), txn.request(), txn.op().clone());
+        prop_assert_eq!(txn.canonical_bytes(), twin.canonical_bytes());
+
+        // Clones share the payload allocation — the zero-copy invariant.
+        prop_assert!(batch.clone().shares_payload(&batch));
+    }
+
     /// The same two pins for client replies (every result shape) and
     /// submission frames.
     #[test]
