@@ -81,7 +81,7 @@ pub fn responsiveness_attack(protocol: ProtocolId, f: usize) -> ResponsivenessRe
         RequestId(1),
         KvOp::Update {
             key: 7,
-            value: vec![1, 2, 3],
+            value: vec![1, 2, 3].into(),
         },
     );
     let reply_quorum = config.quorum(engines[0].properties().reply_quorum);

@@ -50,7 +50,7 @@ fn txn(tag: u64) -> Transaction {
         RequestId(tag),
         KvOp::Update {
             key: tag,
-            value: vec![tag as u8],
+            value: vec![tag as u8].into(),
         },
     )
 }

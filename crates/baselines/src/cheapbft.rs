@@ -92,7 +92,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![4],
+                        value: vec![4].into(),
                     },
                 )
             })

@@ -95,7 +95,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![2],
+                        value: vec![2].into(),
                     },
                 )
             })

@@ -71,7 +71,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![3],
+                        value: vec![3].into(),
                     },
                 )
             })

@@ -67,7 +67,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![0xAB],
+                        value: vec![0xAB].into(),
                     },
                 )
             })

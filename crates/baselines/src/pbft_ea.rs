@@ -89,7 +89,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![1],
+                        value: vec![1].into(),
                     },
                 )
             })

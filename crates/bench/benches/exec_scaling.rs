@@ -1,0 +1,291 @@
+//! Sharded-execution scaling: committed txn/s vs worker count.
+//!
+//! Drives the `ExecutionQueue` directly (no consensus, no network) over the
+//! paper-scale dataset — `KvStore::with_dataset(600_000, ..)` — with batches
+//! of 50 update transactions carrying 4 KiB payloads, the workload shape of
+//! the paper's throughput experiments (§9.1). Batches are submitted in
+//! out-of-order windows so each unblocking head drains a multi-batch run
+//! through one scatter/gather, which is how committed runs arrive from the
+//! protocol layer after a view of pipelined proposals lands.
+//!
+//! Two throughput figures are recorded per worker count:
+//!
+//! * **wall** — committed txns / wall-clock seconds. Honest but bounded by
+//!   the host: on a 1-core container 4 worker threads time-slice one CPU
+//!   and wall-clock shows no scaling.
+//! * **critical-path** — committed txns / modeled parallel span from
+//!   [`ExecStats`]: per group, the longest per-worker lane (measured inside
+//!   the workers) plus the serialized dispatch/gather remainder of the wall
+//!   clock. This is what the partition costs with one core per worker, and
+//!   it is the number the 1 → 4 worker scaling gate checks.
+//!
+//! Every worker count must also produce the same `state_digest()` — the
+//! determinism contract from `tests/exec_determinism.rs`, re-checked here at
+//! the 600 k-record scale.
+//!
+//! Results append to `BENCH_TRAJECTORY.json` (scenario-keyed rows; the PR 5
+//! message-plane record folds in as the first row).
+
+use flexitrust::exec::{ExecutionQueue, KvStore};
+use flexitrust::types::{
+    Batch, ClientId, Digest, KvOp, RequestId, SeqNum, Transaction, ValueBytes,
+};
+use flexitrust_bench::{bench_scale, BenchScale};
+use std::time::Instant;
+
+const BATCH_SIZE: usize = 50;
+const VALUE_SIZE: usize = 4096;
+/// Distinct 4 KiB payload buffers cycled across updates; values are
+/// refcounted (`ValueBytes`), so the bench's memory footprint stays flat
+/// no matter how many update txns it commits.
+const PAYLOAD_POOL: usize = 64;
+/// Out-of-order submission window: seqs `base+2 ..= base+W` arrive first,
+/// then `base+1` unblocks the run and the whole window executes as one
+/// scatter/gather group.
+const WINDOW: usize = 8;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Params {
+    dataset_records: u64,
+    batches: usize,
+    measure_runs: usize,
+    min_scaling_1_to_4: f64,
+}
+
+fn params() -> Params {
+    match bench_scale() {
+        // CI smoke: small dataset, enough groups for stable lane timings.
+        BenchScale::Smoke => Params {
+            dataset_records: 60_000,
+            batches: 400,
+            measure_runs: 2,
+            min_scaling_1_to_4: 1.5,
+        },
+        BenchScale::Quick => Params {
+            dataset_records: 600_000,
+            batches: 2_000,
+            measure_runs: 3,
+            min_scaling_1_to_4: 1.5,
+        },
+        BenchScale::Full => Params {
+            dataset_records: 600_000,
+            batches: 8_000,
+            measure_runs: 3,
+            min_scaling_1_to_4: 1.5,
+        },
+    }
+}
+
+/// Deterministic uniform key stream over the dataset (splitmix-style mix).
+fn key_at(i: u64, records: u64) -> u64 {
+    let mut x = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x1234_5678);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x % records
+}
+
+fn build_batches(count: usize, records: u64) -> Vec<Batch> {
+    let pool: Vec<ValueBytes> = (0..PAYLOAD_POOL)
+        .map(|p| vec![p as u8; VALUE_SIZE].into())
+        .collect();
+    (0..count)
+        .map(|b| {
+            let txns: Vec<Transaction> = (0..BATCH_SIZE)
+                .map(|t| {
+                    let i = (b * BATCH_SIZE + t) as u64;
+                    Transaction::new(
+                        ClientId(b as u64 + 1),
+                        RequestId(t as u64 + 1),
+                        KvOp::Update {
+                            key: key_at(i, records),
+                            value: pool[(i as usize) % PAYLOAD_POOL].clone(),
+                        },
+                    )
+                })
+                .collect();
+            Batch::new(txns, Digest::from_u64_tag(b as u64 + 1))
+        })
+        .collect()
+}
+
+struct RunResult {
+    committed_txns: u64,
+    wall_seconds: f64,
+    busy_seconds: f64,
+    critical_seconds: f64,
+    digest: Digest,
+}
+
+/// Submits every batch in out-of-order windows and measures one full drain.
+fn run_once(batches: &[Batch], params: &Params, workers: usize) -> RunResult {
+    let store = KvStore::shared_dataset(params.dataset_records, 100);
+    let mut queue = ExecutionQueue::with_workers(store, workers);
+    let mut committed = 0u64;
+    let started = Instant::now();
+    for base in (0..batches.len()).step_by(WINDOW) {
+        let window = WINDOW.min(batches.len() - base);
+        // Park the tail of the window first, then unblock with its head.
+        for offset in (1..window).chain([0]) {
+            let index = base + offset;
+            for done in queue.submit(SeqNum(index as u64 + 1), batches[index].clone()) {
+                committed += done.outcomes.len() as u64;
+            }
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let stats = queue.exec_stats();
+    RunResult {
+        committed_txns: committed,
+        wall_seconds,
+        busy_seconds: stats.busy_nanos as f64 / 1e9,
+        critical_seconds: stats.critical_nanos as f64 / 1e9,
+        digest: queue.state_digest(),
+    }
+}
+
+struct Series {
+    workers: usize,
+    wall_txn_per_sec: f64,
+    critical_txn_per_sec: f64,
+    busy_seconds: f64,
+    critical_seconds: f64,
+}
+
+fn main() {
+    let params = params();
+    let scale = format!("{:?}", bench_scale());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let total_txns = (params.batches * BATCH_SIZE) as u64;
+    println!(
+        "exec_scaling: {} records, {} batches x {} updates x {} B, {} host core(s), scale {scale}",
+        params.dataset_records, params.batches, BATCH_SIZE, VALUE_SIZE, host_cores
+    );
+
+    let batches = build_batches(params.batches, params.dataset_records);
+    let mut series: Vec<Series> = Vec::new();
+    let mut digests: Vec<Digest> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let mut best: Option<RunResult> = None;
+        for _ in 0..params.measure_runs {
+            let run = run_once(&batches, &params, workers);
+            assert_eq!(run.committed_txns, total_txns, "every batch must commit");
+            if best
+                .as_ref()
+                .is_none_or(|b| run.critical_seconds < b.critical_seconds)
+            {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one measured run");
+        digests.push(best.digest);
+        let wall_tps = total_txns as f64 / best.wall_seconds;
+        let crit_tps = total_txns as f64 / best.critical_seconds;
+        println!(
+            "  workers={workers}: {:>9.0} txn/s wall, {:>9.0} txn/s critical-path \
+             (busy {:.3}s, span {:.3}s)",
+            wall_tps, crit_tps, best.busy_seconds, best.critical_seconds
+        );
+        series.push(Series {
+            workers,
+            wall_txn_per_sec: wall_tps,
+            critical_txn_per_sec: crit_tps,
+            busy_seconds: best.busy_seconds,
+            critical_seconds: best.critical_seconds,
+        });
+    }
+
+    // Determinism at scale: every worker count ends in the same state.
+    for (i, digest) in digests.iter().enumerate() {
+        assert_eq!(
+            *digest, digests[0],
+            "state digest diverged between worker counts {} and {}",
+            WORKER_COUNTS[0], WORKER_COUNTS[i]
+        );
+    }
+
+    let one = &series[0];
+    let four = series
+        .iter()
+        .find(|s| s.workers == 4)
+        .expect("4-worker row");
+    let scaling_critical = four.critical_txn_per_sec / one.critical_txn_per_sec;
+    let scaling_wall = four.wall_txn_per_sec / one.wall_txn_per_sec;
+    println!(
+        "  scaling 1 -> 4 workers: {scaling_critical:.2}x critical-path, \
+         {scaling_wall:.2}x wall (gate >= {:.2}x critical-path)",
+        params.min_scaling_1_to_4
+    );
+
+    write_trajectory(
+        &params,
+        &scale,
+        host_cores,
+        &series,
+        scaling_critical,
+        scaling_wall,
+    );
+
+    assert!(
+        scaling_critical >= params.min_scaling_1_to_4,
+        "execution scaling regressed: {scaling_critical:.2}x < {:.2}x from 1 to 4 workers",
+        params.min_scaling_1_to_4
+    );
+}
+
+/// Rewrites `BENCH_TRAJECTORY.json`: the PR 5 message-plane record (folded
+/// in verbatim from `BENCH_PR5.json`) plus this run's execution-scaling row.
+fn write_trajectory(
+    params: &Params,
+    scale: &str,
+    host_cores: usize,
+    series: &[Series],
+    scaling_critical: f64,
+    scaling_wall: f64,
+) {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let pr5 = std::fs::read_to_string(format!("{repo_root}/BENCH_PR5.json"))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "null".to_string());
+    let rows: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "      {{\"workers\": {}, \"wall_txn_per_sec\": {:.0}, \
+                 \"critical_path_txn_per_sec\": {:.0}, \"busy_seconds\": {:.4}, \
+                 \"critical_seconds\": {:.4}}}",
+                s.workers,
+                s.wall_txn_per_sec,
+                s.critical_txn_per_sec,
+                s.busy_seconds,
+                s.critical_seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"message_plane_pr5\": {pr5},\n  \"exec_scaling_pr6\": {{\n    \
+         \"dataset_records\": {records},\n    \"batch_size\": {batch},\n    \
+         \"value_size\": {value},\n    \"batches\": {batches},\n    \
+         \"payload_pool\": {pool},\n    \"window\": {window},\n    \
+         \"scale\": \"{scale}\",\n    \"host_cores\": {host_cores},\n    \
+         \"series\": [\n{rows}\n    ],\n    \
+         \"scaling_1_to_4_critical_path\": {crit:.2},\n    \
+         \"scaling_1_to_4_wall\": {wall:.2},\n    \
+         \"gate\": {{\"min_scaling_1_to_4_critical_path\": {gate:.2}}}\n  }}\n}}\n",
+        records = params.dataset_records,
+        batch = BATCH_SIZE,
+        value = VALUE_SIZE,
+        batches = params.batches,
+        pool = PAYLOAD_POOL,
+        window = WINDOW,
+        rows = rows.join(",\n"),
+        crit = scaling_critical,
+        wall = scaling_wall,
+        gate = params.min_scaling_1_to_4,
+    );
+    let path = format!("{repo_root}/BENCH_TRAJECTORY.json");
+    std::fs::write(&path, json).expect("write BENCH_TRAJECTORY.json");
+    println!("  wrote {path}");
+}

@@ -325,7 +325,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![9],
+                        value: vec![9].into(),
                     },
                 )
             })

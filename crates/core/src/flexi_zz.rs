@@ -356,7 +356,7 @@ mod tests {
                     RequestId(i as u64 + 1),
                     KvOp::Update {
                         key: i as u64,
-                        value: vec![7],
+                        value: vec![7].into(),
                     },
                 )
             })

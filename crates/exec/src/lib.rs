@@ -14,9 +14,11 @@
 //!   log truncation and state transfer.
 
 pub mod checkpoint;
+pub mod executor;
 pub mod kvstore;
 pub mod queue;
 
 pub use checkpoint::{Checkpoint, CheckpointLog};
+pub use executor::{ExecStats, ShardedExecutor};
 pub use kvstore::KvStore;
 pub use queue::{ExecutedBatch, ExecutionQueue};

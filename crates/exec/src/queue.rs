@@ -7,8 +7,9 @@
 //! transaction to the [`KvStore`], and returns the per-transaction outcomes
 //! that are sent back to clients.
 
+use crate::executor::{ExecStats, ShardedExecutor};
 use crate::kvstore::KvStore;
-use flexitrust_types::{Batch, Digest, SeqNum, TxnOutcome};
+use flexitrust_types::{Batch, Digest, KvOp, SeqNum, TxnOutcome};
 use std::collections::BTreeMap;
 
 /// The result of executing one batch.
@@ -24,27 +25,64 @@ pub struct ExecutedBatch {
 
 /// Holds committed-but-not-yet-executable batches and executes them in
 /// sequence-number order.
-#[derive(Debug, Default)]
+///
+/// Draining is grouped: when a submission unblocks several contiguous
+/// batches (common under out-of-order commit bursts), every parallel-safe
+/// batch in the run is flattened into one op group and scattered across
+/// the shard workers in a single round trip; batches containing `Scan`
+/// execute serially, in order, between the parallel segments. The results
+/// — per-op outcomes and the store's state digest — are bit-identical to
+/// executing every batch serially (see [`ShardedExecutor`]).
+#[derive(Debug)]
 pub struct ExecutionQueue {
     store: KvStore,
+    executor: ShardedExecutor,
     pending: BTreeMap<u64, Batch>,
     last_executed: u64,
     executed_count: u64,
     executed_txns: u64,
 }
 
+impl Default for ExecutionQueue {
+    fn default() -> Self {
+        ExecutionQueue::new()
+    }
+}
+
 impl ExecutionQueue {
-    /// Creates a queue over an empty store.
+    /// Creates a serial (one-worker) queue over an empty store.
     pub fn new() -> Self {
-        ExecutionQueue::default()
+        ExecutionQueue::with_store(KvStore::new())
     }
 
-    /// Creates a queue over a pre-loaded store.
+    /// Creates a serial (one-worker) queue over a pre-loaded store.
     pub fn with_store(store: KvStore) -> Self {
+        ExecutionQueue::with_workers(store, 1)
+    }
+
+    /// Creates a queue over `store` with a pool of `workers` shard
+    /// workers; `workers <= 1` executes inline on the caller's thread.
+    pub fn with_workers(store: KvStore, workers: usize) -> Self {
         ExecutionQueue {
             store,
-            ..ExecutionQueue::default()
+            executor: ShardedExecutor::new(workers),
+            pending: BTreeMap::new(),
+            last_executed: 0,
+            executed_count: 0,
+            executed_txns: 0,
         }
+    }
+
+    /// Number of shard workers executing committed batches.
+    pub fn worker_count(&self) -> usize {
+        self.executor.worker_count()
+    }
+
+    /// Timing counters accumulated by the sharded executor (op groups only;
+    /// the serial `Scan` lane applies directly through the store and is not
+    /// counted).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.executor.exec_stats()
     }
 
     /// The highest sequence number executed so far (0 = nothing executed).
@@ -96,28 +134,90 @@ impl ExecutionQueue {
     }
 
     fn drain_ready(&mut self) -> Vec<ExecutedBatch> {
+        // Collect the whole contiguous ready run, then execute it as
+        // parallel segments split at Scan-containing batches.
+        let mut ready = Vec::new();
+        while let Some(batch) = self
+            .pending
+            .remove(&(self.last_executed + ready.len() as u64 + 1))
+        {
+            ready.push(batch);
+        }
+
         let mut executed = Vec::new();
-        while let Some(batch) = self.pending.remove(&(self.last_executed + 1)) {
-            let seq = SeqNum(self.last_executed + 1);
+        let mut run: Vec<Batch> = Vec::new();
+        for batch in ready {
+            let cross_shard = batch
+                .txns()
+                .iter()
+                .any(|txn| matches!(txn.op(), KvOp::Scan { .. }));
+            if cross_shard {
+                self.flush_run(&mut run, &mut executed);
+                // Serial lane: Scan reads across every shard, so the whole
+                // batch executes in order on this thread.
+                let outcomes = batch
+                    .txns()
+                    .iter()
+                    .map(|txn| TxnOutcome {
+                        client: txn.client(),
+                        request: txn.request(),
+                        result: self.store.apply(txn.op()),
+                    })
+                    .collect();
+                self.record_executed(batch, outcomes, &mut executed);
+            } else {
+                run.push(batch);
+            }
+        }
+        self.flush_run(&mut run, &mut executed);
+        executed
+    }
+
+    /// Executes a run of parallel-safe batches as one scatter/gather group
+    /// and reassembles per-batch outcomes in batch order.
+    fn flush_run(&mut self, run: &mut Vec<Batch>, executed: &mut Vec<ExecutedBatch>) {
+        if run.is_empty() {
+            return;
+        }
+        let mut results = {
+            let ops: Vec<&KvOp> = run
+                .iter()
+                .flat_map(|batch| batch.txns().iter().map(|txn| txn.op()))
+                .collect();
+            self.executor
+                .execute_group(&mut self.store, &ops)
+                .into_iter()
+        };
+        for batch in run.drain(..) {
             let outcomes = batch
                 .txns()
                 .iter()
                 .map(|txn| TxnOutcome {
                     client: txn.client(),
                     request: txn.request(),
-                    result: self.store.apply(txn.op()),
+                    result: results.next().expect("one result per op"),
                 })
                 .collect();
-            self.executed_count += 1;
-            self.executed_txns += batch.len() as u64;
-            self.last_executed = seq.0;
-            executed.push(ExecutedBatch {
-                seq,
-                digest: batch.digest(),
-                outcomes,
-            });
+            self.record_executed(batch, outcomes, executed);
         }
-        executed
+        debug_assert!(results.next().is_none(), "no results left over");
+    }
+
+    fn record_executed(
+        &mut self,
+        batch: Batch,
+        outcomes: Vec<TxnOutcome>,
+        executed: &mut Vec<ExecutedBatch>,
+    ) {
+        let seq = SeqNum(self.last_executed + 1);
+        self.executed_count += 1;
+        self.executed_txns += batch.len() as u64;
+        self.last_executed = seq.0;
+        executed.push(ExecutedBatch {
+            seq,
+            digest: batch.digest(),
+            outcomes,
+        });
     }
 
     /// Skips directly to `seq` without executing the missing slots; used only
@@ -153,7 +253,7 @@ mod tests {
                 RequestId(tag),
                 KvOp::Update {
                     key,
-                    value: vec![tag as u8],
+                    value: vec![tag as u8].into(),
                 },
             )],
             Digest::from_u64_tag(tag),
@@ -186,7 +286,7 @@ mod tests {
         assert!(q.submit(SeqNum(1), batch(99, 1)).is_empty());
         assert_eq!(q.executed_batches(), 1);
         // The original write survives.
-        assert_eq!(q.store().get(1), Some(&vec![1u8]));
+        assert_eq!(q.store().get(1), Some(&[1u8][..]));
     }
 
     #[test]

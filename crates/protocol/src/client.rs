@@ -10,7 +10,7 @@
 
 use crate::messages::ClientReply;
 use flexitrust_types::{
-    ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig,
+    ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig, ValueBytes,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -50,8 +50,9 @@ struct PendingRequest {
 /// [`ClientLibrary`] does.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum KvResultKey {
-    /// A read's value (or absence).
-    Value(Option<Vec<u8>>),
+    /// A read's value (or absence); cloning the result into the key is a
+    /// refcount bump on the shared buffer, not a byte copy.
+    Value(Option<ValueBytes>),
     /// A write acknowledgement.
     Written,
     /// A range scan, fingerprinted by length and key sum.
@@ -246,7 +247,7 @@ mod tests {
             seq: SeqNum(seq),
             view: View(0),
             replica: ReplicaId(replica),
-            result: KvResult::Value(Some(vec![value])),
+            result: KvResult::Value(Some(vec![value].into())),
             speculative: false,
         }
     }
@@ -365,13 +366,13 @@ mod tests {
     #[test]
     fn result_matches_key_agrees_with_result_key() {
         let results = [
-            KvResult::Value(Some(vec![1, 2, 3])),
-            KvResult::Value(Some(vec![1, 2, 4])),
+            KvResult::Value(Some(vec![1, 2, 3].into())),
+            KvResult::Value(Some(vec![1, 2, 4].into())),
             KvResult::Value(None),
             KvResult::Written,
             KvResult::Noop,
-            KvResult::Range(vec![(1, vec![9]), (4, vec![8])]),
-            KvResult::Range(vec![(2, vec![9]), (3, vec![8])]),
+            KvResult::Range(vec![(1, vec![9].into()), (4, vec![8].into())]),
+            KvResult::Range(vec![(2, vec![9].into()), (3, vec![8].into())]),
         ];
         for a in &results {
             for b in &results {

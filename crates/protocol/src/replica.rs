@@ -37,14 +37,21 @@ impl ReplicaCore {
     }
 
     /// Creates the core state with a pre-loaded store (e.g. the 600 k-record
-    /// YCSB table).
-    pub fn with_store(config: impl Into<Arc<SystemConfig>>, id: ReplicaId, store: KvStore) -> Self {
+    /// YCSB table). The store is repartitioned to the configured shard
+    /// count and executed by `config.exec_workers` shard workers; both are
+    /// parallelism knobs only and never change digests or results.
+    pub fn with_store(
+        config: impl Into<Arc<SystemConfig>>,
+        id: ReplicaId,
+        mut store: KvStore,
+    ) -> Self {
         let config = config.into();
         let checkpoint_quorum = config.small_quorum();
+        store.reshard(config.exec_shards);
         ReplicaCore {
             batcher: Batcher::new(config.batch_size),
             checkpoints: CheckpointLog::new(config.checkpoint_interval, checkpoint_quorum),
-            exec: ExecutionQueue::with_store(store),
+            exec: ExecutionQueue::with_workers(store, config.exec_workers),
             reply_cache: HashMap::new(),
             executed_txns: 0,
             view: View::ZERO,
@@ -215,7 +222,7 @@ mod tests {
                 RequestId(tag),
                 KvOp::Update {
                     key: tag,
-                    value: vec![1],
+                    value: vec![1].into(),
                 },
             )],
             Digest::from_u64_tag(tag),

@@ -192,9 +192,22 @@ impl Cluster {
     /// threshold `f` and the given batch size, using real Ed25519
     /// attestations.
     pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> Self {
+        Self::start_with_workers(protocol, f, batch_size, 1)
+    }
+
+    /// Like [`Cluster::start`], with `exec_workers` execution-layer shard
+    /// workers per replica (1 = serial). Commit sequences and state
+    /// digests are identical for every worker count.
+    pub fn start_with_workers(
+        protocol: ProtocolId,
+        f: usize,
+        batch_size: usize,
+        exec_workers: usize,
+    ) -> Self {
         // One config allocation for the whole cluster; replica threads and
         // engines share it by reference.
-        let config = Arc::new(cluster_config(protocol, f, batch_size));
+        let config =
+            Arc::new(cluster_config(protocol, f, batch_size).with_exec_workers(exec_workers));
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
         let tracker = PrimaryTracker::new(config.n);
         let dropped = Arc::new(AtomicU64::new(0));
@@ -321,7 +334,7 @@ pub(crate) fn drive_workload(
             request,
             flexitrust_types::KvOp::Update {
                 key: i as u64,
-                value: vec![i as u8; 16],
+                value: vec![i as u8; 16].into(),
             },
         );
         libraries

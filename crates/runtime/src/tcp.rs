@@ -109,7 +109,20 @@ impl TcpCluster {
     /// and the given batch size, connected over loopback TCP sockets, using
     /// real Ed25519 attestations.
     pub fn start(protocol: ProtocolId, f: usize, batch_size: usize) -> std::io::Result<Self> {
-        let config = Arc::new(cluster_config(protocol, f, batch_size));
+        Self::start_with_workers(protocol, f, batch_size, 1)
+    }
+
+    /// Like [`TcpCluster::start`], with `exec_workers` execution-layer
+    /// shard workers per replica (1 = serial). Commit sequences and state
+    /// digests are identical for every worker count.
+    pub fn start_with_workers(
+        protocol: ProtocolId,
+        f: usize,
+        batch_size: usize,
+        exec_workers: usize,
+    ) -> std::io::Result<Self> {
+        let config =
+            Arc::new(cluster_config(protocol, f, batch_size).with_exec_workers(exec_workers));
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
         let tracker = PrimaryTracker::new(config.n);
         let dropped = Arc::new(AtomicU64::new(0));

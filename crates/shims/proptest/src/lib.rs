@@ -202,6 +202,22 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} != {:?}) at {}:{}: {}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    }};
 }
 
 /// Declares property tests. Each function is expanded into a `#[test]` that

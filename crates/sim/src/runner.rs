@@ -1345,7 +1345,7 @@ mod tests {
             seq: SeqNum(seq),
             view: View(0),
             replica: ReplicaId(replica),
-            result: KvResult::Value(Some(vec![value])),
+            result: KvResult::Value(Some(vec![value].into())),
             speculative: true,
         };
         // Three distinct replicas reply, but no two agree on (seq, result):

@@ -51,6 +51,10 @@ pub struct ScenarioSpec {
     /// simulations lower it so that the Zyzzyva/MinZZ slow path fits inside
     /// the simulated window.
     pub client_timeout_us: Option<u64>,
+    /// Execution-layer shard workers per replica (1 = serial). Purely a
+    /// parallelism knob: results and state digests are identical for every
+    /// value.
+    pub exec_workers: usize,
 }
 
 impl ScenarioSpec {
@@ -75,6 +79,7 @@ impl ScenarioSpec {
             seed: 42,
             max_in_flight: None,
             client_timeout_us: None,
+            exec_workers: 1,
         }
     }
 
@@ -102,6 +107,7 @@ impl ScenarioSpec {
         if let Some(timeout) = self.client_timeout_us {
             cfg.client_timeout_us = timeout;
         }
+        cfg.exec_workers = self.exec_workers.max(1);
         cfg
     }
 

@@ -24,4 +24,7 @@ pub use digest::Digest;
 pub use error::{Error, Result};
 pub use ids::{ClientId, NodeId, ReplicaId, RequestId, SeqNum, View};
 pub use region::{BandwidthConfig, Region, RegionMap, WanMatrix};
-pub use transaction::{batch_payload_allocations, Batch, KvOp, KvResult, Transaction, TxnOutcome};
+pub use transaction::{
+    batch_payload_allocations, value_payload_allocations, Batch, KvOp, KvResult, Transaction,
+    TxnOutcome, ValueBytes,
+};

@@ -7,6 +7,8 @@
 
 use crate::digest::Digest;
 use crate::ids::{ClientId, RequestId};
+use std::fmt;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -25,6 +27,86 @@ pub fn batch_payload_allocations() -> u64 {
     BATCH_PAYLOAD_ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Counts every [`ValueBytes`] payload allocation (one per distinct value
+/// buffer). A value *clone* is a reference-count bump and does not count;
+/// only materialising a buffer from owned or borrowed bytes does.
+/// Zero-copy regression tests read this: a committed update must cost one
+/// value allocation at the client that generated it — execution at every
+/// replica, sharded or serial, shares that allocation by reference.
+static VALUE_PAYLOAD_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`ValueBytes`] payload allocations since process start (monotone,
+/// process-wide). Tests diff two readings around a workload to pin the
+/// zero-copy invariant; concurrent tests only ever make the diff larger,
+/// so upper-bound assertions stay sound.
+pub fn value_payload_allocations() -> u64 {
+    VALUE_PAYLOAD_ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// An immutable value payload shared by reference: the bytes of one record
+/// value, allocated once (counted by [`value_payload_allocations`]) and
+/// reference-counted everywhere after — through [`KvOp`] write payloads,
+/// the store's records, and [`KvResult`] reads. Cloning is a refcount
+/// bump; the backing buffer is never copied.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueBytes(Arc<[u8]>);
+
+impl ValueBytes {
+    /// Length of the value in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when this handle shares its backing buffer with
+    /// `other` (the zero-copy invariant the regression tests pin).
+    pub fn shares_buffer(&self, other: &ValueBytes) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for ValueBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for ValueBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for ValueBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        VALUE_PAYLOAD_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ValueBytes(bytes.into())
+    }
+}
+
+impl From<&[u8]> for ValueBytes {
+    fn from(bytes: &[u8]) -> Self {
+        VALUE_PAYLOAD_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ValueBytes(bytes.into())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for ValueBytes {
+    fn from(bytes: [u8; N]) -> Self {
+        VALUE_PAYLOAD_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ValueBytes(Arc::from(&bytes[..]))
+    }
+}
+
+impl fmt::Debug for ValueBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Record values are bulk payload; print length, not bytes.
+        write!(f, "ValueBytes(len={})", self.0.len())
+    }
+}
+
 /// A single key-value store operation, mirroring the YCSB core workloads.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum KvOp {
@@ -37,22 +119,22 @@ pub enum KvOp {
     Update {
         /// Record key.
         key: u64,
-        /// New record value.
-        value: Vec<u8>,
+        /// New record value (shared by reference; see [`ValueBytes`]).
+        value: ValueBytes,
     },
     /// Insert a new record.
     Insert {
         /// Record key.
         key: u64,
-        /// Record value.
-        value: Vec<u8>,
+        /// Record value (shared by reference; see [`ValueBytes`]).
+        value: ValueBytes,
     },
     /// Read-modify-write: read the record, then overwrite it.
     ReadModifyWrite {
         /// Record key.
         key: u64,
-        /// New record value.
-        value: Vec<u8>,
+        /// New record value (shared by reference; see [`ValueBytes`]).
+        value: ValueBytes,
     },
     /// Scan `count` records starting at `start_key`.
     Scan {
@@ -100,12 +182,14 @@ impl KvOp {
 /// The result of executing a [`KvOp`] against the state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvResult {
-    /// The value read, or `None` if the key did not exist.
-    Value(Option<Vec<u8>>),
+    /// The value read (a shared handle onto the store's record buffer —
+    /// reading never copies value bytes), or `None` if the key did not
+    /// exist.
+    Value(Option<ValueBytes>),
     /// The write was applied.
     Written,
-    /// The records returned by a scan.
-    Range(Vec<(u64, Vec<u8>)>),
+    /// The records returned by a scan (shared handles, no copies).
+    Range(Vec<(u64, ValueBytes)>),
     /// No-op acknowledged.
     Noop,
 }
@@ -386,12 +470,12 @@ mod tests {
         assert!(KvOp::Noop.is_read_only());
         assert!(!KvOp::Update {
             key: 1,
-            value: vec![1]
+            value: vec![1].into()
         }
         .is_read_only());
         assert!(!KvOp::Insert {
             key: 1,
-            value: vec![1]
+            value: vec![1].into()
         }
         .is_read_only());
     }
@@ -415,7 +499,7 @@ mod tests {
             RequestId(1),
             KvOp::Update {
                 key: 5,
-                value: vec![],
+                value: vec![].into(),
             },
         );
         assert_ne!(read.canonical_bytes(), update.canonical_bytes());
@@ -447,11 +531,11 @@ mod tests {
     fn wire_size_grows_with_value_length() {
         let small = KvOp::Update {
             key: 1,
-            value: vec![0; 10],
+            value: vec![0; 10].into(),
         };
         let big = KvOp::Update {
             key: 1,
-            value: vec![0; 1000],
+            value: vec![0; 1000].into(),
         };
         assert!(big.wire_size() > small.wire_size());
     }

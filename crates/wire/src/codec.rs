@@ -197,7 +197,7 @@ fn decode_op(r: &mut Reader<'_>) -> Result<KvOp, WireError> {
         1..=3 => {
             let key = r.u64("write key")?;
             let len = r.len("value length")?;
-            let value = r.take(len, "value bytes")?.to_vec();
+            let value = r.take(len, "value bytes")?.into();
             match tag {
                 1 => KvOp::Update { key, value },
                 2 => KvOp::Insert { key, value },
@@ -363,7 +363,7 @@ pub(crate) fn read_result(r: &mut Reader<'_>) -> Result<KvResult, WireError> {
             0 => KvResult::Value(None),
             1 => {
                 let len = r.len("value length")?;
-                KvResult::Value(Some(r.take(len, "value bytes")?.to_vec()))
+                KvResult::Value(Some(r.take(len, "value bytes")?.into()))
             }
             tag => {
                 return Err(WireError::BadTag {
@@ -376,7 +376,7 @@ pub(crate) fn read_result(r: &mut Reader<'_>) -> Result<KvResult, WireError> {
         2 => KvResult::Range(read_vec(r, "range row count", |r| {
             let key = r.u64("range key")?;
             let len = r.len("range value length")?;
-            Ok((key, r.take(len, "range value bytes")?.to_vec()))
+            Ok((key, r.take(len, "range value bytes")?.into()))
         })?),
         3 => KvResult::Noop,
         tag => {

@@ -229,7 +229,7 @@ mod tests {
             RequestId(3),
             KvOp::Update {
                 key: 42,
-                value: vec![0xab; value_len],
+                value: vec![0xab; value_len].into(),
             },
         )
     }
@@ -323,10 +323,10 @@ mod tests {
     fn replies_round_trip_and_match_wire_size() {
         let results = [
             KvResult::Value(None),
-            KvResult::Value(Some(vec![1, 2, 3])),
+            KvResult::Value(Some(vec![1, 2, 3].into())),
             KvResult::Written,
             KvResult::Noop,
-            KvResult::Range(vec![(1, vec![9; 10]), (2, vec![])]),
+            KvResult::Range(vec![(1, vec![9; 10].into()), (2, vec![].into())]),
         ];
         for (i, result) in results.into_iter().enumerate() {
             let reply = ClientReply {

@@ -1,7 +1,7 @@
 //! The YCSB-style transaction generator.
 
 use crate::zipfian::ZipfianGenerator;
-use flexitrust_types::{ClientId, KvOp, RequestId, Transaction};
+use flexitrust_types::{ClientId, KvOp, RequestId, Transaction, ValueBytes};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -157,10 +157,10 @@ impl WorkloadGenerator {
         }
     }
 
-    fn value(&mut self) -> Vec<u8> {
+    fn value(&mut self) -> ValueBytes {
         let mut v = vec![0u8; self.config.value_size];
         self.rng.fill(v.as_mut_slice());
-        v
+        v.into()
     }
 
     /// Generates the next transaction for this client.

@@ -41,7 +41,13 @@ fn simulator_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
 /// Commit log of the threaded cluster for the same workload shape: CLIENTS
 /// transactions, one per client, submitted in client order.
 fn cluster_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
-    let cluster = Cluster::start(protocol, F, BATCH);
+    cluster_commits_with_workers(protocol, 1)
+}
+
+/// Same as [`cluster_commits`] with `workers` execution-layer shard
+/// workers per replica.
+fn cluster_commits_with_workers(protocol: ProtocolId, workers: usize) -> Vec<CommittedTxn> {
+    let cluster = Cluster::start_with_workers(protocol, F, BATCH, workers);
     let summary = cluster.run_workload(CLIENTS, CLIENTS, Duration::from_secs(60));
     cluster.shutdown();
     assert_eq!(
@@ -55,7 +61,14 @@ fn cluster_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
 /// as the channel cluster, but every message round-trips through the
 /// canonical wire codec and a real socket.
 fn tcp_commits(protocol: ProtocolId) -> Vec<CommittedTxn> {
-    let cluster = TcpCluster::start(protocol, F, BATCH).expect("tcp cluster starts");
+    tcp_commits_with_workers(protocol, 1)
+}
+
+/// Same as [`tcp_commits`] with `workers` execution-layer shard workers
+/// per replica.
+fn tcp_commits_with_workers(protocol: ProtocolId, workers: usize) -> Vec<CommittedTxn> {
+    let cluster =
+        TcpCluster::start_with_workers(protocol, F, BATCH, workers).expect("tcp cluster starts");
     let summary = cluster.run_workload(CLIENTS, CLIENTS, Duration::from_secs(60));
     cluster.shutdown();
     assert_eq!(
@@ -109,4 +122,27 @@ fn pbft_commits_identically_in_all_three_hosts() {
 #[test]
 fn flexi_zz_speculative_replies_commit_identically_in_all_three_hosts() {
     assert_same_commit_sequence(ProtocolId::FlexiZz);
+}
+
+/// Sharded parallel execution is a pure implementation detail: for every
+/// worker configuration, both threaded hosts commit exactly the sequence
+/// the serial simulator commits. (Digest agreement is implied too — the
+/// checkpoint protocol compares `state_digest()` across replicas, and a
+/// worker-dependent digest would stall commits long before this assert.)
+#[test]
+fn execution_worker_count_never_changes_the_commit_sequence() {
+    let reference = simulator_commits(ProtocolId::FlexiBft);
+    assert_eq!(reference.len(), CLIENTS);
+    for workers in [2usize, 4] {
+        let cluster = cluster_commits_with_workers(ProtocolId::FlexiBft, workers);
+        assert_eq!(
+            reference, cluster,
+            "channel cluster with {workers} exec workers diverges from the serial reference"
+        );
+    }
+    let tcp = tcp_commits_with_workers(ProtocolId::FlexiBft, 4);
+    assert_eq!(
+        reference, tcp,
+        "TCP cluster with 4 exec workers diverges from the serial reference"
+    );
 }

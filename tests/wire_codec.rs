@@ -36,15 +36,15 @@ fn gen_op(rng: &mut Gen) -> KvOp {
         0 => KvOp::Read { key: rng.gen() },
         1 => KvOp::Update {
             key: rng.gen(),
-            value: value(rng),
+            value: value(rng).into(),
         },
         2 => KvOp::Insert {
             key: rng.gen(),
-            value: value(rng),
+            value: value(rng).into(),
         },
         3 => KvOp::ReadModifyWrite {
             key: rng.gen(),
-            value: value(rng),
+            value: value(rng).into(),
         },
         4 => KvOp::Scan {
             start_key: rng.gen(),
@@ -151,7 +151,12 @@ fn gen_result(rng: &mut Gen) -> KvResult {
         0 => KvResult::Value(None),
         1 => {
             let len = rng.gen_range(0usize..128);
-            KvResult::Value(Some((0..len).map(|_| rng.gen::<u64>() as u8).collect()))
+            KvResult::Value(Some(
+                (0..len)
+                    .map(|_| rng.gen::<u64>() as u8)
+                    .collect::<Vec<u8>>()
+                    .into(),
+            ))
         }
         2 => KvResult::Written,
         3 => KvResult::Noop,
@@ -161,7 +166,10 @@ fn gen_result(rng: &mut Gen) -> KvResult {
                     let len = rng.gen_range(0usize..32);
                     (
                         rng.gen(),
-                        (0..len).map(|_| rng.gen::<u64>() as u8).collect(),
+                        (0..len)
+                            .map(|_| rng.gen::<u64>() as u8)
+                            .collect::<Vec<u8>>()
+                            .into(),
                     )
                 })
                 .collect(),

@@ -21,10 +21,14 @@
 //! a counter-diffing test's two readings would otherwise fail its exact
 //! bounds spuriously.
 
+use flexitrust::exec::{ExecutionQueue, KvStore};
 use flexitrust::host::{Dispatcher, EngineHost, TimerToken};
 use flexitrust::prelude::*;
 use flexitrust::protocol::{Action, ClientReply, SharedMessage};
-use flexitrust::types::{batch_payload_allocations, Digest, KvOp, SeqNum};
+use flexitrust::types::{
+    batch_payload_allocations, value_payload_allocations, Digest, KvOp, KvResult, SeqNum,
+    ValueBytes,
+};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -71,7 +75,7 @@ fn big_batch() -> flexitrust::types::Batch {
                 RequestId(i),
                 KvOp::Update {
                     key: i,
-                    value: vec![i as u8; 1024],
+                    value: vec![i as u8; 1024].into(),
                 },
             )
         })
@@ -223,4 +227,101 @@ fn batch_equality_and_noop_flags_survive_the_shared_representation() {
     assert!(!a.shares_payload(&b));
     assert_ne!(Batch::noop(1), Batch::noop(2));
     assert!(Batch::noop(1).is_noop());
+}
+
+/// The PR 6 extension of the Arc discipline into the state machine: a
+/// value buffer is allocated once — at the client that generated it — and
+/// every execution of it, at every replica and on every shard worker,
+/// shares that allocation by reference. `value_payload_allocations`
+/// counts `ValueBytes` constructions process-wide exactly like its batch
+/// counterpart counts batch payloads.
+#[test]
+fn executed_updates_share_the_client_value_allocation() {
+    let _guard = serial();
+    let value: ValueBytes = vec![9u8; 4096].into();
+    let batch = Batch::new(
+        (0..50)
+            .map(|i| {
+                Transaction::new(
+                    ClientId(1),
+                    RequestId(i + 1),
+                    KvOp::Update {
+                        key: i,
+                        value: value.clone(),
+                    },
+                )
+            })
+            .collect(),
+        Digest::from_u64_tag(1),
+    );
+
+    // Three "replicas", each executing the same committed batch on four
+    // shard workers: 150 logical updates, zero new value allocations.
+    let before = value_payload_allocations();
+    for _ in 0..3 {
+        let mut queue = ExecutionQueue::with_workers(KvStore::new(), 4);
+        let executed = queue.submit(SeqNum(1), batch.clone());
+        assert_eq!(executed.len(), 1);
+        assert!(executed[0]
+            .outcomes
+            .iter()
+            .all(|o| o.result == KvResult::Written));
+        // The stored record is the client's buffer, not a copy.
+        let stored = queue.store().get_shared(7).expect("key written");
+        assert!(
+            stored.shares_buffer(&value),
+            "executed update must share the client's value allocation"
+        );
+    }
+    assert_eq!(
+        value_payload_allocations() - before,
+        0,
+        "executing a committed update must not allocate value payloads"
+    );
+}
+
+/// End to end through the threaded cluster: value allocations scale with
+/// the number of logical updates the clients generate — independent of
+/// replica fan-out AND of the execution worker count.
+#[test]
+fn value_allocations_scale_with_updates_not_replicas_or_workers() {
+    let _guard = serial();
+    for workers in [1usize, 4] {
+        // 100 update transactions through 4 replicas: the driver allocates
+        // one value per update; acceptance, storage and execution at every
+        // replica share it. A deep-copying execution plane would allocate
+        // ≥ one per replica per update (≥ 400).
+        let before = value_payload_allocations();
+        let cluster = Cluster::start_with_workers(ProtocolId::FlexiBft, 1, 10, workers);
+        let summary = cluster.run_workload(100, 4, Duration::from_secs(30));
+        cluster.shutdown();
+        let delta = value_payload_allocations() - before;
+        assert_eq!(summary.completed_txns, 100);
+        assert!(
+            (100..=120).contains(&delta),
+            "workers={workers}: {delta} value allocations for 100 logical updates"
+        );
+    }
+
+    // The simulator end to end (4 replicas, 50/50 read/update YCSB): the
+    // workload generator's updates are the only value allocations; every
+    // replica's execution shares them.
+    let spec = ScenarioSpec::quick_test(ProtocolId::FlexiBft);
+    let n = spec.replicas() as u64;
+    let before = value_payload_allocations();
+    let report = Simulation::new(spec).run();
+    let delta = value_payload_allocations() - before;
+    let completions = report.commit_log.len() as u64;
+    assert!(completions > 500, "scenario must make progress");
+    // ~half the mix is updates; closed-loop clients keep ≤ 1 txn in
+    // flight each, so generated ≈ completed + clients. Far below the
+    // ≥ completions × n / 2 a deep-copying execution plane would burn.
+    assert!(
+        delta <= completions + 64,
+        "sim run allocated {delta} value payloads for {completions} completions"
+    );
+    assert!(
+        delta < completions * n / 2,
+        "value allocations scale with fan-out: {delta} for {completions} completions × n = {n}"
+    );
 }
