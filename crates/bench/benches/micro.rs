@@ -1,5 +1,6 @@
 //! Criterion micro-benchmarks for the substrates: crypto primitives, trusted
 //! counter accesses, quorum tracking and a short end-to-end simulation.
+#![allow(missing_docs)] // the criterion macros generate undocumented entry points
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexitrust::crypto::{sha256, CountingCrypto, CryptoProvider, KeyStore, RealCrypto};

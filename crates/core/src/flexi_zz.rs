@@ -28,7 +28,7 @@ use flexitrust_exec::KvStore;
 use flexitrust_protocol::{ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind};
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry, SharedEnclave};
 use flexitrust_types::{Batch, ProtocolId, ReplicaId, SeqNum, SystemConfig, Transaction, View};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A Flexi-ZZ replica engine.
@@ -37,7 +37,7 @@ pub struct FlexiZz {
     flexi: FlexiCore,
     /// Transactions forwarded to the primary on behalf of a retrying client,
     /// keyed by the timer tag derived from the transaction digest.
-    forwarded: HashMap<u64, Transaction>,
+    forwarded: BTreeMap<u64, Transaction>,
     /// Store snapshot at the last stable checkpoint, used to roll back
     /// speculative execution when a view change drops a suffix of the log.
     rollback_point: (SeqNum, KvStore),
@@ -71,7 +71,7 @@ impl FlexiZz {
         FlexiZz {
             sequential,
             flexi: FlexiCore::new(config, id, enclave, registry),
-            forwarded: HashMap::new(),
+            forwarded: BTreeMap::new(),
             rollback_point: (SeqNum(0), KvStore::new()),
         }
     }

@@ -10,14 +10,14 @@ use ed25519_dalek::{SigningKey, VerifyingKey};
 use flexitrust_types::{ClientId, Error, NodeId, ReplicaId, Result};
 use hmac::{Hmac, Mac as HmacMac};
 use sha2::Sha256;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 type HmacSha256 = Hmac<Sha256>;
 
 /// Holds every node's signing and verifying keys plus channel MAC keys.
 pub struct KeyStore {
     replica_keys: Vec<SigningKey>,
-    client_keys: HashMap<u64, SigningKey>,
+    client_keys: BTreeMap<u64, SigningKey>,
     /// Secret used to derive pairwise channel keys; in a real deployment each
     /// pair of nodes would establish its own key, but a derived key per
     /// ordered pair gives the same verification semantics.
@@ -28,6 +28,9 @@ impl KeyStore {
     /// Generates a key store with random keys for `replicas` replicas and
     /// `clients` clients.
     pub fn generate(replicas: usize, clients: usize) -> Self {
+        // lint:allow(D04): key *generation* is deployment setup, not
+        // execution: keys are inputs to a run (like the config), never
+        // derived during one. Deterministic hosts use `deterministic()`.
         let mut rng = rand::rngs::OsRng;
         let replica_keys = (0..replicas)
             .map(|_| SigningKey::generate(&mut rng))
@@ -142,7 +145,7 @@ fn node_tag(node: NodeId) -> [u8; 9] {
 #[derive(Clone)]
 pub struct PublicKeyRing {
     replicas: Vec<VerifyingKey>,
-    clients: HashMap<u64, VerifyingKey>,
+    clients: BTreeMap<u64, VerifyingKey>,
 }
 
 impl PublicKeyRing {

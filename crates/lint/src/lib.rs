@@ -1,0 +1,291 @@
+//! flexilint — the project's own static-analysis pass.
+//!
+//! The repo's core guarantee (simulator ≡ channel cluster ≡ TCP cluster
+//! commit sequences, invariant under worker and shard counts) rests on
+//! properties no compiler checks: no wall-clock or map-iteration-order
+//! nondeterminism in the deterministic crates, no payload deep copies on
+//! hot paths, no panicking I/O in transport threads, and full wire-codec
+//! coverage of the message vocabulary. This crate enforces them as named,
+//! suppressible rules over a hand-rolled lexer (dependency-free, per the
+//! offline-shim policy). See `RULES.md` for the catalog.
+//!
+//! Suppression: `// lint:allow(RULE): reason` on the offending line or the
+//! line directly above. Reasons are mandatory, and a pragma that stops
+//! suppressing anything is itself a finding (`U01`) — stale exemptions rot.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod wire;
+
+use report::{Finding, Report};
+use rules::FileClass;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned, at any depth.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Crate directories never scanned: the shims *implement* the wall-clock
+/// and entropy surface the rules exist to keep out of everything else.
+const SKIP_CRATES: &[&str] = &["shims"];
+
+/// Lints the workspace rooted at `root`; the heart of both the CLI and
+/// the self-lint test.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+
+    // Read and token-scan every file, keeping sources around: pragma
+    // resolution must run once, after *all* passes (a pragma that only
+    // suppresses a wire-coverage finding is used, not stale).
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    let mut all: Vec<Finding> = Vec::new();
+    let mut wire_inputs = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        all.extend(rules::scan_file(&rel_str, &src, &classify(&rel_str)));
+        wire_inputs.push(wire::WireInput::new(
+            &rel_str,
+            rel_str.starts_with("crates/wire/src"),
+            &src,
+        ));
+        sources.push((rel_str, src));
+    }
+    all.extend(wire::check(&wire_inputs));
+
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Default::default()
+    };
+    for (rel, src) in &sources {
+        let file_findings: Vec<Finding> = all.iter().filter(|f| &f.file == rel).cloned().collect();
+        let (mut kept, used, pragma_findings) = suppress(rel, src, file_findings);
+        report.suppressions_used += used;
+        kept.extend(pragma_findings);
+        attach_excerpts(src, &mut kept);
+        report.findings.extend(kept);
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Splits `findings` into kept (unsuppressed) findings, counts honoured
+/// pragmas, and emits U01/U02 findings for unused or malformed pragmas.
+fn suppress(rel: &str, src: &str, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<Finding>) {
+    let lexed = lexer::lex(src);
+    let pragmas = lexed.pragmas;
+    let mut used = vec![false; pragmas.len()];
+    let mut kept = Vec::new();
+
+    // A trailing pragma covers its own line. A standalone comment pragma
+    // covers the next line that holds any code — continuation comment
+    // lines and blanks in between don't break the link, so a pragma's
+    // reason can wrap.
+    let covered_line = |p: &lexer::Pragma| -> u32 {
+        if !p.own_line {
+            return p.line;
+        }
+        lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > p.line)
+            .unwrap_or(p.line + 1)
+    };
+
+    'finding: for f in findings {
+        for (pi, p) in pragmas.iter().enumerate() {
+            if !p.well_formed || p.reason.is_empty() {
+                continue;
+            }
+            let covers = covered_line(p) == f.line || p.line == f.line;
+            if covers && p.rules.iter().any(|r| r == &f.rule) {
+                used[pi] = true;
+                continue 'finding;
+            }
+        }
+        kept.push(f);
+    }
+
+    let mut meta = Vec::new();
+    let used_count = used.iter().filter(|u| **u).count();
+    for (pi, p) in pragmas.iter().enumerate() {
+        if !p.well_formed || p.reason.is_empty() {
+            meta.push(Finding::new(
+                rel,
+                p.line,
+                "U02",
+                "malformed lint:allow pragma: expected `// lint:allow(RULE, ...): reason` \
+                 with at least one rule id and a non-empty reason",
+            ));
+            continue;
+        }
+        if let Some(unknown) = p.rules.iter().find(|r| !rules::known_rule(r)) {
+            meta.push(Finding::new(
+                rel,
+                p.line,
+                "U02",
+                format!("lint:allow names unknown rule `{unknown}`"),
+            ));
+            continue;
+        }
+        if !used[pi] {
+            meta.push(Finding::new(
+                rel,
+                p.line,
+                "U01",
+                format!(
+                    "unused lint:allow({}) pragma: it suppresses nothing on this or \
+                     the next line; remove it",
+                    p.rules.join(", ")
+                ),
+            ));
+        }
+    }
+    (kept, used_count, meta)
+}
+
+/// Fills each finding's excerpt with its trimmed source line.
+fn attach_excerpts(src: &str, findings: &mut [Finding]) {
+    if findings.is_empty() {
+        return;
+    }
+    let lines: Vec<&str> = src.lines().collect();
+    for f in findings {
+        if let Some(line) = lines.get((f.line as usize).saturating_sub(1)) {
+            let mut excerpt = line.trim().to_string();
+            excerpt.truncate(120);
+            f.excerpt = excerpt;
+        }
+    }
+}
+
+/// Decides which rule families apply to a workspace-relative path.
+pub fn classify(rel: &str) -> FileClass {
+    let mut class = FileClass::default();
+    // Only crate library sources participate; integration tests, benches
+    // and examples are free to use clocks, unwraps and prints.
+    let in_tests = rel.contains("/tests/") || rel.starts_with("tests/");
+    let in_benches = rel.contains("/benches/") || rel.starts_with("benches/");
+    let in_examples = rel.contains("/examples/") || rel.starts_with("examples/");
+    if in_tests || in_benches || in_examples {
+        return class;
+    }
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    if !in_src {
+        return class;
+    }
+    class.deterministic = rules::DETERMINISTIC_CRATES.contains(&crate_name);
+    class.zero_copy = rules::ZERO_COPY_CRATES.contains(&crate_name);
+    class.panic_free = rules::PANIC_FREE_CRATES.contains(&crate_name);
+    // Binaries own their stdout; libraries do not.
+    class.library = !rel.ends_with("/main.rs");
+    class
+}
+
+/// Recursively collects `.rs` files under `dir`, as root-relative paths.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            // `crates/shims/*`: the shims implement the nondeterministic
+            // surface; scanning them would be linting the fire brigade
+            // for smelling of smoke.
+            if dir.ends_with("crates") && SKIP_CRATES.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_the_crate_map() {
+        let c = classify("crates/protocol/src/quorum.rs");
+        assert!(c.deterministic && c.zero_copy && c.library && !c.panic_free);
+        let c = classify("crates/runtime/src/tcp.rs");
+        assert!(!c.deterministic && c.zero_copy && c.panic_free && c.library);
+        let c = classify("crates/exec/src/executor.rs");
+        assert!(c.deterministic && c.panic_free);
+        let c = classify("crates/lint/src/main.rs");
+        assert!(!c.library, "binaries own their stdout");
+        let c = classify("crates/protocol/tests/foo.rs");
+        assert!(!c.deterministic && !c.library);
+        let c = classify("tests/cross_host.rs");
+        assert!(!c.deterministic && !c.library);
+        let c = classify("crates/bench/benches/throughput.rs");
+        assert!(!c.library);
+        let c = classify("src/lib.rs");
+        assert!(!c.deterministic && c.library);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "\
+// lint:allow(P01): reason above
+x.unwrap();
+y.unwrap(); // lint:allow(P01): trailing reason
+z.unwrap();
+";
+        let findings = vec![
+            Finding::new("f.rs", 2, "P01", "m"),
+            Finding::new("f.rs", 3, "P01", "m"),
+            Finding::new("f.rs", 4, "P01", "m"),
+        ];
+        let (kept, used, meta) = suppress("f.rs", src, findings);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 4);
+        assert_eq!(used, 2);
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn unused_and_malformed_pragmas_are_findings() {
+        let src = "\
+// lint:allow(P01): nothing here to suppress
+let a = 1;
+// lint:allow(P01)
+// lint:allow(NOPE): unknown rule
+";
+        let (kept, used, meta) = suppress("f.rs", src, Vec::new());
+        assert!(kept.is_empty());
+        assert_eq!(used, 0);
+        let rules: Vec<&str> = meta.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["U01", "U02", "U02"]);
+    }
+
+    #[test]
+    fn pragma_for_a_different_rule_does_not_suppress() {
+        let src = "x.unwrap(); // lint:allow(D01): wrong rule\n";
+        let findings = vec![Finding::new("f.rs", 1, "P01", "m")];
+        let (kept, _, meta) = suppress("f.rs", src, findings);
+        assert_eq!(kept.len(), 1);
+        // And the pragma is unused on top of it.
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0].rule, "U01");
+    }
+}

@@ -1,0 +1,103 @@
+//! The `flexilint` CLI: scans the workspace, prints diagnostics, and
+//! exits nonzero on any unsuppressed finding — the CI gate.
+//!
+//! ```text
+//! flexilint --workspace            # lint the enclosing workspace
+//! flexilint --workspace --json    # machine output (CI artifact)
+//! flexilint --root some/dir       # lint an arbitrary tree (fixtures)
+//! flexilint --rules               # print the rule catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("flexilint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for (id, summary) in flexilint::rules::RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "flexilint: determinism / zero-copy / panic-safety / wire-coverage lint\n\
+                     usage: flexilint [--workspace] [--root DIR] [--json] [--rules]\n\
+                     exit status: 0 clean, 1 findings, 2 usage or I/O error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("flexilint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            if !workspace {
+                eprintln!("flexilint: pass --workspace or --root DIR (try --help)");
+                return ExitCode::from(2);
+            }
+            match workspace_root() {
+                Some(r) => r,
+                None => {
+                    eprintln!("flexilint: no workspace Cargo.toml above the current directory");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match flexilint::run(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.json());
+            } else {
+                print!("{}", report.human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("flexilint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` holding a
+/// `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

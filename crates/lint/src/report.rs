@@ -1,0 +1,142 @@
+//! Diagnostics: one [`Finding`] per violation, rendered human-readable
+//! (`file:line: rule: message`) or as machine JSON for CI artifacts.
+
+use std::fmt::Write as _;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D01`, `P02`, ...).
+    pub rule: String,
+    /// Human explanation.
+    pub message: String,
+    /// The offending source line, trimmed; empty when unavailable.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// Creates a finding without an excerpt (attached later from source).
+    pub fn new(file: &str, line: u32, rule: &str, message: impl Into<String>) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+            excerpt: String::new(),
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Pragmas that suppressed at least one finding.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (gates CI: clean == exit 0).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
+            if !f.excerpt.is_empty() {
+                let _ = writeln!(out, "    {}", f.excerpt);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "flexilint: {} file(s) scanned, {} finding(s), {} suppression(s) honoured",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressions_used
+        );
+        out
+    }
+
+    /// JSON rendering (hand-rolled: the lint is dependency-free).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \
+                 \"message\": {}, \"excerpt\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.message),
+                json_str(&f.excerpt),
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"suppressions_used\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.suppressions_used,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\nc"), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn report_renders_both_shapes() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding::new("a.rs", 3, "D01", "bad map"));
+        assert!(r.human().contains("a.rs:3: D01: bad map"));
+        assert!(r.json().contains("\"rule\": \"D01\""));
+        assert!(r.json().contains("\"clean\": false"));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,434 @@
+//! The rule engine: project invariants as token-pattern rules.
+//!
+//! Each rule is a named, suppressible check over one file's token stream.
+//! Which rules run on which file is decided by the file's
+//! [`FileClass`] — derived from its workspace-relative path — so the
+//! engine itself stays path-agnostic. `#[cfg(test)]` regions inside
+//! library sources are skipped: the invariants guard production behaviour,
+//! and tests legitimately use wall clocks, unwraps and hash sets.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::Finding;
+
+/// Crates whose commit schedules must be bit-identical across hosts,
+/// worker counts and shard counts: nothing in them may observe wall-clock
+/// time, OS entropy or hash-map iteration order.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "types",
+    "protocol",
+    "core",
+    "baselines",
+    "sim",
+    "exec",
+    "trusted",
+    "crypto",
+    "wire",
+];
+
+/// Crates on the message/value hot path, where payload bytes must travel
+/// by `Arc` handle, never by deep copy.
+pub const ZERO_COPY_CRATES: &[&str] = &[
+    "types",
+    "protocol",
+    "core",
+    "baselines",
+    "sim",
+    "exec",
+    "trusted",
+    "crypto",
+    "wire",
+    "runtime",
+    "host",
+];
+
+/// Crates whose threads must not die on a stray panic: the transport
+/// reader/writer threads and the execution workers.
+pub const PANIC_FREE_CRATES: &[&str] = &["runtime", "exec"];
+
+/// Every rule the engine knows, with its one-line summary.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D01",
+        "HashMap/HashSet in a deterministic crate (iteration order is nondeterministic)",
+    ),
+    (
+        "D02",
+        "wall-clock read (Instant::now / SystemTime) in a deterministic crate",
+    ),
+    ("D03", "thread::sleep in a deterministic crate"),
+    (
+        "D04",
+        "unseeded RNG (OsRng / thread_rng / from_entropy / rand::random) in a deterministic crate",
+    ),
+    (
+        "Z01",
+        "payload deep copy (.to_vec() / .to_owned()) on a zero-copy hot path",
+    ),
+    (
+        "Z02",
+        "payload deep copy (Vec::from) on a zero-copy hot path",
+    ),
+    (
+        "P01",
+        "unwrap()/expect() in transport or execution-worker code",
+    ),
+    ("P02", "println!/eprintln!/dbg! in library code"),
+    (
+        "W01",
+        "Message variant missing from the wire codec or wire_size accounting",
+    ),
+    ("W02", "wire codec references a nonexistent Message variant"),
+    ("U01", "unused lint:allow pragma"),
+    (
+        "U02",
+        "malformed lint:allow pragma (missing rule id or reason)",
+    ),
+];
+
+/// Whether `rule` is one the engine knows.
+pub fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(id, _)| *id == rule)
+}
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Deterministic-crate library source: D-rules apply.
+    pub deterministic: bool,
+    /// Hot-path library source: Z-rules apply.
+    pub zero_copy: bool,
+    /// Transport / execution-worker library source: P01 applies.
+    pub panic_free: bool,
+    /// Library source (any crate): P02 applies.
+    pub library: bool,
+}
+
+/// Runs every applicable token rule on one file.
+///
+/// `rel` is the workspace-relative path (used only for reporting);
+/// `class` decides which rules fire. Returned findings are not yet
+/// pragma-filtered — the caller owns suppression so it can also detect
+/// unused pragmas.
+pub fn scan_file(rel: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    let skip = test_regions(tokens);
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_region(&skip, i) {
+            continue;
+        }
+        if class.deterministic {
+            d_rules(rel, tokens, i, &mut findings);
+        }
+        if class.zero_copy {
+            z_rules(rel, tokens, i, &mut findings);
+        }
+        if class.panic_free {
+            p01(rel, tokens, i, &mut findings);
+        }
+        if class.library {
+            p02(rel, tokens, i, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Determinism rules, evaluated at identifier `i`.
+fn d_rules(rel: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    match t.text.as_str() {
+        "HashMap" | "HashSet" => out.push(Finding::new(
+            rel,
+            t.line,
+            "D01",
+            format!(
+                "{} in a deterministic crate: iteration order varies per process; \
+                 use BTreeMap/BTreeSet (or pragma with a proof order cannot leak)",
+                t.text
+            ),
+        )),
+        "Instant" if path_call(tokens, i, "now") => out.push(Finding::new(
+            rel,
+            t.line,
+            "D02",
+            "Instant::now() in a deterministic crate: wall-clock reads diverge across \
+             hosts and runs",
+        )),
+        "SystemTime" => out.push(Finding::new(
+            rel,
+            t.line,
+            "D02",
+            "SystemTime in a deterministic crate: wall-clock reads diverge across \
+             hosts and runs",
+        )),
+        "sleep" if prev_is_path(tokens, i, "thread") => out.push(Finding::new(
+            rel,
+            t.line,
+            "D03",
+            "thread::sleep in a deterministic crate: timing must come from the \
+             simulated clock",
+        )),
+        "OsRng" | "thread_rng" | "from_entropy" => out.push(Finding::new(
+            rel,
+            t.line,
+            "D04",
+            format!(
+                "{} in a deterministic crate: entropy must come from the seeded RNG",
+                t.text
+            ),
+        )),
+        "random" if prev_is_path(tokens, i, "rand") => out.push(Finding::new(
+            rel,
+            t.line,
+            "D04",
+            "rand::random in a deterministic crate: entropy must come from the seeded RNG",
+        )),
+        _ => {}
+    }
+}
+
+/// Zero-copy rules, evaluated at identifier `i`.
+fn z_rules(rel: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    match t.text.as_str() {
+        "to_vec" | "to_owned" if is_method_call(tokens, i) => out.push(Finding::new(
+            rel,
+            t.line,
+            "Z01",
+            format!(
+                ".{}() on a zero-copy hot path: payload bytes must travel by Arc \
+                 handle, not by deep copy",
+                t.text
+            ),
+        )),
+        "from" if prev_is_path(tokens, i, "Vec") && next_is_punct(tokens, i, '(') => {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                "Z02",
+                "Vec::from on a zero-copy hot path: payload bytes must travel by Arc \
+                 handle, not by deep copy",
+            ))
+        }
+        _ => {}
+    }
+}
+
+/// Panic-safety rule P01, evaluated at identifier `i`.
+fn p01(rel: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    if (t.text == "unwrap" || t.text == "expect") && is_method_call(tokens, i) {
+        out.push(Finding::new(
+            rel,
+            t.line,
+            "P01",
+            format!(
+                ".{}() in transport/execution-worker code: a panic kills the thread \
+                 silently; handle the error into drop/peer-loss accounting",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Library-print rule P02, evaluated at identifier `i`.
+fn p02(rel: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    if matches!(
+        t.text.as_str(),
+        "println" | "eprintln" | "print" | "eprint" | "dbg"
+    ) && next_is_punct(tokens, i, '!')
+    {
+        out.push(Finding::new(
+            rel,
+            t.line,
+            "P02",
+            format!(
+                "{}! in library code: libraries must stay silent; route output \
+                 through the caller",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Whether ident `i` is followed by `:: name` (e.g. `Instant :: now`).
+fn path_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(name))
+}
+
+/// Whether ident `i` is preceded by `name ::` (e.g. `thread :: sleep`).
+fn prev_is_path(tokens: &[Token], i: usize, name: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].is_ident(name)
+}
+
+/// Whether ident `i` is `.name(` — a method call, not a free function or
+/// a path segment (`Arc::try_unwrap`, `unwrap_or_else` are distinct
+/// identifiers and never match).
+fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    i >= 1 && tokens[i - 1].is_punct('.') && next_is_punct(tokens, i, '(')
+}
+
+/// Whether the token after ident `i` is the punct `c`.
+fn next_is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+/// Token-index ranges covered by `#[cfg(test)]`-gated items.
+///
+/// Matches the attribute sequence `# [ cfg ( test ) ]` (also `#[cfg(any(
+/// test, ...))]` via a containment scan) and skips the following item's
+/// braced body. Attributes stacked between the cfg and the item are walked
+/// over.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute's bracket group for `cfg ( .. test .. )`.
+            let close = match matching(tokens, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let is_cfg_test = tokens[i + 2..close]
+                .first()
+                .is_some_and(|t| t.is_ident("cfg"))
+                && tokens[i + 2..close].iter().any(|t| t.is_ident("test"));
+            if !is_cfg_test {
+                i = close + 1;
+                continue;
+            }
+            // Walk over any further attributes to the item, then skip its
+            // braced body (fn, mod, impl, struct ...). Items ending in `;`
+            // (like `mod tests;`) end the region at the semicolon.
+            let mut j = close + 1;
+            while tokens[j..].first().is_some_and(|t| t.is_punct('#'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                match matching(tokens, j + 1, '[', ']') {
+                    Some(c) => j = c + 1,
+                    None => return regions,
+                }
+            }
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].is_punct('{') {
+                if let Some(end) = matching(tokens, k, '{', '}') {
+                    regions.push((i, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            regions.push((i, k));
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Index of the token closing the group opened at `open_idx`.
+fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Whether token index `i` falls inside any of `regions`.
+fn in_region(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(a, b)| i >= a && i <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> FileClass {
+        FileClass {
+            deterministic: true,
+            zero_copy: true,
+            panic_free: true,
+            library: true,
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<String> {
+        scan_file("x.rs", src, &det())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d_rules_fire_on_the_seeded_patterns() {
+        assert_eq!(rules_of("use std::collections::HashMap;"), vec!["D01"]);
+        assert_eq!(rules_of("let t = Instant::now();"), vec!["D02"]);
+        assert_eq!(rules_of("let t = SystemTime::now();"), vec!["D02"]);
+        assert_eq!(rules_of("std::thread::sleep(d);"), vec!["D03"]);
+        assert_eq!(rules_of("let mut rng = OsRng;"), vec!["D04"]);
+        assert_eq!(rules_of("let x: u8 = rand::random();"), vec!["D04"]);
+    }
+
+    #[test]
+    fn z_and_p_rules_fire_on_calls_only() {
+        assert_eq!(rules_of("let v = bytes.to_vec();"), vec!["Z01"]);
+        assert_eq!(rules_of("let v = Vec::from(bytes);"), vec!["Z02"]);
+        assert_eq!(rules_of("let v = x.unwrap();"), vec!["P01"]);
+        assert_eq!(rules_of("let v = x.expect(\"m\");"), vec!["P01"]);
+        assert_eq!(rules_of("println!(\"hi\");"), vec!["P02"]);
+        // Near-miss identifiers must not fire.
+        assert!(rules_of("let v = x.unwrap_or(y);").is_empty());
+        assert!(rules_of("let v = Arc::try_unwrap(y);").is_empty());
+        assert!(rules_of("fn to_vec() {}").is_empty());
+        assert!(rules_of("let to_vec = 1; f(to_vec);").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = r#"
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let x = y.unwrap(); let t = Instant::now(); }
+            }
+        "#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_region_is_still_scanned() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests { fn t() { x.unwrap(); } }
+            fn lib() { y.unwrap(); }
+        "#;
+        assert_eq!(rules_of(src), vec!["P01"]);
+    }
+
+    #[test]
+    fn non_test_cfg_attrs_do_not_exempt() {
+        let src = "#[cfg(feature = \"x\")] fn f() { y.unwrap(); }";
+        assert_eq!(rules_of(src), vec!["P01"]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The W-rule: wire-format coverage of the `Message` enum.
+//!
+//! A new `Message` variant that never gained codec support used to fail
+//! only when a cross-host test happened to exercise it. This pass makes
+//! it fail at lint time instead: every variant of `pub enum Message` must
+//! be referenced (as `Message::Variant`) in the wire crate's sources AND
+//! appear in the `wire_size_bytes` accounting next to the enum — and,
+//! conversely, the codec must not reference variants the enum no longer
+//! has (a removed variant leaving a stale arm or tag behind).
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::Finding;
+
+/// A lexed file handed to the wire-coverage pass.
+pub struct WireInput {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Whether the file belongs to the wire (codec) crate.
+    pub is_wire_crate: bool,
+    /// The file's tokens.
+    pub tokens: Vec<Token>,
+}
+
+impl WireInput {
+    /// Lexes `src` into a wire-pass input.
+    pub fn new(rel: &str, is_wire_crate: bool, src: &str) -> Self {
+        WireInput {
+            rel: rel.to_string(),
+            is_wire_crate,
+            tokens: lex(src).tokens,
+        }
+    }
+}
+
+/// Runs the wire-coverage pass over the whole file set.
+///
+/// Quiet when no `pub enum Message` exists anywhere (a fixture tree or a
+/// foreign workspace): the rule is about keeping an existing contract
+/// covered, not about demanding one.
+pub fn check(files: &[WireInput]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Locate the enum declaration and collect its variants.
+    let decl = files
+        .iter()
+        .find_map(|f| find_enum(&f.tokens).map(|(vars, line)| (f, vars, line)));
+    let Some((decl_file, variants, decl_line)) = decl else {
+        return findings;
+    };
+
+    // Collect every `Message :: CamelCase` reference in the wire crate,
+    // and the identifiers inside the declaring file's `wire_size_bytes`.
+    let mut codec_refs: Vec<(String, String, u32)> = Vec::new();
+    for f in files.iter().filter(|f| f.is_wire_crate) {
+        for (name, line) in message_refs(&f.tokens) {
+            codec_refs.push((name, f.rel.clone(), line));
+        }
+    }
+    let size_idents = fn_body_idents(&decl_file.tokens, "wire_size_bytes");
+
+    for v in &variants {
+        if !codec_refs.iter().any(|(name, _, _)| name == v) {
+            findings.push(Finding::new(
+                &decl_file.rel,
+                decl_line,
+                "W01",
+                format!(
+                    "Message::{v} has no codec arm in the wire crate: a frame for it \
+                     can be neither encoded nor decoded"
+                ),
+            ));
+        }
+        if !size_idents.contains(v) {
+            findings.push(Finding::new(
+                &decl_file.rel,
+                decl_line,
+                "W01",
+                format!(
+                    "Message::{v} is not accounted in wire_size_bytes: the bandwidth \
+                     model would charge it nothing"
+                ),
+            ));
+        }
+    }
+
+    for (name, rel, line) in &codec_refs {
+        if !variants.iter().any(|v| v == name) {
+            findings.push(Finding::new(
+                rel,
+                *line,
+                "W02",
+                format!(
+                    "wire codec references Message::{name}, which is not a variant of \
+                     the Message enum (stale arm after a variant removal?)"
+                ),
+            ));
+        }
+    }
+
+    findings
+}
+
+/// Finds `pub enum Message { ... }` and returns its variant names and the
+/// declaration line.
+fn find_enum(tokens: &[Token]) -> Option<(Vec<String>, u32)> {
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("enum")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("Message"))
+            && i >= 1
+            && tokens[i - 1].is_ident("pub")
+        {
+            let open = (i + 2..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+            let mut variants = Vec::new();
+            let mut depth = 0usize;
+            for t in &tokens[open..] {
+                if t.is_punct('{') {
+                    depth += 1;
+                    continue;
+                }
+                if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                // Variant names are the depth-1 identifiers that start a
+                // field (skip tokens inside variant bodies and generics).
+                if depth == 1
+                    && t.kind == TokenKind::Ident
+                    && t.text.chars().next().is_some_and(char::is_uppercase)
+                    && !variants.contains(&t.text)
+                {
+                    // Only count it if the previous meaningful token was
+                    // `{` or `,` — i.e. it opens a variant.
+                    variants.push(t.text.clone());
+                }
+            }
+            return Some((filter_variant_names(tokens, open, variants), tokens[i].line));
+        }
+    }
+    None
+}
+
+/// Second pass over the enum body: keep only identifiers immediately
+/// preceded by `{` or `,` at depth 1 (true variant openers, not field
+/// types like `Vec` or `Option`).
+fn filter_variant_names(tokens: &[Token], open: usize, candidates: Vec<String>) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut parens = 0usize;
+    let mut expect_variant = false;
+    for t in &tokens[open..] {
+        if t.is_punct('{') {
+            depth += 1;
+            if depth == 1 {
+                expect_variant = true;
+            }
+            continue;
+        }
+        if t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if t.is_punct('(') {
+            parens += 1;
+            expect_variant = false;
+            continue;
+        }
+        if t.is_punct(')') {
+            parens = parens.saturating_sub(1);
+            continue;
+        }
+        // A tuple variant's field separators live inside parens; only a
+        // top-level comma announces the next variant.
+        if depth == 1 && parens == 0 && t.is_punct(',') {
+            expect_variant = true;
+            continue;
+        }
+        if depth == 1 && t.is_punct('#') {
+            // Variant attribute: still expecting the variant name after it.
+            continue;
+        }
+        if depth == 1 && parens == 0 && expect_variant && t.kind == TokenKind::Ident {
+            if candidates.contains(&t.text) && !variants.contains(&t.text) {
+                variants.push(t.text.clone());
+            }
+            expect_variant = false;
+        }
+        if depth >= 2 {
+            expect_variant = false;
+        }
+    }
+    variants
+}
+
+/// Every `Message :: CamelCase` path reference with its line.
+fn message_refs(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut refs = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("Message")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(t) = tokens.get(i + 3) {
+                if t.kind == TokenKind::Ident
+                    && t.text.chars().next().is_some_and(char::is_uppercase)
+                {
+                    refs.push((t.text.clone(), t.line));
+                }
+            }
+        }
+    }
+    refs
+}
+
+/// Identifiers inside the bodies of every `fn name` in the file, unioned
+/// (several types may define a method of the same name — `ClientReply`
+/// and `Message` both have a `wire_size_bytes`).
+fn fn_body_idents(tokens: &[Token], name: &str) -> Vec<String> {
+    let mut idents = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            let Some(open) = (i + 2..tokens.len()).find(|&k| tokens[k].is_punct('{')) else {
+                continue;
+            };
+            let mut depth = 0usize;
+            for t in &tokens[open..] {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident && !idents.contains(&t.text) {
+                    idents.push(t.text.clone());
+                }
+            }
+        }
+    }
+    idents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENUM_SRC: &str = r#"
+        pub enum Message {
+            PrePrepare { view: View, batch: Batch },
+            Prepare { view: View, digest: Digest },
+            Gossip { rumor: Vec<u8> },
+        }
+        impl Message {
+            pub fn wire_size_bytes(&self) -> usize {
+                match self {
+                    Message::PrePrepare { batch, .. } => batch.wire_size(),
+                    Message::Prepare { .. } => 32,
+                    Message::Gossip { rumor } => rumor.len(),
+                }
+            }
+        }
+    "#;
+
+    fn codec(src: &str) -> WireInput {
+        WireInput::new("crates/wire/src/codec.rs", true, src)
+    }
+
+    fn decl() -> WireInput {
+        WireInput::new("crates/protocol/src/messages.rs", false, ENUM_SRC)
+    }
+
+    #[test]
+    fn variant_names_are_extracted_not_field_types() {
+        let lexed = lex(ENUM_SRC);
+        let (vars, _) = find_enum(&lexed.tokens).expect("enum found");
+        assert_eq!(vars, vec!["PrePrepare", "Prepare", "Gossip"]);
+    }
+
+    #[test]
+    fn covered_enum_is_clean() {
+        let files = vec![
+            decl(),
+            codec("fn enc(m: &Message) { match m { Message::PrePrepare{..} => {} Message::Prepare{..} => {} Message::Gossip{..} => {} } }"),
+        ];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn missing_codec_arm_is_w01() {
+        let files = vec![
+            decl(),
+            codec("fn enc(m: &Message) { match m { Message::PrePrepare{..} => {} Message::Prepare{..} => {} _ => {} } }"),
+        ];
+        let found = check(&files);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "W01");
+        assert!(found[0].message.contains("Gossip"));
+    }
+
+    #[test]
+    fn stale_codec_arm_is_w02() {
+        let files = vec![
+            decl(),
+            codec("fn enc(m: &Message) { match m { Message::PrePrepare{..} => {} Message::Prepare{..} => {} Message::Gossip{..} => {} Message::Removed{..} => {} } }"),
+        ];
+        let found = check(&files);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "W02");
+        assert!(found[0].message.contains("Removed"));
+    }
+
+    #[test]
+    fn missing_wire_size_accounting_is_w01() {
+        let src = r#"
+            pub enum Message { A { x: u8 }, B { y: u8 } }
+            impl Message {
+                pub fn wire_size_bytes(&self) -> usize {
+                    match self { Message::A { .. } => 1, _ => 0 }
+                }
+            }
+        "#;
+        let files = vec![
+            WireInput::new("m.rs", false, src),
+            codec("fn enc(m: &Message) { match m { Message::A{..} => {} Message::B{..} => {} } }"),
+        ];
+        let found = check(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("B is not accounted"));
+    }
+
+    #[test]
+    fn no_enum_anywhere_is_quiet() {
+        let files = vec![codec("fn enc() {}")];
+        assert!(check(&files).is_empty());
+    }
+}

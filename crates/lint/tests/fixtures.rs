@@ -1,0 +1,159 @@
+//! Fixture suite: each mini-tree under `tests/fixtures/` seeds exactly one
+//! kind of violation (or a clean/pragma scenario), proving every rule is
+//! non-vacuous — the lint actually fires where it should and stays quiet
+//! where it shouldn't.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs the lint over one fixture tree and returns the report.
+fn lint(name: &str) -> flexilint::report::Report {
+    flexilint::run(&fixture(name)).unwrap_or_else(|e| panic!("lint {name}: {e}"))
+}
+
+/// The distinct rule ids present in a report.
+fn rule_set(report: &flexilint::report::Report) -> BTreeSet<String> {
+    report.findings.iter().map(|f| f.rule.clone()).collect()
+}
+
+fn expect_only(name: &str, rule: &str) -> flexilint::report::Report {
+    let report = lint(name);
+    assert!(
+        !report.findings.is_empty(),
+        "{name}: expected at least one {rule} finding, got none (vacuous rule)"
+    );
+    assert_eq!(
+        rule_set(&report),
+        BTreeSet::from([rule.to_string()]),
+        "{name}: expected only {rule} findings, got: {}",
+        report.human()
+    );
+    report
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = lint("clean");
+    assert!(
+        report.is_clean(),
+        "clean fixture flagged: {}",
+        report.human()
+    );
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.suppressions_used, 0);
+}
+
+#[test]
+fn d01_flags_hash_collections_in_deterministic_crates() {
+    let report = expect_only("d01_hashmap", "D01");
+    // The use, the return type and the constructor each carry the hazard.
+    assert_eq!(report.findings.len(), 3);
+    assert!(report.findings[0].message.contains("iteration order"));
+}
+
+#[test]
+fn d02_flags_wall_clock_reads() {
+    let report = expect_only("d02_clock", "D02");
+    // Only the `Instant::now()` call site — the `use` and the return type
+    // never observe the clock.
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].excerpt, "Instant::now()");
+}
+
+#[test]
+fn d03_flags_thread_sleep() {
+    expect_only("d03_sleep", "D03");
+}
+
+#[test]
+fn d04_flags_unseeded_rng() {
+    expect_only("d04_rng", "D04");
+}
+
+#[test]
+fn z01_flags_to_vec_payload_copies() {
+    expect_only("z01_to_vec", "Z01");
+}
+
+#[test]
+fn z02_flags_vec_from_payload_copies() {
+    expect_only("z02_vec_from", "Z02");
+}
+
+#[test]
+fn p01_flags_unwrap_in_transport_code() {
+    let report = expect_only("p01_unwrap", "P01");
+    assert!(report.findings[0].message.contains("kills the thread"));
+}
+
+#[test]
+fn p02_flags_println_in_library_code() {
+    expect_only("p02_println", "P02");
+}
+
+#[test]
+fn well_formed_pragmas_suppress_trailing_and_standalone() {
+    let report = lint("pragma_ok");
+    assert!(
+        report.is_clean(),
+        "pragma_ok should lint clean: {}",
+        report.human()
+    );
+    // Both the trailing pragma and the standalone (wrapped-reason) pragma
+    // must each have suppressed a real D02 finding.
+    assert_eq!(report.suppressions_used, 2);
+}
+
+#[test]
+fn unused_pragmas_are_findings() {
+    let report = expect_only("pragma_unused", "U01");
+    assert!(report.findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn malformed_pragmas_are_findings() {
+    let report = expect_only("pragma_malformed", "U02");
+    // One missing its reason, one naming an unknown rule.
+    assert_eq!(report.findings.len(), 2);
+    assert!(report.findings[1].message.contains("unknown rule"));
+}
+
+#[test]
+fn w01_fires_when_a_variant_has_no_codec_arm() {
+    let report = expect_only("w01_missing_arm", "W01");
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("Message::Gossip"));
+    assert!(report.findings[0].message.contains("codec arm"));
+}
+
+#[test]
+fn w01_fires_when_a_variant_is_unaccounted_in_wire_size() {
+    let report = expect_only("w01_missing_size", "W01");
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("Message::Prepare"));
+    assert!(report.findings[0].message.contains("wire_size_bytes"));
+}
+
+#[test]
+fn w02_fires_when_the_codec_keeps_a_removed_variant() {
+    let report = expect_only("w02_stale_arm", "W02");
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("Message::Checkpoint"));
+}
+
+#[test]
+fn seeded_violation_json_marks_the_run_dirty() {
+    // The CI smoke check depends on this exact contract: a seeded
+    // violation yields `"clean": false` JSON and a nonzero exit.
+    let report = lint("d01_hashmap");
+    let json = report.json();
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"rule\": \"D01\""));
+    assert!(!report.is_clean());
+}

@@ -1,0 +1,24 @@
+//! Fixture: a fully covered enum and rule-clean sources.
+use std::collections::BTreeMap;
+
+pub enum Message {
+    PrePrepare { seq: u64 },
+    Prepare { seq: u64 },
+}
+
+impl Message {
+    pub fn wire_size_bytes(&self) -> usize {
+        match self {
+            Message::PrePrepare { .. } => 16,
+            Message::Prepare { .. } => 16,
+        }
+    }
+}
+
+pub fn tally(votes: &[u64]) -> BTreeMap<u64, usize> {
+    let mut counts = BTreeMap::new();
+    for v in votes {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}

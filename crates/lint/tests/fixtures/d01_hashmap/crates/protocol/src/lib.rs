@@ -1,0 +1,10 @@
+//! Fixture: HashMap in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn tally(votes: &[u64]) -> HashMap<u64, usize> {
+    let mut counts = HashMap::new();
+    for v in votes {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock reads in a deterministic crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

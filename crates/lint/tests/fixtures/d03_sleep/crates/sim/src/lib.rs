@@ -1,0 +1,4 @@
+//! Fixture: thread::sleep in a deterministic crate.
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

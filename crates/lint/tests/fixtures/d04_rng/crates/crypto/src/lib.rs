@@ -1,0 +1,4 @@
+//! Fixture: unseeded entropy in a deterministic crate.
+pub fn nonce() -> u64 {
+    rand::random()
+}

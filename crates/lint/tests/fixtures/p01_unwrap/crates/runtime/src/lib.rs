@@ -1,0 +1,5 @@
+//! Fixture: panicking I/O in transport code.
+pub fn read_frame(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}

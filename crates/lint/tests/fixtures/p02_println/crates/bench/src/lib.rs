@@ -1,0 +1,4 @@
+//! Fixture: printing from library code.
+pub fn report(n: usize) {
+    println!("processed {n} items");
+}

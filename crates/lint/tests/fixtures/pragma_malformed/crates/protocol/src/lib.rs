@@ -1,0 +1,5 @@
+//! Fixture: pragmas missing a reason or naming an unknown rule.
+// lint:allow(D01)
+pub fn a() {}
+// lint:allow(Q99): no such rule
+pub fn b() {}

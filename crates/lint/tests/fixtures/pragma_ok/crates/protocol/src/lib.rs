@@ -1,0 +1,12 @@
+//! Fixture: real findings suppressed by well-formed pragmas.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now() // lint:allow(D02): fixture proves trailing pragmas suppress
+}
+
+pub fn stamp_again() -> Instant {
+    // lint:allow(D02): fixture proves standalone pragmas cover the
+    // next code line, across a wrapped reason comment.
+    Instant::now()
+}

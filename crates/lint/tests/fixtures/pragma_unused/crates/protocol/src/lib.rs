@@ -1,0 +1,3 @@
+//! Fixture: a pragma that suppresses nothing.
+// lint:allow(D01): nothing on the next line uses a hash map
+pub fn noop() {}

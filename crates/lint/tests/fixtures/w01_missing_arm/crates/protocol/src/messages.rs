@@ -1,0 +1,16 @@
+//! Fixture: a Message variant with no codec arm.
+pub enum Message {
+    PrePrepare { seq: u64 },
+    Prepare { seq: u64 },
+    Gossip { rumor: u64 },
+}
+
+impl Message {
+    pub fn wire_size_bytes(&self) -> usize {
+        match self {
+            Message::PrePrepare { .. } => 16,
+            Message::Prepare { .. } => 16,
+            Message::Gossip { .. } => 8,
+        }
+    }
+}

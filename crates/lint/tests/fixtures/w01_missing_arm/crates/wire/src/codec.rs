@@ -1,0 +1,10 @@
+//! Fixture codec: Gossip never gained an arm.
+use super::Message;
+
+pub fn tag(m: &Message) -> u8 {
+    match m {
+        Message::PrePrepare { .. } => 1,
+        Message::Prepare { .. } => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a Message variant missing from wire_size_bytes.
+pub enum Message {
+    PrePrepare { seq: u64 },
+    Prepare { seq: u64 },
+}
+
+impl Message {
+    pub fn wire_size_bytes(&self) -> usize {
+        match self {
+            Message::PrePrepare { .. } => 16,
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture codec: both variants have arms; the size model lags.
+use super::Message;
+
+pub fn tag(m: &Message) -> u8 {
+    match m {
+        Message::PrePrepare { .. } => 1,
+        Message::Prepare { .. } => 2,
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the enum lost a variant; the codec kept its arm.
+pub enum Message {
+    PrePrepare { seq: u64 },
+}
+
+impl Message {
+    pub fn wire_size_bytes(&self) -> usize {
+        match self {
+            Message::PrePrepare { .. } => 16,
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture codec: Checkpoint was removed from the enum.
+use super::Message;
+
+pub fn tag(m: &Message) -> u8 {
+    match m {
+        Message::PrePrepare { .. } => 1,
+        Message::Checkpoint { .. } => 3,
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: payload deep copy on the hot path.
+pub fn forward(payload: &[u8]) -> Vec<u8> {
+    payload.to_vec()
+}

@@ -1,0 +1,4 @@
+//! Fixture: Vec::from deep copy on the hot path.
+pub fn forward(payload: &[u8]) -> Vec<u8> {
+    Vec::from(payload)
+}

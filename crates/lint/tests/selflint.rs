@@ -1,0 +1,40 @@
+//! Self-lint: the workspace this crate lives in must pass its own lint.
+//!
+//! This is the acceptance gate in test form — `flexilint --workspace`
+//! exits 0 on the tree as committed, every pragma carries a reason (a
+//! reasonless pragma is a U02 finding and would dirty the run), and no
+//! pragma is stale (U01).
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+
+    let report = flexilint::run(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; findings:\n{}",
+        report.human()
+    );
+    // Sanity: the scan actually covered the tree, and the suppressions we
+    // committed are all still load-bearing (else they'd be U01 findings).
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressions_used > 0,
+        "expected the committed lint:allow pragmas to be exercised"
+    );
+}

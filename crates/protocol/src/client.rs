@@ -12,7 +12,7 @@ use crate::messages::ClientReply;
 use flexitrust_types::{
     ClientId, KvResult, QuorumRule, ReplicaId, RequestId, SeqNum, SystemConfig, ValueBytes,
 };
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Progress of one outstanding request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,8 +38,8 @@ pub enum RequestStatus {
 #[derive(Debug, Default)]
 struct PendingRequest {
     /// Votes per (seq, result) candidate.
-    votes: HashMap<(SeqNum, KvResultKey), BTreeSet<ReplicaId>>,
-    results: HashMap<(SeqNum, KvResultKey), KvResult>,
+    votes: BTreeMap<(SeqNum, KvResultKey), BTreeSet<ReplicaId>>,
+    results: BTreeMap<(SeqNum, KvResultKey), KvResult>,
     complete: bool,
 }
 
@@ -95,7 +95,7 @@ pub struct ClientLibrary {
     client: ClientId,
     needed: usize,
     fallback_needed: usize,
-    pending: HashMap<RequestId, PendingRequest>,
+    pending: BTreeMap<RequestId, PendingRequest>,
     completed: u64,
 }
 
@@ -116,7 +116,7 @@ impl ClientLibrary {
             client,
             needed,
             fallback_needed,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             completed: 0,
         }
     }

@@ -8,24 +8,27 @@
 //! exactly once per key.
 
 use flexitrust_types::ReplicaId;
-use std::collections::{BTreeSet, HashMap};
-use std::hash::Hash;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tracks votes per key and fires once when a key reaches the threshold.
+///
+/// Keys live in `BTreeMap`s (`K: Ord`): certificate state is part of the
+/// deterministic core, and ordered maps keep any future iteration over it
+/// — debugging dumps included — identical across processes.
 #[derive(Debug, Clone)]
-pub struct CertificateTracker<K: Eq + Hash + Clone> {
+pub struct CertificateTracker<K: Ord + Clone> {
     threshold: usize,
-    votes: HashMap<K, BTreeSet<ReplicaId>>,
-    completed: HashMap<K, bool>,
+    votes: BTreeMap<K, BTreeSet<ReplicaId>>,
+    completed: BTreeMap<K, bool>,
 }
 
-impl<K: Eq + Hash + Clone> CertificateTracker<K> {
+impl<K: Ord + Clone> CertificateTracker<K> {
     /// Creates a tracker that completes a key at `threshold` distinct voters.
     pub fn new(threshold: usize) -> Self {
         CertificateTracker {
             threshold: threshold.max(1),
-            votes: HashMap::new(),
-            completed: HashMap::new(),
+            votes: BTreeMap::new(),
+            completed: BTreeMap::new(),
         }
     }
 

@@ -11,7 +11,7 @@ use crate::batcher::Batcher;
 use crate::messages::{ClientReply, Message};
 use flexitrust_exec::{CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
 use flexitrust_types::{Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Common replica state embedded by every protocol engine.
@@ -24,7 +24,7 @@ pub struct ReplicaCore {
     exec: ExecutionQueue,
     batcher: Batcher,
     checkpoints: CheckpointLog,
-    reply_cache: HashMap<ClientId, (RequestId, ClientReply)>,
+    reply_cache: BTreeMap<ClientId, (RequestId, ClientReply)>,
     executed_txns: u64,
 }
 
@@ -52,7 +52,7 @@ impl ReplicaCore {
             batcher: Batcher::new(config.batch_size),
             checkpoints: CheckpointLog::new(config.checkpoint_interval, checkpoint_quorum),
             exec: ExecutionQueue::with_workers(store, config.exec_workers),
-            reply_cache: HashMap::new(),
+            reply_cache: BTreeMap::new(),
             executed_txns: 0,
             view: View::ZERO,
             config,

@@ -287,7 +287,14 @@ impl TcpCluster {
         use std::collections::hash_map::Entry;
         let primary = self.tracker.current_primary();
         let frame = Frame::Submit { txns };
-        let mut streams = self.submit_streams.lock().expect("submit lock");
+        // A poisoned lock means a previous submit panicked mid-write; the
+        // stream cache is still structurally valid (worst case a dead
+        // stream, which the write-retry below already replaces), so
+        // recover it rather than cascade the panic into the driver.
+        let mut streams = self
+            .submit_streams
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for _ in 0..2 {
             let stream = match streams.entry(primary.0) {
                 Entry::Occupied(entry) => entry.into_mut(),

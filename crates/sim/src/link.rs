@@ -41,7 +41,7 @@
 //! [`crate::metrics::SimReport`].
 
 use flexitrust_types::ReplicaId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Simulated time in nanoseconds.
 type Ns = u64;
@@ -162,7 +162,7 @@ impl LinkUsage {
 /// and shareable.
 #[derive(Debug, Clone, Default)]
 pub struct LinkQueues {
-    links: HashMap<(Nic, LinkClass, Direction), LinkState>,
+    links: BTreeMap<(Nic, LinkClass, Direction), LinkState>,
 }
 
 impl LinkQueues {

@@ -43,7 +43,7 @@ use flexitrust_trusted::SharedEnclave;
 use flexitrust_types::{ClientId, QuorumRule, ReplicaId, RequestId, SeqNum, Transaction};
 use flexitrust_workload::WorkloadGenerator;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 type Ns = u64;
 
@@ -397,7 +397,7 @@ pub struct Simulation {
     events: BinaryHeap<Reverse<Event>>,
     event_seq: u64,
     now: Ns,
-    requests: HashMap<(u64, u64), RequestTracker>,
+    requests: BTreeMap<(u64, u64), RequestTracker>,
     next_request_id: Vec<u64>,
     op_generator: WorkloadGenerator,
     latencies: Vec<Ns>,
@@ -473,7 +473,7 @@ impl Simulation {
             events: BinaryHeap::new(),
             event_seq: 0,
             now: 0,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             latencies: Vec::new(),
             completed_txns: 0,
             commit_log: Vec::new(),
