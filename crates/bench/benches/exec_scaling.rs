@@ -23,8 +23,10 @@
 //! determinism contract from `tests/exec_determinism.rs`, re-checked here at
 //! the 600 k-record scale.
 //!
-//! Results append to `BENCH_TRAJECTORY.json` (scenario-keyed rows; the PR 5
-//! message-plane record folds in as the first row).
+//! Results append to `BENCH_TRAJECTORY.json` (scenario-keyed rows): the
+//! PR 5 message-plane record folds in as the first row, the committed
+//! PR 6 execution-scaling row is carried forward verbatim as history,
+//! and this run writes the `exec_scaling_pr8` row.
 
 use flexitrust::exec::{ExecutionQueue, KvStore};
 use flexitrust::types::{
@@ -236,7 +238,10 @@ fn main() {
 }
 
 /// Rewrites `BENCH_TRAJECTORY.json`: the PR 5 message-plane record (folded
-/// in verbatim from `BENCH_PR5.json`) plus this run's execution-scaling row.
+/// in verbatim from `BENCH_PR5.json`), the committed PR 6
+/// execution-scaling row (carried forward verbatim — PR 6's numbers are
+/// history, not something a later run should overwrite), plus this run's
+/// execution-scaling row under `exec_scaling_pr8`.
 fn write_trajectory(
     params: &Params,
     scale: &str,
@@ -249,6 +254,10 @@ fn write_trajectory(
     let pr5 = std::fs::read_to_string(format!("{repo_root}/BENCH_PR5.json"))
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|_| "null".to_string());
+    let pr6 = std::fs::read_to_string(format!("{repo_root}/BENCH_TRAJECTORY.json"))
+        .ok()
+        .and_then(|s| extract_object(&s, "exec_scaling_pr6"))
+        .unwrap_or_else(|| "null".to_string());
     let rows: Vec<String> = series
         .iter()
         .map(|s| {
@@ -265,7 +274,8 @@ fn write_trajectory(
         })
         .collect();
     let json = format!(
-        "{{\n  \"message_plane_pr5\": {pr5},\n  \"exec_scaling_pr6\": {{\n    \
+        "{{\n  \"message_plane_pr5\": {pr5},\n  \"exec_scaling_pr6\": {pr6},\n  \
+         \"exec_scaling_pr8\": {{\n    \
          \"dataset_records\": {records},\n    \"batch_size\": {batch},\n    \
          \"value_size\": {value},\n    \"batches\": {batches},\n    \
          \"payload_pool\": {pool},\n    \"window\": {window},\n    \
@@ -288,4 +298,46 @@ fn write_trajectory(
     let path = format!("{repo_root}/BENCH_TRAJECTORY.json");
     std::fs::write(&path, json).expect("write BENCH_TRAJECTORY.json");
     println!("  wrote {path}");
+}
+
+/// Returns the balanced `{...}` object following `"key"` in `json`,
+/// verbatim (hand-rolled like the rest of the JSON here: the benches are
+/// as dependency-free as the lint).
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    // Only `"key": {` counts — a committed `"key": null` must fall through
+    // to the caller's default, not capture the next object in the file.
+    let after = json[at + needle.len()..].trim_start().strip_prefix(':')?;
+    if !after.trim_start().starts_with('{') {
+        return None;
+    }
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in json[open..].char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }

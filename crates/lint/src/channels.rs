@@ -1,0 +1,260 @@
+//! C-rules: channel endpoint topology.
+//!
+//! A channel whose sender is dropped at creation leaves its receiver
+//! permanently wedged (**C01**); one whose receiver is dropped swallows
+//! every send silently (**C02**); and a discarded `try_send` result is a
+//! shed message that never reaches the drop accounting the transport
+//! layer promises (**C03**). The PR-4 TCP work hit all three shapes by
+//! hand — this pass finds them at lint time.
+//!
+//! Scope: every crate source. Detection is intentionally local: a
+//! creation is the canonical `let (tx, rx) = bounded(..)/unbounded()/
+//! channel()` destructuring, and an endpoint counts as *live* when its
+//! exact identifier occurs again in the enclosing block (moves into
+//! structs, spawns and loops all count). Underscore-prefixed names are
+//! an explicit "yes, dropped on purpose" and stay exempt.
+
+use crate::lexer::TokenKind;
+use crate::parser::{self};
+use crate::report::Finding;
+use crate::SourceFile;
+
+/// The constructors that create a (sender, receiver) pair.
+const CTORS: &[&str] = &["bounded", "unbounded", "channel"];
+
+/// Runs the C-rules over every in-scope file.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| f.class.channels) {
+        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
+            let Some(body) = def.body else { continue };
+            let calls = parser::calls_in(f.tokens(), body);
+            for c in &calls {
+                if CTORS.contains(&c.name.as_str()) && !c.is_method {
+                    endpoint_rules(f, body, c, &mut out);
+                }
+                if c.name == "try_send" && c.is_method {
+                    discard_rule(f, c, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// C01/C02 at one channel-creation call.
+fn endpoint_rules(
+    f: &SourceFile,
+    body: (usize, usize),
+    call: &parser::Call,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = f.tokens();
+    // Walk back over the constructor's path prefix (`crossbeam::channel::
+    // bounded`) to the start of the callee expression; the canonical
+    // creation shape puts `=` right before it.
+    let mut start = call.idx;
+    while start >= 2 && tokens[start - 1].is_op("::") && tokens[start - 2].kind == TokenKind::Ident
+    {
+        start -= 2;
+    }
+    if start < 2 || !tokens[start - 1].is_punct('=') {
+        return;
+    }
+    // Walk back from the `=`: an optional type-ascription group first
+    // (`: (Sender<..>, Receiver<..>)`), then the `( tx , rx )` pattern,
+    // then `let`.
+    let mut p = start - 1; // exclusive upper bound of what's left of `=`
+    let (pat_open, pat_close) = loop {
+        while p > 0 && !tokens[p - 1].is_punct(')') {
+            let t = &tokens[p - 1];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                return;
+            }
+            p -= 1;
+        }
+        if p == 0 {
+            return;
+        }
+        let Some(open) = parser::matching_backward(tokens, p - 1, '(', ')') else {
+            return;
+        };
+        if open > 0 && tokens[open - 1].is_punct(':') {
+            p = open - 1;
+            continue;
+        }
+        break (open, p - 1);
+    };
+    if pat_open == 0 || !tokens[pat_open - 1].is_ident("let") {
+        return;
+    }
+    // Inside the pattern: exactly `ident , ident` (`mut` tolerated).
+    let inner: Vec<usize> = (pat_open + 1..pat_close)
+        .filter(|&k| tokens[k].kind == TokenKind::Ident && tokens[k].text != "mut")
+        .collect();
+    if inner.len() != 2 {
+        return;
+    }
+    let (tx_i, rx_i) = (inner[0], inner[1]);
+    let tx = tokens[tx_i].text.clone();
+    let rx = tokens[rx_i].text.clone();
+
+    // Liveness: the identifier occurs again between the end of this
+    // statement and the end of the enclosing block.
+    let stmt_end = (call.args.1..=body.1)
+        .find(|&k| tokens[k].is_punct(';'))
+        .unwrap_or(body.1);
+    let scope_end = f
+        .parsed
+        .enclosing_block(call.idx)
+        .map(|b| b.close)
+        .unwrap_or(body.1);
+    let used = |name: &str| {
+        (stmt_end + 1..=scope_end.min(tokens.len().saturating_sub(1)))
+            .any(|k| tokens[k].is_ident(name))
+    };
+    if !tx.starts_with('_') && !used(&tx) {
+        out.push(Finding::new(
+            &f.rel,
+            call.line,
+            "C01",
+            format!(
+                "channel sender `{tx}` is never used: it drops at the end of this \
+                 statement, leaving receiver `{rx}` permanently wedged (recv blocks \
+                 or disconnects); plumb it to a producer, or name it `_{tx}` if the \
+                 dead lane is deliberate"
+            ),
+        ));
+    }
+    if !rx.starts_with('_') && !used(&rx) {
+        out.push(Finding::new(
+            &f.rel,
+            call.line,
+            "C02",
+            format!(
+                "channel receiver `{rx}` is never used: it drops at the end of this \
+                 statement, so every send into `{tx}` is silently lost; consume it, \
+                 or name it `_{rx}` if the sink is deliberate"
+            ),
+        ));
+    }
+}
+
+/// C03 at one `.try_send(..)` call: the `Result` must be observed.
+fn discard_rule(f: &SourceFile, call: &parser::Call, out: &mut Vec<Finding>) {
+    let tokens = f.tokens();
+    let after = call.args.1 + 1;
+    // `tx.try_send(x);` — plain statement discard.
+    let mut discarded = tokens.get(after).is_some_and(|t| t.is_punct(';'));
+    // `tx.try_send(x).ok();` — laundered discard.
+    if !discarded
+        && tokens.get(after).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(after + 1).is_some_and(|t| t.is_ident("ok"))
+        && tokens.get(after + 4).is_some_and(|t| t.is_punct(';'))
+    {
+        discarded = true;
+    }
+    // `let _ = tx.try_send(x);` — explicit discard.
+    if !discarded {
+        let mut j = call.idx;
+        while j > 0 {
+            j -= 1;
+            let t = &tokens[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.is_ident("let")
+                && tokens.get(j + 1).is_some_and(|t| t.is_ident("_"))
+                && tokens.get(j + 2).is_some_and(|t| t.is_punct('='))
+            {
+                discarded = true;
+                break;
+            }
+        }
+    }
+    if discarded {
+        out.push(Finding::new(
+            &f.rel,
+            call.line,
+            "C03",
+            "try_send result discarded: a shed message must hit a drop counter \
+             (or be handled), not vanish — check is_err() and account for it",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&[SourceFile::new("crates/runtime/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn unused_sender_is_c01() {
+        let found = lint("fn a() { let (tx, rx) = bounded(4); rx.recv(); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "C01");
+        assert!(found[0].message.contains("tx"));
+    }
+
+    #[test]
+    fn unused_receiver_is_c02() {
+        let found = lint("fn a() { let (tx, rx) = unbounded(); tx.send(1); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "C02");
+    }
+
+    #[test]
+    fn both_endpoints_used_is_clean() {
+        let found = lint(
+            "fn a() { let (tx, rx) = bounded(4); spawn(move || tx.send(1)); \
+             while let Ok(v) = rx.recv() { eat(v); } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn underscore_names_opt_out() {
+        let found = lint("fn a() { let (tx, _rx) = bounded::<u8>(4); keep(tx); }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn moved_into_struct_counts_as_used() {
+        let found = lint("fn a() -> S { let (tx, rx) = bounded(4); S { tx, rx } }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn path_qualified_ctor_is_recognised() {
+        let found = lint("fn a() { let (tx, rx) = crossbeam::channel::bounded(4); keep(rx); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "C01");
+    }
+
+    #[test]
+    fn discarded_try_send_is_c03() {
+        let found = lint("fn a(tx: &S) { tx.try_send(1); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "C03");
+        let found = lint("fn a(tx: &S) { let _ = tx.try_send(1); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        let found = lint("fn a(tx: &S) { tx.try_send(1).ok(); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn checked_try_send_is_clean() {
+        let found =
+            lint("fn a(&mut self) { if self.tx.try_send(1).is_err() { self.drops += 1; } }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let found = lint("#[cfg(test)] mod t { fn a() { let (tx, rx) = bounded(1); tx; } }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

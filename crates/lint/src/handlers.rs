@@ -1,0 +1,253 @@
+//! H-rules: engine handler exhaustiveness over the `Message` vocabulary.
+//!
+//! The W-rules keep the wire codec and the enum in lockstep; this pass
+//! extends the same contract to the protocol engines. Every `fn
+//! on_message` in a handler crate must match every `Message` variant
+//! explicitly (**H01** — a new variant falling through a `_` wildcard is
+//! exactly the silent drop that cost a cross-host divergence hunt), and
+//! must not keep arms for variants the enum no longer has (**H02**).
+//!
+//! An explicit-ignore arm (`Message::Commit { .. } => {}`) counts as
+//! handled — the rule demands a *decision* per variant, not an action.
+//! An engine that deliberately does not speak a variant suppresses the
+//! fn-level H01 with a pragma carrying the reason, which is the audit
+//! trail we actually want.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::matching;
+use crate::report::Finding;
+use crate::wire::find_enum;
+use crate::SourceFile;
+use std::collections::BTreeSet;
+
+/// Runs the H-rules: quiet when no `pub enum Message` exists anywhere
+/// (fixture trees, foreign workspaces).
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(variants) = files
+        .iter()
+        .find_map(|f| find_enum(f.tokens()).map(|(v, _)| v))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| f.class.handlers) {
+        for def in f
+            .parsed
+            .fns
+            .iter()
+            .filter(|d| !d.in_test && d.name == "on_message")
+        {
+            let Some(body) = def.body else { continue };
+            let arms = match_arms(f.tokens(), body);
+            if arms.is_empty() {
+                // A thin wrapper delegating elsewhere; the delegate's own
+                // on_message carries the obligation.
+                continue;
+            }
+            let handled: BTreeSet<&String> = arms.iter().map(|(n, _)| n).collect();
+            for v in &variants {
+                if !handled.contains(v) {
+                    out.push(Finding::new(
+                        &f.rel,
+                        def.line,
+                        "H01",
+                        format!(
+                            "Message::{v} is not matched by this engine's on_message: \
+                             it would fall through silently; add an arm (an explicit \
+                             ignore counts) or pragma this fn with the reason the \
+                             engine does not speak it"
+                        ),
+                    ));
+                }
+            }
+            for (name, line) in &arms {
+                if !variants.contains(name) {
+                    out.push(Finding::new(
+                        &f.rel,
+                        *line,
+                        "H02",
+                        format!(
+                            "on_message matches Message::{name}, which is not a \
+                             variant of the Message enum (stale handler after a \
+                             variant removal?)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every `Message::Variant` reference in arm-pattern position inside the
+/// body range, with its line. Constructor uses (`Message::Foo { .. }` as
+/// an expression) never reach a `=>` and are excluded.
+fn match_arms(tokens: &[Token], body: (usize, usize)) -> Vec<(String, u32)> {
+    let mut arms = Vec::new();
+    let mut k = body.0;
+    while k + 2 <= body.1 {
+        if tokens[k].is_ident("Message")
+            && tokens[k + 1].is_op("::")
+            && tokens[k + 2].kind == TokenKind::Ident
+            && tokens[k + 2]
+                .text
+                .chars()
+                .next()
+                .is_some_and(char::is_uppercase)
+        {
+            if is_arm_pattern(tokens, k + 2, body.1) {
+                arms.push((tokens[k + 2].text.clone(), tokens[k + 2].line));
+            }
+            k += 3;
+            continue;
+        }
+        k += 1;
+    }
+    arms
+}
+
+/// Whether the variant name at token `v` sits in match-arm pattern
+/// position: an optional binder group, any number of `|` alternates, an
+/// optional `if` guard, then `=>`.
+fn is_arm_pattern(tokens: &[Token], v: usize, end: usize) -> bool {
+    let mut p = v + 1;
+    loop {
+        if p > end {
+            return false;
+        }
+        // Skip one binder group if present.
+        if tokens[p].is_punct('{') || tokens[p].is_punct('(') {
+            let (o, c) = if tokens[p].is_punct('{') {
+                ('{', '}')
+            } else {
+                ('(', ')')
+            };
+            match matching(tokens, p, o, c) {
+                Some(close) => p = close + 1,
+                None => return false,
+            }
+            if p > end {
+                return false;
+            }
+        }
+        if tokens[p].is_op("=>") {
+            return true;
+        }
+        if tokens[p].is_punct('|') {
+            // Alternate: skip its `A :: B :: C` path, then loop back to
+            // handle its binder group and whatever follows.
+            p += 1;
+            while p < end && tokens[p].kind == TokenKind::Ident && tokens[p + 1].is_op("::") {
+                p += 2;
+            }
+            if p <= end && tokens[p].kind == TokenKind::Ident {
+                p += 1;
+            }
+            continue;
+        }
+        if tokens[p].is_ident("if") {
+            // Guard: scan to `=>` at group depth 0. A depth-0 `{` or `;`
+            // means this was never a pattern.
+            let mut d = 0i32;
+            while p <= end {
+                let t = &tokens[p];
+                if t.is_punct('(') || t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    d -= 1;
+                } else if d == 0 && t.is_op("=>") {
+                    return true;
+                } else if d == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                    return false;
+                }
+                p += 1;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENUM: &str = "pub enum Message { Prepare { v: u64 }, Commit { v: u64 }, Retry(u8) }";
+
+    fn lint(engine_src: &str) -> Vec<Finding> {
+        check(&[
+            SourceFile::new("crates/protocol/src/messages.rs", ENUM),
+            SourceFile::new("crates/core/src/engine.rs", engine_src),
+        ])
+    }
+
+    #[test]
+    fn full_coverage_is_clean() {
+        let found = lint(
+            "fn on_message(&mut self, m: &Message) { match m { \
+             Message::Prepare { v } => self.p(v), \
+             Message::Commit { .. } => {} \
+             Message::Retry(n) => self.r(n), } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn missing_variant_is_h01_even_behind_a_wildcard() {
+        let found = lint(
+            "fn on_message(&mut self, m: &Message) { match m { \
+             Message::Prepare { v } => self.p(v), _ => {} } }",
+        );
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| f.rule == "H01"));
+        assert!(found.iter().any(|f| f.message.contains("Commit")));
+        assert!(found.iter().any(|f| f.message.contains("Retry")));
+    }
+
+    #[test]
+    fn alternation_arms_cover_both_sides() {
+        let found = lint(
+            "fn on_message(&mut self, m: &Message) { match m { \
+             Message::Prepare { .. } | Message::Commit { .. } => self.vote(m), \
+             Message::Retry(n) => self.r(n), } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn guarded_arm_counts_but_constructor_use_does_not() {
+        let found = lint(
+            "fn on_message(&mut self, m: &Message) { match m { \
+             Message::Prepare { v } if *v > 0 => self.p(v), \
+             Message::Commit { .. } => { self.out.push(Message::Retry(1)); } \
+             Message::Retry(n) => self.r(n), } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn stale_arm_is_h02() {
+        let found = lint(
+            "fn on_message(&mut self, m: &Message) { match m { \
+             Message::Prepare { .. } => {} Message::Commit { .. } => {} \
+             Message::Retry(n) => self.r(n), Message::Ghost { .. } => {} } }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "H02");
+        assert!(found[0].message.contains("Ghost"));
+    }
+
+    #[test]
+    fn fn_without_a_message_match_is_exempt() {
+        let found = lint("fn on_message(&mut self, m: &Message) { self.inner.on_message(m) }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn other_fn_names_are_ignored() {
+        let found = lint(
+            "fn route(&mut self, m: &Message) { match m { Message::Prepare { .. } => {} _ => {} } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -39,9 +39,14 @@ impl Token {
         self.kind == TokenKind::Ident && self.text == s
     }
 
-    /// Whether the token is the punctuation `c`.
+    /// Whether the token is the single punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether the token is the multi-char operator `s` (`::`, `->`, `=>`).
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
     }
 }
 
@@ -230,7 +235,29 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Everything else: one punctuation character per token.
+        // Everything else: punctuation. The three unambiguous multi-char
+        // operators (`::`, `->`, `=>`) merge into one token — the parser
+        // keys on them for paths, signatures and match arms. Nothing else
+        // merges, deliberately: `>>` at the close of nested generics
+        // (`Arc<Mutex<Vec<u8>>>`) is two independent closers, not a shift
+        // operator, and the same ambiguity bites `<<`, `>=`, `&&` (double
+        // reference) and `||` (empty closure). One character per token
+        // keeps all of those correct without type context.
+        let op = match (bytes[i], bytes.get(i + 1).copied()) {
+            (b':', Some(b':')) => Some("::"),
+            (b'-', Some(b'>')) => Some("->"),
+            (b'=', Some(b'>')) => Some("=>"),
+            _ => None,
+        };
+        if let Some(op) = op {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.into(),
+                line,
+            });
+            advance!(2);
+            continue;
+        }
         out.tokens.push(Token {
             kind: TokenKind::Punct,
             text: c.to_string(),
@@ -444,6 +471,31 @@ mod tests {
         let lexed = lex("// lint:allow(D01):   \n");
         assert!(lexed.pragmas[0].well_formed);
         assert!(lexed.pragmas[0].reason.is_empty());
+    }
+
+    #[test]
+    fn nested_generic_closers_never_merge_into_shift_operators() {
+        // Regression: `>>` at the close of nested generics must lex as
+        // independent `>` tokens (three of them here), never a shift
+        // operator — every group-matching walk in the parser depends on
+        // each closer being its own token.
+        let lexed = lex("let m: Arc<Mutex<Vec<u8>>> = mk();");
+        let closers = lexed.tokens.iter().filter(|t| t.is_punct('>')).count();
+        assert_eq!(closers, 3, "{:?}", lexed.tokens);
+        assert!(lexed.tokens.iter().all(|t| t.text != ">>"));
+    }
+
+    #[test]
+    fn unambiguous_multichar_operators_merge() {
+        let lexed = lex("fn f(x: u8) -> u8 { m::g(x); match x { _ => 0 } }");
+        assert!(lexed.tokens.iter().any(|t| t.is_op("->")));
+        assert!(lexed.tokens.iter().any(|t| t.is_op("::")));
+        assert!(lexed.tokens.iter().any(|t| t.is_op("=>")));
+        // The ambiguous pairs stay split.
+        let lexed = lex("if a >= b && f(c << 2) || d {}");
+        for t in &lexed.tokens {
+            assert!(t.text.len() == 1 || t.kind != TokenKind::Punct, "{t:?}");
+        }
     }
 
     #[test]

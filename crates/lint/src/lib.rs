@@ -12,15 +12,66 @@
 //! Suppression: `// lint:allow(RULE): reason` on the offending line or the
 //! line directly above. Reasons are mandatory, and a pragma that stops
 //! suppressing anything is itself a finding (`U01`) — stale exemptions rot.
+//!
+//! Two layers of analysis share one front end: the token-pattern rules
+//! (D/Z/P) scan each file's token stream flat, while the graph analyses
+//! (W/L/C/H/X) work on the [`parser`]'s item/block/call structure and
+//! cross function and file boundaries. Every file is read, lexed and
+//! parsed exactly once into a [`SourceFile`] that all passes share.
 
+pub mod channels;
+pub mod handlers;
 pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod wire;
 
 use report::{Finding, Report};
 use rules::FileClass;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+/// One scanned file: its path-derived classification, token stream,
+/// pragmas and parse tree — built once, shared by every pass.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The crate directory name under `crates/`; empty for the facade.
+    pub crate_name: String,
+    /// Which rule families apply.
+    pub class: FileClass,
+    /// Tokens and suppression pragmas.
+    pub lexed: lexer::Lexed,
+    /// Item/block/call structure.
+    pub parsed: parser::ParsedFile,
+}
+
+impl SourceFile {
+    /// Reads one source into every representation the passes need.
+    pub fn new(rel: &str, src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        let parsed = parser::parse(&lexed.tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("")
+                .to_string(),
+            class: classify(rel),
+            lexed,
+            parsed,
+        }
+    }
+
+    /// The file's token stream.
+    pub fn tokens(&self) -> &[lexer::Token] {
+        &self.lexed.tokens
+    }
+}
 
 /// Directory names never scanned, at any depth.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
@@ -32,42 +83,57 @@ const SKIP_CRATES: &[&str] = &["shims"];
 /// Lints the workspace rooted at `root`; the heart of both the CLI and
 /// the self-lint test.
 pub fn run(root: &Path) -> std::io::Result<Report> {
+    run_with_rules(root, None)
+}
+
+/// Like [`run`], restricted to the rule ids in `only` when given.
+///
+/// Suppression still resolves against the *full* finding set first, so a
+/// pragma for an unselected rule is neither honoured-and-hidden nor
+/// misreported as stale; the filter applies to what is reported.
+pub fn run_with_rules(root: &Path, only: Option<&BTreeSet<String>>) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect(root, root, &mut files)?;
     files.sort();
 
-    // Read and token-scan every file, keeping sources around: pragma
-    // resolution must run once, after *all* passes (a pragma that only
-    // suppresses a wire-coverage finding is used, not stale).
-    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
-    let mut all: Vec<Finding> = Vec::new();
-    let mut wire_inputs = Vec::new();
+    // Read, lex and parse every file exactly once; pragma resolution must
+    // run after *all* passes (a pragma that only suppresses a cross-file
+    // finding is used, not stale).
+    let mut sources: Vec<SourceFile> = Vec::with_capacity(files.len());
+    let mut raws: Vec<String> = Vec::with_capacity(files.len());
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        all.extend(rules::scan_file(&rel_str, &src, &classify(&rel_str)));
-        wire_inputs.push(wire::WireInput::new(
-            &rel_str,
-            rel_str.starts_with("crates/wire/src"),
-            &src,
-        ));
-        sources.push((rel_str, src));
+        sources.push(SourceFile::new(&rel_str, &src));
+        raws.push(src);
     }
-    all.extend(wire::check(&wire_inputs));
+
+    let mut all: Vec<Finding> = Vec::new();
+    for f in &sources {
+        all.extend(rules::scan_file(&f.rel, f.tokens(), &f.class));
+    }
+    all.extend(wire::check(&sources));
+    all.extend(locks::check(&sources));
+    all.extend(channels::check(&sources));
+    all.extend(handlers::check(&sources));
+    all.extend(panics::check(&sources));
 
     let mut report = Report {
         files_scanned: sources.len(),
         ..Default::default()
     };
-    for (rel, src) in &sources {
-        let file_findings: Vec<Finding> = all.iter().filter(|f| &f.file == rel).cloned().collect();
-        let (mut kept, used, pragma_findings) = suppress(rel, src, file_findings);
+    for (f, src) in sources.iter().zip(&raws) {
+        let file_findings: Vec<Finding> = all.iter().filter(|x| x.file == f.rel).cloned().collect();
+        let (mut kept, used, pragma_findings) = suppress(&f.rel, &f.lexed, file_findings);
         report.suppressions_used += used;
         kept.extend(pragma_findings);
         attach_excerpts(src, &mut kept);
         report.findings.extend(kept);
     }
 
+    if let Some(only) = only {
+        report.findings.retain(|f| only.contains(&f.rule));
+    }
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
@@ -76,9 +142,12 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
 
 /// Splits `findings` into kept (unsuppressed) findings, counts honoured
 /// pragmas, and emits U01/U02 findings for unused or malformed pragmas.
-fn suppress(rel: &str, src: &str, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<Finding>) {
-    let lexed = lexer::lex(src);
-    let pragmas = lexed.pragmas;
+fn suppress(
+    rel: &str,
+    lexed: &lexer::Lexed,
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, usize, Vec<Finding>) {
+    let pragmas = &lexed.pragmas;
     let mut used = vec![false; pragmas.len()];
     let mut kept = Vec::new();
 
@@ -189,6 +258,10 @@ pub fn classify(rel: &str) -> FileClass {
     class.panic_free = rules::PANIC_FREE_CRATES.contains(&crate_name);
     // Binaries own their stdout; libraries do not.
     class.library = !rel.ends_with("/main.rs");
+    class.locks = rules::LOCK_CRATES.contains(&crate_name);
+    // Channel topology is a concern wherever channels exist — any source.
+    class.channels = true;
+    class.handlers = rules::HANDLER_CRATES.contains(&crate_name);
     class
 }
 
@@ -227,10 +300,18 @@ mod tests {
     fn classification_follows_the_crate_map() {
         let c = classify("crates/protocol/src/quorum.rs");
         assert!(c.deterministic && c.zero_copy && c.library && !c.panic_free);
+        assert!(!c.locks && c.channels && !c.handlers);
         let c = classify("crates/runtime/src/tcp.rs");
         assert!(!c.deterministic && c.zero_copy && c.panic_free && c.library);
+        assert!(c.locks && c.channels && !c.handlers);
         let c = classify("crates/exec/src/executor.rs");
-        assert!(c.deterministic && c.panic_free);
+        assert!(c.deterministic && c.panic_free && c.locks);
+        let c = classify("crates/core/src/flexi_bft.rs");
+        assert!(c.handlers && !c.locks);
+        let c = classify("crates/baselines/src/common.rs");
+        assert!(c.handlers);
+        let c = classify("crates/core/tests/foo.rs");
+        assert!(!c.handlers && !c.channels, "tests carry no graph rules");
         let c = classify("crates/lint/src/main.rs");
         assert!(!c.library, "binaries own their stdout");
         let c = classify("crates/protocol/tests/foo.rs");
@@ -256,7 +337,7 @@ z.unwrap();
             Finding::new("f.rs", 3, "P01", "m"),
             Finding::new("f.rs", 4, "P01", "m"),
         ];
-        let (kept, used, meta) = suppress("f.rs", src, findings);
+        let (kept, used, meta) = suppress("f.rs", &lexer::lex(src), findings);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].line, 4);
         assert_eq!(used, 2);
@@ -271,7 +352,7 @@ let a = 1;
 // lint:allow(P01)
 // lint:allow(NOPE): unknown rule
 ";
-        let (kept, used, meta) = suppress("f.rs", src, Vec::new());
+        let (kept, used, meta) = suppress("f.rs", &lexer::lex(src), Vec::new());
         assert!(kept.is_empty());
         assert_eq!(used, 0);
         let rules: Vec<&str> = meta.iter().map(|f| f.rule.as_str()).collect();
@@ -282,7 +363,7 @@ let a = 1;
     fn pragma_for_a_different_rule_does_not_suppress() {
         let src = "x.unwrap(); // lint:allow(D01): wrong rule\n";
         let findings = vec![Finding::new("f.rs", 1, "P01", "m")];
-        let (kept, _, meta) = suppress("f.rs", src, findings);
+        let (kept, _, meta) = suppress("f.rs", &lexer::lex(src), findings);
         assert_eq!(kept.len(), 1);
         // And the pragma is unused on top of it.
         assert_eq!(meta.len(), 1);

@@ -2,23 +2,45 @@
 //! exits nonzero on any unsuppressed finding — the CI gate.
 //!
 //! ```text
-//! flexilint --workspace            # lint the enclosing workspace
-//! flexilint --workspace --json    # machine output (CI artifact)
-//! flexilint --root some/dir       # lint an arbitrary tree (fixtures)
-//! flexilint --rules               # print the rule catalog
+//! flexilint --workspace             # lint the enclosing workspace
+//! flexilint --workspace --json     # machine output (CI artifact)
+//! flexilint --format github        # GitHub Actions annotations
+//! flexilint --root some/dir        # lint an arbitrary tree (fixtures)
+//! flexilint --rules                # print the rule catalog
+//! flexilint --rules L01,L02 ...    # restrict the run to those rules
 //! ```
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut workspace = false;
-    let mut args = std::env::args().skip(1);
+    let mut only: Option<BTreeSet<String>> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "flexilint: --format needs one of human|json|github, got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--workspace" => workspace = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -28,15 +50,44 @@ fn main() -> ExitCode {
                 }
             },
             "--rules" => {
-                for (id, summary) in flexilint::rules::RULES {
-                    println!("{id}  {summary}");
+                // Bare `--rules` prints the catalog; with a comma-separated
+                // id list it restricts the run. Unknown ids are a usage
+                // error, never silently ignored: a typo'd gate that lints
+                // nothing is worse than no gate.
+                let ids = match args.peek() {
+                    Some(v) if !v.starts_with('-') => args.next(),
+                    _ => None,
+                };
+                let Some(ids) = ids else {
+                    for (id, summary) in flexilint::rules::RULES {
+                        println!("{id}  {summary}");
+                    }
+                    return ExitCode::SUCCESS;
+                };
+                let mut set = only.unwrap_or_default();
+                for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    if !flexilint::rules::known_rule(id) {
+                        eprintln!("flexilint: unknown rule id `{id}`; valid rules are:");
+                        for (known, summary) in flexilint::rules::RULES {
+                            eprintln!("  {known}  {summary}");
+                        }
+                        return ExitCode::from(2);
+                    }
+                    set.insert(id.to_string());
                 }
-                return ExitCode::SUCCESS;
+                if set.is_empty() {
+                    eprintln!("flexilint: --rules got an empty id list");
+                    return ExitCode::from(2);
+                }
+                only = Some(set);
             }
             "--help" | "-h" => {
                 println!(
-                    "flexilint: determinism / zero-copy / panic-safety / wire-coverage lint\n\
-                     usage: flexilint [--workspace] [--root DIR] [--json] [--rules]\n\
+                    "flexilint: determinism / zero-copy / panic-safety / wire-coverage / \
+                     lock-order / channel-topology / handler-exhaustiveness / \
+                     panic-propagation lint\n\
+                     usage: flexilint [--workspace] [--root DIR] [--json] \
+                     [--format human|json|github] [--rules [IDS]]\n\
                      exit status: 0 clean, 1 findings, 2 usage or I/O error"
                 );
                 return ExitCode::SUCCESS;
@@ -65,12 +116,12 @@ fn main() -> ExitCode {
         }
     };
 
-    match flexilint::run(&root) {
+    match flexilint::run_with_rules(&root, only.as_ref()) {
         Ok(report) => {
-            if json {
-                print!("{}", report.json());
-            } else {
-                print!("{}", report.human());
+            match format {
+                Format::Human => print!("{}", report.human()),
+                Format::Json => print!("{}", report.json()),
+                Format::Github => print!("{}", report.github()),
             }
             if report.is_clean() {
                 ExitCode::SUCCESS

@@ -1,0 +1,237 @@
+//! X-rules: panic propagation into worker threads.
+//!
+//! P01 catches `.unwrap()`/`.expect()` textually; what it cannot see is
+//! a `panic!` or an out-of-bounds index sitting in a function a spawned
+//! worker calls. This pass computes the call graph reachable from
+//! worker-thread entry points — the closures handed to `spawn` — one
+//! call level deep within the crate, and flags reachable panic macros
+//! (**X01**) and value-indexing sites (**X02**). A worker that panics
+//! dies silently under `catch_unwind`-free `std::thread`, which in this
+//! codebase means a replica that stops voting without a peer-loss event.
+//!
+//! Approximations: entry points are closures at call sites literally
+//! named `spawn` (`std::thread::spawn`, `Builder::spawn`); callees
+//! resolve by bare name inside the crate; `debug_assert*` is exempt
+//! (compiled out in release, where the floors are measured).
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser;
+use crate::report::Finding;
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Macros that unconditionally (or assertively) panic.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Identifier-likes before `[` that do *not* make it a value index
+/// (`&mut [u8]`, `for x in [..]`, `match x { [a, b] => .. }`, ...).
+const NON_INDEX_PREV: &[&str] = &[
+    "in", "mut", "dyn", "impl", "as", "let", "ref", "box", "return", "else", "match", "if",
+    "while", "loop", "move", "unsafe", "break",
+];
+
+/// Runs the X-rules over every panic-free crate, one crate at a time.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files.iter().filter(|f| f.class.panic_free) {
+        by_crate.entry(f.crate_name.as_str()).or_default().push(f);
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+    for members in by_crate.values() {
+        check_crate(members, &mut seen, &mut out);
+    }
+    out
+}
+
+fn check_crate(
+    members: &[&SourceFile],
+    seen: &mut BTreeSet<(String, u32, &'static str)>,
+    out: &mut Vec<Finding>,
+) {
+    // Crate-wide fn index for one-level callee resolution (first
+    // definition wins on name collisions).
+    let mut index: BTreeMap<&str, (&SourceFile, (usize, usize))> = BTreeMap::new();
+    for f in members {
+        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
+            if let Some(body) = def.body {
+                index.entry(def.name.as_str()).or_insert((f, body));
+            }
+        }
+    }
+
+    let mut scanned_callees: BTreeSet<(String, usize)> = BTreeSet::new();
+    for f in members {
+        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
+            let Some(body) = def.body else { continue };
+            for call in parser::calls_in(f.tokens(), body) {
+                if call.name != "spawn" {
+                    continue;
+                }
+                let Some(cl) = parser::closure_body(f.tokens(), call.args) else {
+                    continue;
+                };
+                let origin = format!("worker spawned at {}:{}", f.rel, call.line);
+                scan_sites(f, cl, &origin, seen, out);
+                // One call level deep into the crate.
+                for c in parser::calls_in(f.tokens(), cl) {
+                    if c.name == "spawn" {
+                        continue;
+                    }
+                    let Some(&(callee, cbody)) = index.get(c.name.as_str()) else {
+                        continue;
+                    };
+                    if !scanned_callees.insert((callee.rel.clone(), cbody.0)) {
+                        continue;
+                    }
+                    let origin = format!(
+                        "`{}` is called from the worker spawned at {}:{}",
+                        c.name, f.rel, call.line
+                    );
+                    scan_sites(callee, cbody, &origin, seen, out);
+                }
+            }
+        }
+    }
+}
+
+/// Flags the panic macros and value-indexing sites in one token range.
+fn scan_sites(
+    f: &SourceFile,
+    range: (usize, usize),
+    origin: &str,
+    seen: &mut BTreeSet<(String, u32, &'static str)>,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = f.tokens();
+    for k in range.0..=range.1.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('!'))
+            && seen.insert((f.rel.clone(), t.line, "X01"))
+        {
+            out.push(Finding::new(
+                &f.rel,
+                t.line,
+                "X01",
+                format!(
+                    "{}! is reachable from a worker thread ({origin}): a panic \
+                     here kills the worker silently — no peer-loss event, no \
+                     drop accounting; return the error instead, or pragma with \
+                     the proof it cannot fire",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_punct('[')
+            && k > range.0
+            && is_value_index(tokens, k)
+            && seen.insert((f.rel.clone(), t.line, "X02"))
+        {
+            out.push(Finding::new(
+                &f.rel,
+                t.line,
+                "X02",
+                format!(
+                    "indexing `{}[..]` is reachable from a worker thread \
+                     ({origin}): out of bounds panics the worker silently; \
+                     use .get() into error handling, or pragma with the \
+                     bound's proof",
+                    tokens[k - 1].text
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the `[` at `k` indexes a value: preceded by an identifier
+/// (not a keyword), a call/group close, or an index close. Attribute
+/// brackets (`#[`), macro brackets (`vec![`), slice types (`&[u8]`) and
+/// array literals (after `=`/`(`/`,`) all fail the test.
+fn is_value_index(tokens: &[Token], k: usize) -> bool {
+    let p = &tokens[k - 1];
+    match p.kind {
+        TokenKind::Ident => !NON_INDEX_PREV.contains(&p.text.as_str()),
+        TokenKind::Punct => p.is_punct(')') || p.is_punct(']'),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&[SourceFile::new("crates/exec/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn panic_macro_in_spawned_closure_is_x01() {
+        let found = lint("fn run() { spawn(move || { panic!(\"boom\"); }); }");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "X01");
+        assert!(found[0].message.contains("worker"));
+    }
+
+    #[test]
+    fn unreachable_one_call_deep_is_x01() {
+        let found = lint(
+            "fn run() { spawn(move || { while step() {} }); }\n\
+             fn step() -> bool { unreachable!(\"off the rails\") }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "X01");
+        assert!(found[0].message.contains("step"));
+    }
+
+    #[test]
+    fn two_levels_deep_is_out_of_scope() {
+        let found = lint(
+            "fn run() { spawn(move || { a() }); }\n\
+             fn a() { b(); }\n\
+             fn b() { panic!(\"deep\"); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn indexing_in_worker_is_x02_but_types_and_literals_are_not() {
+        let found = lint(
+            "fn run(vals: Vec<u8>) { spawn(move || { let x = vals[0]; \
+             let s: &[u8] = &[1, 2]; for v in [3, 4] { eat(v); } x }); }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "X02");
+        assert!(found[0].message.contains("vals"));
+    }
+
+    #[test]
+    fn code_outside_worker_paths_is_exempt() {
+        let found = lint("fn setup() { panic!(\"config\"); let x = v[0]; }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn debug_assert_is_exempt() {
+        let found = lint("fn run() { spawn(move || { debug_assert!(ok()); }); }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn non_panic_free_crates_are_exempt() {
+        let found = check(&[SourceFile::new(
+            "crates/sim/src/lib.rs",
+            "fn run() { spawn(move || { panic!(\"boom\"); }); }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

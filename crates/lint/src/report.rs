@@ -67,6 +67,32 @@ impl Report {
         out
     }
 
+    /// GitHub Actions problem-matcher rendering: one `::error` workflow
+    /// command per finding (annotates the PR diff), plus a `::notice`
+    /// summary. Values are escaped per the workflow-command rules.
+    pub fn github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title=flexilint {}::{}",
+                gh_property(&f.file),
+                f.line,
+                gh_property(&f.rule),
+                gh_data(&f.message)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "::notice title=flexilint::{} file(s) scanned, {} finding(s), \
+             {} suppression(s) honoured",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressions_used
+        );
+        out
+    }
+
     /// JSON rendering (hand-rolled: the lint is dependency-free).
     pub fn json(&self) -> String {
         let mut out = String::from("{\n  \"findings\": [");
@@ -95,6 +121,19 @@ impl Report {
         );
         out
     }
+}
+
+/// Escapes a workflow-command data value (the part after `::`).
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property value (`file=`, `title=`): data
+/// escapes plus the property delimiters.
+fn gh_property(s: &str) -> String {
+    gh_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// Escapes `s` as a JSON string literal.
@@ -138,5 +177,27 @@ mod tests {
         assert!(r.json().contains("\"rule\": \"D01\""));
         assert!(r.json().contains("\"clean\": false"));
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn github_format_emits_error_commands_with_escapes() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Default::default()
+        };
+        r.findings.push(Finding::new(
+            "a.rs",
+            3,
+            "L01",
+            "cycle: `x` -> `y`\nand back",
+        ));
+        let gh = r.github();
+        assert!(
+            gh.contains(
+                "::error file=a.rs,line=3,title=flexilint L01::cycle: `x` -> `y`%0Aand back"
+            ),
+            "{gh}"
+        );
+        assert!(gh.contains("::notice title=flexilint::1 file(s) scanned"));
     }
 }

@@ -7,7 +7,8 @@
 //! library sources are skipped: the invariants guard production behaviour,
 //! and tests legitimately use wall clocks, unwraps and hash sets.
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{in_region, test_regions};
 use crate::report::Finding;
 
 /// Crates whose commit schedules must be bit-identical across hosts,
@@ -45,6 +46,15 @@ pub const ZERO_COPY_CRATES: &[&str] = &[
 /// reader/writer threads and the execution workers.
 pub const PANIC_FREE_CRATES: &[&str] = &["runtime", "exec"];
 
+/// Crates holding the workspace's locks: the transport clusters, the
+/// executor pool and the host dispatcher. L-rules build their
+/// acquisition graph here.
+pub const LOCK_CRATES: &[&str] = &["runtime", "exec", "host"];
+
+/// Crates holding an engine `on_message` dispatch path whose match arms
+/// must cover the full `Message` vocabulary (H-rules).
+pub const HANDLER_CRATES: &[&str] = &["core", "baselines"];
+
 /// Every rule the engine knows, with its one-line summary.
 pub const RULES: &[(&str, &str)] = &[
     (
@@ -78,6 +88,39 @@ pub const RULES: &[(&str, &str)] = &[
         "Message variant missing from the wire codec or wire_size accounting",
     ),
     ("W02", "wire codec references a nonexistent Message variant"),
+    (
+        "L01",
+        "lock-order cycle across the acquisition graph (potential deadlock)",
+    ),
+    (
+        "L02",
+        "lock held across a blocking channel send/recv (wedges every contender)",
+    ),
+    (
+        "C01",
+        "channel sender dropped at creation: the receiver is permanently wedged",
+    ),
+    (
+        "C02",
+        "channel receiver dropped at creation: every send is silently lost",
+    ),
+    ("C03", "try_send result discarded without drop accounting"),
+    (
+        "H01",
+        "Message variant unhandled by an engine's on_message dispatch",
+    ),
+    (
+        "H02",
+        "engine on_message arm references a nonexistent Message variant",
+    ),
+    (
+        "X01",
+        "panic macro reachable from a worker-thread entry point",
+    ),
+    (
+        "X02",
+        "slice/array indexing reachable from a worker-thread entry point",
+    ),
     ("U01", "unused lint:allow pragma"),
     (
         "U02",
@@ -97,10 +140,16 @@ pub struct FileClass {
     pub deterministic: bool,
     /// Hot-path library source: Z-rules apply.
     pub zero_copy: bool,
-    /// Transport / execution-worker library source: P01 applies.
+    /// Transport / execution-worker library source: P01 and X-rules apply.
     pub panic_free: bool,
     /// Library source (any crate): P02 applies.
     pub library: bool,
+    /// Lock-bearing crate source: L-rules apply.
+    pub locks: bool,
+    /// Any crate source: C-rules apply.
+    pub channels: bool,
+    /// Engine-dispatch crate source: H-rules apply.
+    pub handlers: bool,
 }
 
 /// Runs every applicable token rule on one file.
@@ -109,9 +158,7 @@ pub struct FileClass {
 /// `class` decides which rules fire. Returned findings are not yet
 /// pragma-filtered — the caller owns suppression so it can also detect
 /// unused pragmas.
-pub fn scan_file(rel: &str, src: &str, class: &FileClass) -> Vec<Finding> {
-    let lexed = lex(src);
-    let tokens = &lexed.tokens;
+pub fn scan_file(rel: &str, tokens: &[Token], class: &FileClass) -> Vec<Finding> {
     let mut findings = Vec::new();
     let skip = test_regions(tokens);
 
@@ -256,17 +303,13 @@ fn p02(rel: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
 
 /// Whether ident `i` is followed by `:: name` (e.g. `Instant :: now`).
 fn path_call(tokens: &[Token], i: usize, name: &str) -> bool {
-    tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
-        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
-        && tokens.get(i + 3).is_some_and(|t| t.is_ident(name))
+    tokens.get(i + 1).is_some_and(|t| t.is_op("::"))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident(name))
 }
 
 /// Whether ident `i` is preceded by `name ::` (e.g. `thread :: sleep`).
 fn prev_is_path(tokens: &[Token], i: usize, name: &str) -> bool {
-    i >= 3
-        && tokens[i - 1].is_punct(':')
-        && tokens[i - 2].is_punct(':')
-        && tokens[i - 3].is_ident(name)
+    i >= 2 && tokens[i - 1].is_op("::") && tokens[i - 2].is_ident(name)
 }
 
 /// Whether ident `i` is `.name(` — a method call, not a free function or
@@ -281,83 +324,6 @@ fn next_is_punct(tokens: &[Token], i: usize, c: char) -> bool {
     tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
 }
 
-/// Token-index ranges covered by `#[cfg(test)]`-gated items.
-///
-/// Matches the attribute sequence `# [ cfg ( test ) ]` (also `#[cfg(any(
-/// test, ...))]` via a containment scan) and skips the following item's
-/// braced body. Attributes stacked between the cfg and the item are walked
-/// over.
-fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            // Scan the attribute's bracket group for `cfg ( .. test .. )`.
-            let close = match matching(tokens, i + 1, '[', ']') {
-                Some(c) => c,
-                None => break,
-            };
-            let is_cfg_test = tokens[i + 2..close]
-                .first()
-                .is_some_and(|t| t.is_ident("cfg"))
-                && tokens[i + 2..close].iter().any(|t| t.is_ident("test"));
-            if !is_cfg_test {
-                i = close + 1;
-                continue;
-            }
-            // Walk over any further attributes to the item, then skip its
-            // braced body (fn, mod, impl, struct ...). Items ending in `;`
-            // (like `mod tests;`) end the region at the semicolon.
-            let mut j = close + 1;
-            while tokens[j..].first().is_some_and(|t| t.is_punct('#'))
-                && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
-            {
-                match matching(tokens, j + 1, '[', ']') {
-                    Some(c) => j = c + 1,
-                    None => return regions,
-                }
-            }
-            let mut k = j;
-            while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
-                k += 1;
-            }
-            if k < tokens.len() && tokens[k].is_punct('{') {
-                if let Some(end) = matching(tokens, k, '{', '}') {
-                    regions.push((i, end));
-                    i = end + 1;
-                    continue;
-                }
-            }
-            regions.push((i, k));
-            i = k + 1;
-            continue;
-        }
-        i += 1;
-    }
-    regions
-}
-
-/// Index of the token closing the group opened at `open_idx`.
-fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(k);
-            }
-        }
-    }
-    None
-}
-
-/// Whether token index `i` falls inside any of `regions`.
-fn in_region(regions: &[(usize, usize)], i: usize) -> bool {
-    regions.iter().any(|&(a, b)| i >= a && i <= b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,11 +334,12 @@ mod tests {
             zero_copy: true,
             panic_free: true,
             library: true,
+            ..Default::default()
         }
     }
 
     fn rules_of(src: &str) -> Vec<String> {
-        scan_file("x.rs", src, &det())
+        scan_file("x.rs", &crate::lexer::lex(src).tokens, &det())
             .into_iter()
             .map(|f| f.rule)
             .collect()

@@ -8,28 +8,13 @@
 //! conversely, the codec must not reference variants the enum no longer
 //! has (a removed variant leaving a stale arm or tag behind).
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
+use crate::SourceFile;
 
-/// A lexed file handed to the wire-coverage pass.
-pub struct WireInput {
-    /// Workspace-relative path.
-    pub rel: String,
-    /// Whether the file belongs to the wire (codec) crate.
-    pub is_wire_crate: bool,
-    /// The file's tokens.
-    pub tokens: Vec<Token>,
-}
-
-impl WireInput {
-    /// Lexes `src` into a wire-pass input.
-    pub fn new(rel: &str, is_wire_crate: bool, src: &str) -> Self {
-        WireInput {
-            rel: rel.to_string(),
-            is_wire_crate,
-            tokens: lex(src).tokens,
-        }
-    }
+/// Whether a file belongs to the wire (codec) crate.
+fn is_wire_crate(f: &SourceFile) -> bool {
+    f.rel.starts_with("crates/wire/src")
 }
 
 /// Runs the wire-coverage pass over the whole file set.
@@ -37,13 +22,13 @@ impl WireInput {
 /// Quiet when no `pub enum Message` exists anywhere (a fixture tree or a
 /// foreign workspace): the rule is about keeping an existing contract
 /// covered, not about demanding one.
-pub fn check(files: &[WireInput]) -> Vec<Finding> {
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // Locate the enum declaration and collect its variants.
     let decl = files
         .iter()
-        .find_map(|f| find_enum(&f.tokens).map(|(vars, line)| (f, vars, line)));
+        .find_map(|f| find_enum(f.tokens()).map(|(vars, line)| (f, vars, line)));
     let Some((decl_file, variants, decl_line)) = decl else {
         return findings;
     };
@@ -51,12 +36,12 @@ pub fn check(files: &[WireInput]) -> Vec<Finding> {
     // Collect every `Message :: CamelCase` reference in the wire crate,
     // and the identifiers inside the declaring file's `wire_size_bytes`.
     let mut codec_refs: Vec<(String, String, u32)> = Vec::new();
-    for f in files.iter().filter(|f| f.is_wire_crate) {
-        for (name, line) in message_refs(&f.tokens) {
+    for f in files.iter().filter(|f| is_wire_crate(f)) {
+        for (name, line) in message_refs(f.tokens()) {
             codec_refs.push((name, f.rel.clone(), line));
         }
     }
-    let size_idents = fn_body_idents(&decl_file.tokens, "wire_size_bytes");
+    let size_idents = fn_body_idents(decl_file.tokens(), "wire_size_bytes");
 
     for v in &variants {
         if !codec_refs.iter().any(|(name, _, _)| name == v) {
@@ -101,8 +86,8 @@ pub fn check(files: &[WireInput]) -> Vec<Finding> {
 }
 
 /// Finds `pub enum Message { ... }` and returns its variant names and the
-/// declaration line.
-fn find_enum(tokens: &[Token]) -> Option<(Vec<String>, u32)> {
+/// declaration line. Shared with the handler-exhaustiveness pass.
+pub(crate) fn find_enum(tokens: &[Token]) -> Option<(Vec<String>, u32)> {
     for i in 0..tokens.len() {
         if tokens[i].is_ident("enum")
             && tokens.get(i + 1).is_some_and(|t| t.is_ident("Message"))
@@ -204,11 +189,8 @@ fn filter_variant_names(tokens: &[Token], open: usize, candidates: Vec<String>) 
 fn message_refs(tokens: &[Token]) -> Vec<(String, u32)> {
     let mut refs = Vec::new();
     for i in 0..tokens.len() {
-        if tokens[i].is_ident("Message")
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
-        {
-            if let Some(t) = tokens.get(i + 3) {
+        if tokens[i].is_ident("Message") && tokens.get(i + 1).is_some_and(|t| t.is_op("::")) {
+            if let Some(t) = tokens.get(i + 2) {
                 if t.kind == TokenKind::Ident
                     && t.text.chars().next().is_some_and(char::is_uppercase)
                 {
@@ -251,6 +233,7 @@ fn fn_body_idents(tokens: &[Token], name: &str) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     const ENUM_SRC: &str = r#"
         pub enum Message {
@@ -269,12 +252,12 @@ mod tests {
         }
     "#;
 
-    fn codec(src: &str) -> WireInput {
-        WireInput::new("crates/wire/src/codec.rs", true, src)
+    fn codec(src: &str) -> SourceFile {
+        SourceFile::new("crates/wire/src/codec.rs", src)
     }
 
-    fn decl() -> WireInput {
-        WireInput::new("crates/protocol/src/messages.rs", false, ENUM_SRC)
+    fn decl() -> SourceFile {
+        SourceFile::new("crates/protocol/src/messages.rs", ENUM_SRC)
     }
 
     #[test]
@@ -328,7 +311,7 @@ mod tests {
             }
         "#;
         let files = vec![
-            WireInput::new("m.rs", false, src),
+            SourceFile::new("m.rs", src),
             codec("fn enc(m: &Message) { match m { Message::A{..} => {} Message::B{..} => {} } }"),
         ];
         let found = check(&files);

@@ -148,6 +148,66 @@ fn w02_fires_when_the_codec_keeps_a_removed_variant() {
 }
 
 #[test]
+fn l01_fires_on_opposite_lock_orders() {
+    let report = expect_only("l01_cycle", "L01");
+    assert_eq!(report.findings.len(), 1, "one cycle, one finding");
+    assert!(report.findings[0].message.contains("l.accounts"));
+    assert!(report.findings[0].message.contains("l.journal"));
+}
+
+#[test]
+fn l02_fires_on_guard_held_across_blocking_send() {
+    let report = expect_only("l02_hold_send", "L02");
+    assert!(report.findings[0].message.contains("state"));
+    assert!(report.findings[0].message.contains("send"));
+}
+
+#[test]
+fn c01_fires_when_the_sender_is_dropped_at_creation() {
+    let report = expect_only("c01_wedge", "C01");
+    assert!(report.findings[0].message.contains("tx"));
+    assert!(report.findings[0].message.contains("rx"));
+}
+
+#[test]
+fn c02_fires_when_the_receiver_is_dropped_at_creation() {
+    let report = expect_only("c02_loss", "C02");
+    assert!(report.findings[0].message.contains("rx"));
+}
+
+#[test]
+fn c03_fires_on_discarded_try_send_results() {
+    let report = expect_only("c03_try_send", "C03");
+    // Both discard shapes: the bare `;` and the `.ok();` chain.
+    assert_eq!(report.findings.len(), 2, "{}", report.human());
+}
+
+#[test]
+fn h01_fires_when_an_engine_wildcards_a_variant_away() {
+    let report = expect_only("h01_unhandled", "H01");
+    assert_eq!(report.findings.len(), 1, "{}", report.human());
+    assert!(report.findings[0].message.contains("Commit"));
+}
+
+#[test]
+fn h02_fires_on_an_arm_for_a_removed_variant() {
+    let report = expect_only("h02_stale", "H02");
+    assert!(report.findings[0].message.contains("Ballot"));
+}
+
+#[test]
+fn x01_fires_on_a_panic_one_call_from_a_worker() {
+    let report = expect_only("x01_panic", "X01");
+    assert!(report.findings[0].message.contains("pump"));
+}
+
+#[test]
+fn x02_fires_on_unchecked_indexing_in_a_worker() {
+    let report = expect_only("x02_index", "X02");
+    assert!(report.findings[0].message.contains("vals"));
+}
+
+#[test]
 fn seeded_violation_json_marks_the_run_dirty() {
     // The CI smoke check depends on this exact contract: a seeded
     // violation yields `"clean": false` JSON and a nonzero exit.

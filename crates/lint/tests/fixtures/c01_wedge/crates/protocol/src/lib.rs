@@ -1,0 +1,11 @@
+//! Fixture: the only sender is dropped at creation; `recv()` wedges.
+use std::sync::mpsc::channel;
+
+pub fn tally() -> u64 {
+    let (tx, rx) = channel::<u64>();
+    let mut total = 0;
+    while let Ok(v) = rx.recv() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+//! Fixture: the receiver is dropped at creation; every send is silent loss.
+use std::sync::mpsc::channel;
+
+pub fn broadcast(values: &[u64]) {
+    let (tx, rx) = channel::<u64>();
+    for v in values {
+        let _ = tx.send(*v);
+    }
+}

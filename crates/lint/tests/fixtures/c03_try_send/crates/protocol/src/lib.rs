@@ -1,0 +1,10 @@
+//! Fixture: `try_send` results discarded — backpressure becomes silent loss.
+use std::sync::mpsc::SyncSender;
+
+pub fn offer(tx: &SyncSender<u64>, v: u64) {
+    tx.try_send(v);
+}
+
+pub fn nudge(tx: &SyncSender<u64>) {
+    tx.try_send(0).ok();
+}

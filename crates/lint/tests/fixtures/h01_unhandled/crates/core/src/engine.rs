@@ -1,0 +1,18 @@
+//! Fixture engine: `on_message` never dispatches `Commit` — the wildcard
+//! swallows it, so commits are dropped on the floor.
+use protocol::Message;
+
+pub struct Engine {
+    prepares: u64,
+}
+
+impl Engine {
+    pub fn on_message(&mut self, m: Message) {
+        match m {
+            Message::Prepare { .. } => {
+                self.prepares += 1;
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a two-variant vocabulary, fully covered on the wire.
+pub enum Message {
+    Prepare { seq: u64 },
+    Commit { seq: u64 },
+}
+
+impl Message {
+    pub fn wire_size_bytes(&self) -> usize {
+        match self {
+            Message::Prepare { .. } => 16,
+            Message::Commit { .. } => 16,
+        }
+    }
+}

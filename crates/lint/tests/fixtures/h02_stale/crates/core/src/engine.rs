@@ -1,0 +1,22 @@
+//! Fixture engine: keeps an arm for `Ballot`, a variant the vocabulary no
+//! longer has — dead dispatch code left behind by a protocol change.
+use protocol::Message;
+
+pub struct Engine {
+    prepares: u64,
+    commits: u64,
+}
+
+impl Engine {
+    pub fn on_message(&mut self, m: Message) {
+        match m {
+            Message::Prepare { .. } => {
+                self.prepares += 1;
+            }
+            Message::Commit { .. } => {
+                self.commits += 1;
+            }
+            Message::Ballot { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture codec: every variant has an arm — the staleness is in the engine.
+use super::Message;
+
+pub fn tag(m: &Message) -> u8 {
+    match m {
+        Message::Prepare { .. } => 1,
+        Message::Commit { .. } => 2,
+    }
+}

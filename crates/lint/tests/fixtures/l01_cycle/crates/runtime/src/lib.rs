@@ -1,0 +1,19 @@
+//! Fixture: two mutexes acquired in opposite orders by two functions.
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub accounts: Mutex<u64>,
+    pub journal: Mutex<u64>,
+}
+
+pub fn credit(l: &Ledger) -> u64 {
+    let a = l.accounts.lock().unwrap_or_else(|e| e.into_inner());
+    let j = l.journal.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *j
+}
+
+pub fn audit(l: &Ledger) -> u64 {
+    let j = l.journal.lock().unwrap_or_else(|e| e.into_inner());
+    let a = l.accounts.lock().unwrap_or_else(|e| e.into_inner());
+    *j - *a
+}

@@ -1,0 +1,12 @@
+//! Fixture: a mutex guard held across a blocking channel send.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let staged = state.lock().unwrap_or_else(|e| e.into_inner());
+    for v in staged.iter() {
+        if tx.send(*v).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a worker thread one call away from a `panic!`.
+pub fn start() {
+    std::thread::spawn(move || {
+        pump();
+    });
+}
+
+fn pump() {
+    panic!("queue underflow");
+}

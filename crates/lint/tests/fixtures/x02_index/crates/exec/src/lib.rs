@@ -1,0 +1,7 @@
+//! Fixture: a worker thread indexing a vector without a bound check.
+pub fn start(vals: Vec<u64>) {
+    std::thread::spawn(move || {
+        let head = vals[0];
+        drop(head);
+    });
+}
