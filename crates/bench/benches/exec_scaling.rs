@@ -25,8 +25,8 @@
 //!
 //! Results append to `BENCH_TRAJECTORY.json` (scenario-keyed rows): the
 //! PR 5 message-plane record folds in as the first row, the committed
-//! PR 6 execution-scaling row is carried forward verbatim as history,
-//! and this run writes the `exec_scaling_pr8` row.
+//! PR 6 and PR 8 execution-scaling rows are carried forward verbatim as
+//! history, and this run writes the `exec_scaling_pr9` row.
 
 use flexitrust::exec::{ExecutionQueue, KvStore};
 use flexitrust::types::{
@@ -238,10 +238,10 @@ fn main() {
 }
 
 /// Rewrites `BENCH_TRAJECTORY.json`: the PR 5 message-plane record (folded
-/// in verbatim from `BENCH_PR5.json`), the committed PR 6
-/// execution-scaling row (carried forward verbatim — PR 6's numbers are
+/// in verbatim from `BENCH_PR5.json`), the committed PR 6 and PR 8
+/// execution-scaling rows (carried forward verbatim — their numbers are
 /// history, not something a later run should overwrite), plus this run's
-/// execution-scaling row under `exec_scaling_pr8`.
+/// execution-scaling row under `exec_scaling_pr9`.
 fn write_trajectory(
     params: &Params,
     scale: &str,
@@ -254,9 +254,14 @@ fn write_trajectory(
     let pr5 = std::fs::read_to_string(format!("{repo_root}/BENCH_PR5.json"))
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|_| "null".to_string());
-    let pr6 = std::fs::read_to_string(format!("{repo_root}/BENCH_TRAJECTORY.json"))
-        .ok()
-        .and_then(|s| extract_object(&s, "exec_scaling_pr6"))
+    let trajectory = std::fs::read_to_string(format!("{repo_root}/BENCH_TRAJECTORY.json")).ok();
+    let pr6 = trajectory
+        .as_deref()
+        .and_then(|s| extract_object(s, "exec_scaling_pr6"))
+        .unwrap_or_else(|| "null".to_string());
+    let pr8 = trajectory
+        .as_deref()
+        .and_then(|s| extract_object(s, "exec_scaling_pr8"))
         .unwrap_or_else(|| "null".to_string());
     let rows: Vec<String> = series
         .iter()
@@ -275,7 +280,7 @@ fn write_trajectory(
         .collect();
     let json = format!(
         "{{\n  \"message_plane_pr5\": {pr5},\n  \"exec_scaling_pr6\": {pr6},\n  \
-         \"exec_scaling_pr8\": {{\n    \
+         \"exec_scaling_pr8\": {pr8},\n  \"exec_scaling_pr9\": {{\n    \
          \"dataset_records\": {records},\n    \"batch_size\": {batch},\n    \
          \"value_size\": {value},\n    \"batches\": {batches},\n    \
          \"payload_pool\": {pool},\n    \"window\": {window},\n    \

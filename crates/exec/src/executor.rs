@@ -229,6 +229,7 @@ impl ShardedExecutor {
         for (slot, op) in ops.iter().enumerate() {
             let (key, indexed) = match op {
                 KvOp::Noop => {
+                    // lint:allow(X02): slot comes from enumerate() over ops; results has ops.len() entries
                     results[slot] = Some(KvResult::Noop);
                     continue;
                 }
@@ -242,6 +243,7 @@ impl ShardedExecutor {
                 }
                 KvOp::Scan { .. } => return self.run_inline(store, ops),
             };
+            // lint:allow(X02): shard_of reduces modulo shard_count, per_shard's exact length
             per_shard[store.shard_of(key)].push((slot, (*op).clone(), indexed));
         }
 
@@ -254,6 +256,7 @@ impl ShardedExecutor {
             if shard_ops.is_empty() {
                 continue;
             }
+            // lint:allow(X02): shard enumerates per_shard (shard_count = shards.len() entries); % lanes matches per_worker's length
             per_worker[shard % lanes].push((shard, mem::take(&mut shards[shard]), shard_ops));
         }
         let mut outstanding = 0usize;
@@ -266,6 +269,7 @@ impl ShardedExecutor {
                 worker,
                 shards: lane_shards,
             };
+            // lint:allow(X02): worker enumerates per_worker, built with exactly job_lanes.len() entries
             match self.job_lanes[worker].send(job) {
                 Ok(()) => outstanding += 1,
                 // A dead worker hands the un-run job back inside the send
@@ -287,13 +291,16 @@ impl ShardedExecutor {
             self.results_rx.recv().expect("execution worker alive")
         });
         for outcome in salvaged.into_iter().chain(received) {
+            // lint:allow(X02): outcome.worker echoes the LaneJob.worker index we assigned, < lanes = lane_busy.len()
             lane_busy[outcome.worker] += outcome.busy_nanos;
             for (shard, map) in outcome.shards {
+                // lint:allow(X02): shard ids round-trip through the job unchanged and were < shards.len() at scatter
                 shards[shard] = map;
             }
             mutations += outcome.mutations;
             fingerprint_delta = fingerprint_delta.wrapping_add(outcome.fingerprint_delta);
             for (slot, result) in outcome.results {
+                // lint:allow(X02): slots round-trip through the job unchanged and were < results.len() at scatter
                 results[slot] = Some(result);
             }
         }

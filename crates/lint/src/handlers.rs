@@ -108,8 +108,9 @@ fn match_arms(tokens: &[Token], body: (usize, usize)) -> Vec<(String, u32)> {
 
 /// Whether the variant name at token `v` sits in match-arm pattern
 /// position: an optional binder group, any number of `|` alternates, an
-/// optional `if` guard, then `=>`.
-fn is_arm_pattern(tokens: &[Token], v: usize, end: usize) -> bool {
+/// optional `if` guard, then `=>`. The taint pass reuses this to tell a
+/// `Message::X { .. }` construction from a destructuring arm.
+pub(crate) fn is_arm_pattern(tokens: &[Token], v: usize, end: usize) -> bool {
     let mut p = v + 1;
     loop {
         if p > end {

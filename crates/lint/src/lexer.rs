@@ -26,8 +26,9 @@ pub enum TokenKind {
 pub struct Token {
     /// Classification.
     pub kind: TokenKind,
-    /// The token text (literals keep only their first character to stay
-    /// cheap; rules never look inside literals).
+    /// The token text. String/char literals collapse to their quote
+    /// character (rules never look inside them); numeric literals keep
+    /// their verbatim digits for the quorum-arithmetic rules.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -215,7 +216,9 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Numbers (consume so `1.0` doesn't emit a `.` punct).
+        // Numbers (consume so `1.0` doesn't emit a `.` punct). The digits
+        // are kept verbatim: the quorum-arithmetic rules evaluate integer
+        // coefficients out of expressions like `2 * f + 1`.
         if c.is_ascii_digit() {
             let mut j = i + 1;
             while j < bytes.len()
@@ -228,25 +231,34 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Token {
                 kind: TokenKind::Literal,
-                text: "0".into(),
+                text: src[i..j].into(),
                 line,
             });
             advance!(j - i);
             continue;
         }
 
-        // Everything else: punctuation. The three unambiguous multi-char
-        // operators (`::`, `->`, `=>`) merge into one token — the parser
-        // keys on them for paths, signatures and match arms. Nothing else
-        // merges, deliberately: `>>` at the close of nested generics
-        // (`Arc<Mutex<Vec<u8>>>`) is two independent closers, not a shift
-        // operator, and the same ambiguity bites `<<`, `>=`, `&&` (double
-        // reference) and `||` (empty closure). One character per token
-        // keeps all of those correct without type context.
+        // Everything else: punctuation. The unambiguous multi-char
+        // operators (`::`, `->`, `=>`, and the range ops `..`/`..=`) merge
+        // into one token — the parser keys on the first three for paths,
+        // signatures and match arms, and the quorum-expression walk needs
+        // a range pattern (`0..=n`) to be one operator, not a run of dots.
+        // Nothing else merges, deliberately: `>>` at the close of nested
+        // generics (`Arc<Mutex<Vec<u8>>>`) is two independent closers, not
+        // a shift operator, and the same ambiguity bites `<<`, `>=`, `&&`
+        // (double reference) and `||` (empty closure). One character per
+        // token keeps all of those correct without type context.
         let op = match (bytes[i], bytes.get(i + 1).copied()) {
             (b':', Some(b':')) => Some("::"),
             (b'-', Some(b'>')) => Some("->"),
             (b'=', Some(b'>')) => Some("=>"),
+            (b'.', Some(b'.')) => {
+                if bytes.get(i + 2) == Some(&b'=') {
+                    Some("..=")
+                } else {
+                    Some("..")
+                }
+            }
             _ => None,
         };
         if let Some(op) = op {
@@ -255,7 +267,7 @@ pub fn lex(src: &str) -> Lexed {
                 text: op.into(),
                 line,
             });
-            advance!(2);
+            advance!(op.len());
             continue;
         }
         out.tokens.push(Token {
@@ -508,5 +520,51 @@ mod tests {
             .map(|t| t.line)
             .collect();
         assert_eq!(dots.len(), 1);
+    }
+
+    #[test]
+    fn numeric_literals_keep_their_digits() {
+        // The quorum-arithmetic rules evaluate coefficients, so `2 * f + 1`
+        // must surface the actual `2` and `1`, not a placeholder.
+        let lexed = lex("let q = 2 * f + 1; let n = 3 * f + 1;");
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["2", "1", "3", "1"]);
+    }
+
+    #[test]
+    fn range_operators_merge_into_single_tokens() {
+        let lexed = lex("for i in 0..n { } match k { 0..=7 => a, _ => b }");
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.is_op("..")).count(),
+            1,
+            "{:?}",
+            lexed.tokens
+        );
+        assert_eq!(lexed.tokens.iter().filter(|t| t.is_op("..=")).count(), 1);
+        // Range bounds survive as separate literals.
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["0", "0", "7"]);
+    }
+
+    #[test]
+    fn single_dots_and_dot_runs_still_lex_correctly() {
+        // Method chains keep one `.` per link, and a `...` run lexes as
+        // `..` + `.` — never a merged triple or a swallowed chain.
+        let lexed = lex("a.b.c(); x...y");
+        let single: usize = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        let double: usize = lexed.tokens.iter().filter(|t| t.is_op("..")).count();
+        assert_eq!(single, 3, "{:?}", lexed.tokens); // a.b, .c, and the tail of ...
+        assert_eq!(double, 1);
+        assert!(lexed.tokens.iter().all(|t| t.text != "..."));
     }
 }

@@ -13,26 +13,33 @@
 //! line directly above. Reasons are mandatory, and a pragma that stops
 //! suppressing anything is itself a finding (`U01`) — stale exemptions rot.
 //!
-//! Two layers of analysis share one front end: the token-pattern rules
-//! (D/Z/P) scan each file's token stream flat, while the graph analyses
-//! (W/L/C/H/X) work on the [`parser`]'s item/block/call structure and
-//! cross function and file boundaries. Every file is read, lexed and
-//! parsed exactly once into a [`SourceFile`] that all passes share.
+//! Three layers of analysis share one front end: the token-pattern rules
+//! (D/Z/P) scan each file's token stream flat; the structural analyses
+//! (W/C/H) work on the [`parser`]'s item/block/call structure; and the
+//! dataflow analyses (L/X/T/N/Q) run over the whole-workspace transitive
+//! call graph built once per run by [`graph`]. Every file is read, lexed
+//! and parsed exactly once into a [`SourceFile`] that all passes share,
+//! and every pass's wall time is reported so memoization regressions in
+//! the graph show up in CI, not as silent slowdown.
 
 pub mod channels;
+pub mod graph;
 pub mod handlers;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
 pub mod parser;
+pub mod quorum;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod wire;
 
 use report::{Finding, Report};
 use rules::FileClass;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// One scanned file: its path-derived classification, token stream,
 /// pragmas and parse tree — built once, shared by every pass.
@@ -108,18 +115,47 @@ pub fn run_with_rules(root: &Path, only: Option<&BTreeSet<String>>) -> std::io::
         raws.push(src);
     }
 
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut timed = |label: &str, t0: Instant| {
+        timings.push((label.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    };
+
     let mut all: Vec<Finding> = Vec::new();
+    let t0 = Instant::now();
     for f in &sources {
         all.extend(rules::scan_file(&f.rel, f.tokens(), &f.class));
     }
+    timed("tokens", t0);
+
+    let t0 = Instant::now();
+    let graph = graph::CallGraph::build(&sources);
+    timed("graph", t0);
+
+    let t0 = Instant::now();
     all.extend(wire::check(&sources));
-    all.extend(locks::check(&sources));
+    timed("wire", t0);
+    let t0 = Instant::now();
+    all.extend(locks::check(&sources, &graph));
+    timed("locks", t0);
+    let t0 = Instant::now();
     all.extend(channels::check(&sources));
+    timed("channels", t0);
+    let t0 = Instant::now();
     all.extend(handlers::check(&sources));
-    all.extend(panics::check(&sources));
+    timed("handlers", t0);
+    let t0 = Instant::now();
+    all.extend(panics::check(&sources, &graph));
+    timed("panics", t0);
+    let t0 = Instant::now();
+    all.extend(taint::check(&sources, &graph));
+    timed("taint", t0);
+    let t0 = Instant::now();
+    all.extend(quorum::check(&sources));
+    timed("quorum", t0);
 
     let mut report = Report {
         files_scanned: sources.len(),
+        timings_ms: timings,
         ..Default::default()
     };
     for (f, src) in sources.iter().zip(&raws) {

@@ -1,23 +1,31 @@
 //! L-rules: the lock-acquisition graph.
 //!
 //! **L01** extracts every `Mutex`/`RwLock` acquisition per function in
-//! the lock-bearing crates, inlines one level of intra-crate calls made
-//! while a guard is held, and flags cycles in the resulting order graph:
-//! two threads interleaving opposite orders deadlock, and so does
+//! the lock-bearing crates, follows calls made while a guard is held
+//! *transitively* over the whole-workspace [`CallGraph`] (crossing crate
+//! boundaries — a runtime fn holding a lock into an exec fn that locks
+//! is one edge), and flags cycles in the resulting order graph: two
+//! threads interleaving opposite orders deadlock, and so does
 //! re-acquiring a `std::sync::Mutex` already held (it is not reentrant).
+//! Lock identities are crate-qualified (`exec/state`) so same-named
+//! fields in different crates never merge into a phantom cycle.
 //!
 //! **L02** flags a `let`-bound guard held across a *blocking* channel
-//! `send`/`recv`: a full (or empty) channel parks the thread while it
-//! owns the lock, wedging every contender. `try_send` is exempt — it
-//! cannot park.
+//! `send`/`recv` — directly in the hold span or anywhere in a callee the
+//! span transitively reaches: a full (or empty) channel parks the thread
+//! while it owns the lock, wedging every contender. `try_send` is exempt
+//! — it cannot park.
 //!
 //! Approximations, on the safe-for-CI side: a guard bound by `let` is
 //! assumed held to the end of its innermost block (drops and shadowing
 //! shorten real lifetimes, so this over-approximates and may need a
 //! pragma); a guard consumed as a temporary is held to its statement's
 //! `;`; `match m.lock() { .. }` guards are treated as temporaries
-//! (under-approximates — none exist in this tree).
+//! (under-approximates — none exist in this tree). Transitive callee
+//! facts are only collected from lock-bearing crates: the deterministic
+//! crates hold no locks and do no channel I/O by construction (D/C rules).
 
+use crate::graph::CallGraph;
 use crate::lexer::{Token, TokenKind};
 use crate::parser::{self, matching_backward};
 use crate::report::Finding;
@@ -40,50 +48,40 @@ struct Acquisition {
     bound: bool,
 }
 
-/// One function's lock-relevant facts.
-struct FnInfo<'a> {
-    file: &'a SourceFile,
-    body: (usize, usize),
+/// One graph node's lock-relevant facts (nodes in lock-bearing files).
+struct FnInfo {
+    node: usize,
     acqs: Vec<Acquisition>,
     calls: Vec<parser::Call>,
 }
 
-/// Runs the L-rules over the whole file set, one crate at a time.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
-    let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
-    for f in files.iter().filter(|f| f.class.locks) {
-        by_crate.entry(f.crate_name.as_str()).or_default().push(f);
-    }
+/// Runs the L-rules over the whole file set at once, resolving calls
+/// made while a guard is held transitively over the workspace graph.
+pub fn check(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
     let mut out = Vec::new();
-    for members in by_crate.values() {
-        check_crate(members, &mut out);
-    }
-    out
-}
 
-fn check_crate(members: &[&SourceFile], out: &mut Vec<Finding>) {
+    // Lock facts per graph node, for nodes in lock-bearing files.
     let mut fns: Vec<FnInfo> = Vec::new();
-    let mut names: Vec<String> = Vec::new();
-    for f in members {
-        let has_rwlock = f.tokens().iter().any(|t| t.is_ident("RwLock"));
-        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
-            let Some(body) = def.body else { continue };
-            fns.push(FnInfo {
-                file: f,
-                body,
-                acqs: acquisitions_in(f, body, has_rwlock),
-                calls: parser::calls_in(f.tokens(), body),
-            });
-            names.push(def.name.clone());
+    let mut acqs_of: BTreeMap<usize, usize> = BTreeMap::new(); // node → fns idx
+    for (id, n) in graph.nodes.iter().enumerate() {
+        let f = &files[n.file];
+        if !f.class.locks {
+            continue;
         }
+        let has_rwlock = f.tokens().iter().any(|t| t.is_ident("RwLock"));
+        acqs_of.insert(id, fns.len());
+        fns.push(FnInfo {
+            node: id,
+            acqs: acquisitions_in(f, n.body, has_rwlock),
+            calls: parser::calls_in(f.tokens(), n.body),
+        });
     }
-    // Name → first definition, for one-level call inlining. Name
-    // collisions across impls resolve to the first; good enough for a
-    // lint whose graph is edges between lock *names*.
-    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
-    for (i, n) in names.iter().enumerate() {
-        index.entry(n.as_str()).or_insert(i);
-    }
+
+    // Crate-qualified lock name: `exec/state`. Same-named fields in
+    // different crates are different locks.
+    let qual = |files: &[SourceFile], node: usize, lock: &str| -> String {
+        format!("{}/{}", files[graph.nodes[node].file].crate_name, lock)
+    };
 
     // Build the acquired-while-holding edge set.
     struct Edge {
@@ -107,20 +105,37 @@ fn check_crate(members: &[&SourceFile], out: &mut Vec<Finding>) {
             });
     };
     for f in &fns {
+        let rel = &files[graph.nodes[f.node].file].rel;
         for a in &f.acqs {
+            let from = qual(files, f.node, &a.lock);
             for b in &f.acqs {
                 if b.idx > a.idx && b.idx <= a.hold_end {
-                    record(&mut edges, &a.lock, &b.lock, &f.file.rel, b.line, "");
+                    record(
+                        &mut edges,
+                        &from,
+                        &qual(files, f.node, &b.lock),
+                        rel,
+                        b.line,
+                        "",
+                    );
                 }
             }
             for c in &f.calls {
                 if c.idx <= a.idx || c.idx > a.hold_end {
                     continue;
                 }
-                if let Some(&ci) = index.get(c.name.as_str()) {
-                    for b in &fns[ci].acqs {
+                for r in graph.reachable(graph.resolve(f.node, c)) {
+                    let Some(&ri) = acqs_of.get(&r) else { continue };
+                    for b in &fns[ri].acqs {
                         let note = format!(" (via the call to `{}`)", c.name);
-                        record(&mut edges, &a.lock, &b.lock, &f.file.rel, c.line, &note);
+                        record(
+                            &mut edges,
+                            &from,
+                            &qual(files, r, &b.lock),
+                            rel,
+                            c.line,
+                            &note,
+                        );
                     }
                 }
             }
@@ -165,14 +180,16 @@ fn check_crate(members: &[&SourceFile], out: &mut Vec<Finding>) {
         }
     }
 
-    // L02: blocking channel ops inside a held-guard span.
+    // L02: blocking channel ops inside a held-guard span, directly or in
+    // any transitively reached callee.
     for f in &fns {
-        let tokens = f.file.tokens();
+        let file = &files[graph.nodes[f.node].file];
+        let tokens = file.tokens();
         for a in f.acqs.iter().filter(|a| a.bound) {
             for k in a.idx + 1..=a.hold_end.min(tokens.len().saturating_sub(1)) {
                 if let Some(op) = blocking_chan_op(tokens, k) {
                     out.push(Finding::new(
-                        &f.file.rel,
+                        &file.rel,
                         tokens[k].line,
                         "L02",
                         format!(
@@ -193,23 +210,30 @@ fn check_crate(members: &[&SourceFile], out: &mut Vec<Finding>) {
                 if c.is_method && blocking_chan_op(tokens, c.idx).is_some() {
                     continue;
                 }
-                let Some(&ci) = index.get(c.name.as_str()) else {
-                    continue;
-                };
-                let callee = &fns[ci];
-                let ct = callee.file.tokens();
-                let op = (callee.body.0..=callee.body.1.min(ct.len().saturating_sub(1)))
-                    .find_map(|j| blocking_chan_op(ct, j));
-                if let Some(op) = op {
+                let hit = graph
+                    .reachable(graph.resolve(f.node, c))
+                    .into_iter()
+                    .filter(|r| *r != f.node)
+                    .filter_map(|r| acqs_of.get(&r).map(|&ri| &fns[ri]))
+                    .find_map(|callee| {
+                        let cf = &files[graph.nodes[callee.node].file];
+                        let ct = cf.tokens();
+                        let (b0, b1) = graph.nodes[callee.node].body;
+                        (b0..=b1.min(ct.len().saturating_sub(1)))
+                            .find_map(|j| blocking_chan_op(ct, j))
+                            .map(|op| (op.to_string(), graph.nodes[callee.node].name.clone()))
+                    });
+                if let Some((op, in_fn)) = hit {
                     out.push(Finding::new(
-                        &f.file.rel,
+                        &file.rel,
                         c.line,
                         "L02",
                         format!(
-                            "the call to `{}` performs a blocking channel `{op}` \
-                             while lock `{}` is held: a full/empty channel parks \
-                             this thread with the lock owned, wedging every \
-                             contender; drop the guard before the call",
+                            "the call to `{}` reaches a blocking channel `{op}` \
+                             (in fn `{in_fn}`) while lock `{}` is held: a \
+                             full/empty channel parks this thread with the lock \
+                             owned, wedging every contender; drop the guard \
+                             before the call",
                             c.name, a.lock
                         ),
                     ));
@@ -219,6 +243,7 @@ fn check_crate(members: &[&SourceFile], out: &mut Vec<Finding>) {
     }
     out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    out
 }
 
 /// Whether `from` reaches `to` by following the edge set. The graphs are
@@ -377,6 +402,11 @@ mod tests {
             .collect()
     }
 
+    fn check(fs: &[SourceFile]) -> Vec<Finding> {
+        let graph = CallGraph::build(fs);
+        super::check(fs, &graph)
+    }
+
     #[test]
     fn opposite_order_acquisitions_are_a_cycle() {
         let fs = files(&[(
@@ -415,13 +445,55 @@ mod tests {
     fn cycle_through_an_inlined_call_is_found() {
         let fs = files(&[(
             "crates/runtime/src/lib.rs",
-            "fn a(&self) { let g = self.x.lock(); self.takes_y(); }\n\
+            "impl Node { fn a(&self) { let g = self.x.lock(); self.takes_y(); }\n\
              fn takes_y(&self) { let g = self.y.lock(); }\n\
-             fn b(&self) { let g = self.y.lock(); let h = self.x.lock(); }",
+             fn b(&self) { let g = self.y.lock(); let h = self.x.lock(); } }",
         )]);
         let found = check(&fs);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn cycle_through_a_transitive_cross_crate_call_is_found() {
+        // runtime/X is held into exec/Y two calls deep across the crate
+        // boundary, and exec/Y is held back into runtime/X — a cycle no
+        // per-crate one-level analysis can see.
+        let fs = files(&[
+            (
+                "crates/runtime/src/lib.rs",
+                "fn a() { let g = X.lock(); hop(); }\n\
+                 pub fn back() { let h = X.lock(); }",
+            ),
+            (
+                "crates/exec/src/lib.rs",
+                "pub fn hop() { deep(); }\n\
+                 fn deep() { let g = Y.lock(); }\n\
+                 fn rev() { let g = Y.lock(); back(); }",
+            ),
+        ]);
+        let found = check(&fs);
+        assert!(
+            found
+                .iter()
+                .any(|f| f.rule == "L01" && f.message.contains("cycle")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn same_lock_name_in_different_crates_is_not_a_cycle() {
+        let fs = files(&[
+            (
+                "crates/runtime/src/lib.rs",
+                "fn a(&self) { let g = self.state.lock(); let h = self.out.lock(); }",
+            ),
+            (
+                "crates/exec/src/lib.rs",
+                "fn z(&self) { let g = self.out.lock(); let h = self.state.lock(); }",
+            ),
+        ]);
+        assert!(check(&fs).is_empty(), "{:?}", check(&fs));
     }
 
     #[test]

@@ -85,7 +85,8 @@ fn main() -> ExitCode {
                 println!(
                     "flexilint: determinism / zero-copy / panic-safety / wire-coverage / \
                      lock-order / channel-topology / handler-exhaustiveness / \
-                     panic-propagation lint\n\
+                     panic-propagation lint, plus call-graph dataflow: untrusted-input \
+                     panic reachability, determinism taint, quorum arithmetic\n\
                      usage: flexilint [--workspace] [--root DIR] [--json] \
                      [--format human|json|github] [--rules [IDS]]\n\
                      exit status: 0 clean, 1 findings, 2 usage or I/O error"

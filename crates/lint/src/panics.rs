@@ -2,26 +2,31 @@
 //!
 //! P01 catches `.unwrap()`/`.expect()` textually; what it cannot see is
 //! a `panic!` or an out-of-bounds index sitting in a function a spawned
-//! worker calls. This pass computes the call graph reachable from
-//! worker-thread entry points — the closures handed to `spawn` — one
-//! call level deep within the crate, and flags reachable panic macros
-//! (**X01**) and value-indexing sites (**X02**). A worker that panics
-//! dies silently under `catch_unwind`-free `std::thread`, which in this
-//! codebase means a replica that stops voting without a peer-loss event.
+//! worker calls. This pass takes the closures handed to `spawn` as
+//! worker entry points, follows the whole-workspace [`CallGraph`]
+//! transitively from their callees, and flags reachable panic macros
+//! (**X01**) and value-indexing sites (**X02**) wherever they land in a
+//! panic-free crate. A worker that panics dies silently under
+//! `catch_unwind`-free `std::thread`, which in this codebase means a
+//! replica that stops voting without a peer-loss event.
 //!
 //! Approximations: entry points are closures at call sites literally
 //! named `spawn` (`std::thread::spawn`, `Builder::spawn`); callees
-//! resolve by bare name inside the crate; `debug_assert*` is exempt
-//! (compiled out in release, where the floors are measured).
+//! resolve per the graph's qualified-name heuristic (over-approximate on
+//! method names); `debug_assert*` is exempt (compiled out in release,
+//! where the floors are measured). Sites in non-panic-free crates stay
+//! exempt even when reachable — their panics are loud test failures, not
+//! silent worker deaths.
 
+use crate::graph::CallGraph;
 use crate::lexer::{Token, TokenKind};
 use crate::parser;
 use crate::report::Finding;
 use crate::SourceFile;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Macros that unconditionally (or assertively) panic.
-const PANIC_MACROS: &[&str] = &[
+pub(crate) const PANIC_MACROS: &[&str] = &[
     "panic",
     "unreachable",
     "todo",
@@ -38,40 +43,22 @@ const NON_INDEX_PREV: &[&str] = &[
     "while", "loop", "move", "unsafe", "break",
 ];
 
-/// Runs the X-rules over every panic-free crate, one crate at a time.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
-    let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
-    for f in files.iter().filter(|f| f.class.panic_free) {
-        by_crate.entry(f.crate_name.as_str()).or_default().push(f);
-    }
+/// Runs the X-rules: collect worker entry points in panic-free crates,
+/// close over the call graph, flag panic-free sites in the closure.
+pub fn check(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
     let mut out = Vec::new();
     let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
-    for members in by_crate.values() {
-        check_crate(members, &mut seen, &mut out);
-    }
-    out
-}
+    let mut entry_callees: BTreeSet<usize> = BTreeSet::new();
 
-fn check_crate(
-    members: &[&SourceFile],
-    seen: &mut BTreeSet<(String, u32, &'static str)>,
-    out: &mut Vec<Finding>,
-) {
-    // Crate-wide fn index for one-level callee resolution (first
-    // definition wins on name collisions).
-    let mut index: BTreeMap<&str, (&SourceFile, (usize, usize))> = BTreeMap::new();
-    for f in members {
-        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
-            if let Some(body) = def.body {
-                index.entry(def.name.as_str()).or_insert((f, body));
-            }
+    for (fi, f) in files.iter().enumerate() {
+        if !f.class.panic_free {
+            continue;
         }
-    }
-
-    let mut scanned_callees: BTreeSet<(String, usize)> = BTreeSet::new();
-    for f in members {
         for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
             let Some(body) = def.body else { continue };
+            let Some(node) = graph.node_at(fi, body.0) else {
+                continue;
+            };
             for call in parser::calls_in(f.tokens(), body) {
                 if call.name != "spawn" {
                     continue;
@@ -80,27 +67,30 @@ fn check_crate(
                     continue;
                 };
                 let origin = format!("worker spawned at {}:{}", f.rel, call.line);
-                scan_sites(f, cl, &origin, seen, out);
-                // One call level deep into the crate.
+                scan_sites(f, cl, &origin, &mut seen, &mut out);
                 for c in parser::calls_in(f.tokens(), cl) {
                     if c.name == "spawn" {
                         continue;
                     }
-                    let Some(&(callee, cbody)) = index.get(c.name.as_str()) else {
-                        continue;
-                    };
-                    if !scanned_callees.insert((callee.rel.clone(), cbody.0)) {
-                        continue;
-                    }
-                    let origin = format!(
-                        "`{}` is called from the worker spawned at {}:{}",
-                        c.name, f.rel, call.line
-                    );
-                    scan_sites(callee, cbody, &origin, seen, out);
+                    entry_callees.extend(graph.resolve(node, &c));
                 }
             }
         }
     }
+
+    // Everything the workers can transitively reach, across crates; only
+    // sites that land back in a panic-free crate are flagged.
+    for id in graph.reachable(entry_callees) {
+        let n = &graph.nodes[id];
+        let f = &files[n.file];
+        if !f.class.panic_free {
+            continue;
+        }
+        let origin = format!("via fn `{}`", n.name);
+        scan_sites(f, n.body, &origin, &mut seen, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
 }
 
 /// Flags the panic macros and value-indexing sites in one token range.
@@ -157,7 +147,7 @@ fn scan_sites(
 /// (not a keyword), a call/group close, or an index close. Attribute
 /// brackets (`#[`), macro brackets (`vec![`), slice types (`&[u8]`) and
 /// array literals (after `=`/`(`/`,`) all fail the test.
-fn is_value_index(tokens: &[Token], k: usize) -> bool {
+pub(crate) fn is_value_index(tokens: &[Token], k: usize) -> bool {
     let p = &tokens[k - 1];
     match p.kind {
         TokenKind::Ident => !NON_INDEX_PREV.contains(&p.text.as_str()),
@@ -171,7 +161,9 @@ mod tests {
     use super::*;
 
     fn lint(src: &str) -> Vec<Finding> {
-        check(&[SourceFile::new("crates/exec/src/lib.rs", src)])
+        let files = vec![SourceFile::new("crates/exec/src/lib.rs", src)];
+        let graph = CallGraph::build(&files);
+        check(&files, &graph)
     }
 
     #[test]
@@ -194,13 +186,38 @@ mod tests {
     }
 
     #[test]
-    fn two_levels_deep_is_out_of_scope() {
+    fn panics_arbitrarily_deep_are_found() {
         let found = lint(
             "fn run() { spawn(move || { a() }); }\n\
              fn a() { b(); }\n\
-             fn b() { panic!(\"deep\"); }",
+             fn b() { c(); }\n\
+             fn c() { panic!(\"deep\"); }",
         );
-        assert!(found.is_empty(), "{found:?}");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "X01");
+        assert!(found[0].message.contains("via fn `c`"));
+    }
+
+    #[test]
+    fn reachable_sites_in_other_crates_are_found_when_panic_free() {
+        let files = vec![
+            SourceFile::new(
+                "crates/runtime/src/lib.rs",
+                "fn run() { spawn(move || { drive() }); }",
+            ),
+            SourceFile::new(
+                "crates/exec/src/lib.rs",
+                "pub fn drive() { boom!(); panic!(); }",
+            ),
+            SourceFile::new("crates/sim/src/lib.rs", "pub fn drive() { panic!(); }"),
+        ];
+        let graph = CallGraph::build(&files);
+        let found = check(&files, &graph);
+        // The exec copy is flagged (panic-free crate); the sim copy is
+        // reachable too — name resolution over-approximates — but sim is
+        // not a panic-free crate, so it stays exempt.
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].file.contains("exec"));
     }
 
     #[test]
@@ -228,10 +245,12 @@ mod tests {
 
     #[test]
     fn non_panic_free_crates_are_exempt() {
-        let found = check(&[SourceFile::new(
+        let files = vec![SourceFile::new(
             "crates/sim/src/lib.rs",
             "fn run() { spawn(move || { panic!(\"boom\"); }); }",
-        )]);
+        )];
+        let graph = CallGraph::build(&files);
+        let found = check(&files, &graph);
         assert!(found.is_empty(), "{found:?}");
     }
 }

@@ -24,6 +24,10 @@ pub struct FnDef {
     pub body: Option<(usize, usize)>,
     /// Whether the item sits inside a `#[cfg(test)]` region.
     pub in_test: bool,
+    /// The self type of the enclosing `impl` block, if any: `Reader` for a
+    /// fn inside `impl Reader` or `impl Codec for Reader`. The call graph
+    /// keys method resolution on this.
+    pub owner: Option<String>,
 }
 
 /// One brace pair `{ ... }` of any kind (fn body, match body, struct
@@ -50,6 +54,9 @@ pub struct Call {
     pub is_method: bool,
     /// Token indices of the argument list's `(` and matching `)`.
     pub args: (usize, usize),
+    /// The path segment immediately before the callee (`Reader` in
+    /// `Reader::new(...)`, `codec` in `codec::read_batch(...)`), if any.
+    pub qualifier: Option<String>,
 }
 
 /// The parse tree of one file: its functions and its block nesting.
@@ -75,6 +82,7 @@ impl ParsedFile {
 /// Parses a lexed token stream into its item/block structure.
 pub fn parse(tokens: &[Token]) -> ParsedFile {
     let test = test_regions(tokens);
+    let impls = impl_regions(tokens);
 
     let mut blocks = Vec::new();
     let mut stack = Vec::new();
@@ -123,6 +131,11 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
                 line: tokens[i].line,
                 body,
                 in_test: in_region(&test, i),
+                owner: impls
+                    .iter()
+                    .filter(|r| r.open < i && i < r.close)
+                    .min_by_key(|r| r.close - r.open)
+                    .map(|r| r.owner.clone()),
             });
             // Resume right after the name so fns nested in this body are
             // found too.
@@ -132,6 +145,80 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
         i += 1;
     }
     ParsedFile { fns, blocks }
+}
+
+/// One `impl` block's brace range plus the self type it implements on.
+struct ImplRegion {
+    open: usize,
+    close: usize,
+    owner: String,
+}
+
+/// Every `impl` block, with its self type: the last path segment collected
+/// at angle-bracket depth 0 before the body brace. A `for` resets the
+/// collection (`impl Codec for Reader` owns `Reader`, not `Codec`); a
+/// `where` clause stops it. Safe without type context because `->` and
+/// `=>` are merged tokens and `>>` never is, so angle depth balances.
+fn impl_regions(tokens: &[Token]) -> Vec<ImplRegion> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut owner: Option<String> = None;
+        let mut angle = 0i32;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if t.is_punct(';') || t.is_ident("where") {
+                    // `where` bounds can mention braced const expressions;
+                    // scan on to the body brace without collecting names.
+                    while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                        open = Some(j);
+                    }
+                    break;
+                }
+                if t.is_ident("for") {
+                    owner = None;
+                } else if t.kind == TokenKind::Ident {
+                    owner = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        let (Some(open_idx), Some(owner)) = (open, owner) else {
+            i = j.max(i + 1);
+            continue;
+        };
+        if let Some(close) = matching(tokens, open_idx, '{', '}') {
+            out.push(ImplRegion {
+                open: open_idx,
+                close,
+                owner,
+            });
+            // Resume inside the body: impls don't nest directly, but a fn
+            // body inside can hold another impl.
+            i = open_idx + 1;
+            continue;
+        }
+        i = j.max(i + 1);
+    }
+    out
 }
 
 /// Keywords that read like call syntax but aren't calls (`if (x)`,
@@ -168,12 +255,16 @@ pub fn calls_in(tokens: &[Token], range: (usize, usize)) -> Vec<Call> {
             continue;
         }
         if let Some(close) = matching(tokens, a, '(', ')') {
+            let qualifier =
+                (k >= 2 && tokens[k - 1].is_op("::") && tokens[k - 2].kind == TokenKind::Ident)
+                    .then(|| tokens[k - 2].text.clone());
             out.push(Call {
                 name: t.text.clone(),
                 idx: k,
                 line: t.line,
                 is_method: k >= 1 && tokens[k - 1].is_punct('.'),
                 args: (a, close),
+                qualifier,
             });
         }
     }
@@ -402,6 +493,54 @@ mod tests {
         let map = calls.iter().find(|c| c.name == "map").expect("map");
         let b = closure_body(&lexed.tokens, map.args).expect("closure");
         assert!(lexed.tokens[b.0..=b.1].iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn impl_blocks_assign_owners() {
+        let src = "fn free() {}\n\
+                   impl Reader { fn new() -> Self { Reader } fn take(&self) {} }\n\
+                   impl fmt::Display for ReplicaId { fn fmt(&self) {} }\n\
+                   impl<T: Into<u8>> From<T> for Wrapper { fn from(t: T) -> Self { t } }";
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        let owners: Vec<(&str, Option<&str>)> = parsed
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("free", None),
+                ("new", Some("Reader")),
+                ("take", Some("Reader")),
+                ("fmt", Some("ReplicaId")),
+                ("from", Some("Wrapper")),
+            ]
+        );
+    }
+
+    #[test]
+    fn calls_carry_their_qualifier() {
+        let src = "fn a() { Reader::new(); codec::read_batch(b); free(); x.meth(); \
+                   Path::assoc::<u8>(y); }";
+        let lexed = lex(src);
+        let body = parse(&lexed.tokens).fns[0].body.unwrap();
+        let calls = calls_in(&lexed.tokens, body);
+        let quals: Vec<(&str, Option<&str>)> = calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref()))
+            .collect();
+        assert_eq!(
+            quals,
+            vec![
+                ("new", Some("Reader")),
+                ("read_batch", Some("codec")),
+                ("free", None),
+                ("meth", None),
+                ("assoc", Some("Path")),
+            ]
+        );
     }
 
     #[test]

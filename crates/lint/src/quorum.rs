@@ -1,0 +1,649 @@
+//! Q-rules: quorum arithmetic, checked symbolically.
+//!
+//! The protocols' safety rests on two lines of algebra: any two quorums
+//! that can both commit a value must intersect in enough replicas to
+//! pin it (≥ f + 1 honest-majority witnesses in the untrusted
+//! `n = 3f + 1` regime; ≥ 1 witness when a trusted component already
+//! prevents equivocation, `n = 2f + 1`), and a quorum must still be
+//! reachable with f replicas crashed (q ≤ n − f). This pass extracts
+//! the workspace's quorum definitions — `ReplicationFactor::replicas`,
+//! `small_quorum`, `large_quorum` — as linear expressions `µ·f + c` and
+//! proves both properties for every f ≥ 1, which for linear forms
+//! reduces to two integer comparisons (µ ≥ 0 and µ + c ≥ 0 on the
+//! slack). **Q01** is an intersection gap; **Q02** is an unreachable
+//! quorum.
+//!
+//! Definitions are checked against their own regime (`large_quorum`
+//! against 3f + 1, `small_quorum` against 2f + 1 — the pairings the
+//! protocol table uses). Then every *site* that fixes a quorum rule —
+//! `prepare_quorum_rule:`/`commit_quorum_rule:` fields in a
+//! `ProtocolStyle` literal, and `let …prepare_quorum… =` bindings onto
+//! a quorum helper — is re-checked for intersection in the regime of
+//! the `ProtocolId` named in the same function, via the arm map of
+//! `replication_factor`. That catches the cross-regime bug class the
+//! paper is about: a trust-bft `f + 1` quorum pasted into a `3f + 1`
+//! deployment intersects in `1 − f` replicas and is silently unsafe.
+//! Availability is deliberately not re-checked at sites: fast paths
+//! (Zyzzyva's all-replicas reply rule) trade it away on purpose.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::SourceFile;
+use std::collections::BTreeMap;
+
+/// A linear form `f_coef · f + constant` over the fault threshold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Linear {
+    f_coef: i64,
+    constant: i64,
+}
+
+impl Linear {
+    const fn new(f_coef: i64, constant: i64) -> Self {
+        Linear { f_coef, constant }
+    }
+
+    fn sub(self, o: Linear) -> Linear {
+        Linear::new(self.f_coef - o.f_coef, self.constant - o.constant)
+    }
+
+    /// Whether `self ≥ o` for every integer f ≥ 1.
+    fn ge_for_all_f(self, o: Linear) -> bool {
+        let d = self.sub(o);
+        d.f_coef >= 0 && d.f_coef + d.constant >= 0
+    }
+
+    /// Renders as `2f + 1` / `f` / `3` for findings.
+    fn render(self) -> String {
+        match (self.f_coef, self.constant) {
+            (0, c) => format!("{c}"),
+            (1, 0) => "f".into(),
+            (1, c) if c > 0 => format!("f + {c}"),
+            (1, c) => format!("f - {}", -c),
+            (m, 0) => format!("{m}f"),
+            (m, c) if c > 0 => format!("{m}f + {c}"),
+            (m, c) => format!("{m}f - {}", -c),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Regime {
+    TwoFPlusOne,
+    ThreeFPlusOne,
+}
+
+impl Regime {
+    /// Minimum intersection of two commit-capable quorums: the trusted
+    /// 2f+1 regime needs one witness (equivocation is impossible), the
+    /// untrusted 3f+1 regime needs an honest replica beyond the f
+    /// Byzantine ones.
+    fn min_intersection(self) -> Linear {
+        match self {
+            Regime::TwoFPlusOne => Linear::new(0, 1),
+            Regime::ThreeFPlusOne => Linear::new(1, 1),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Regime::TwoFPlusOne => "trusted n = 2f + 1",
+            Regime::ThreeFPlusOne => "untrusted n = 3f + 1",
+        }
+    }
+}
+
+/// A definition extracted from source: its linear value plus where it
+/// was written, for anchoring findings.
+#[derive(Clone)]
+struct Def {
+    value: Linear,
+    file: String,
+    line: u32,
+}
+
+/// The workspace's quorum vocabulary.
+#[derive(Default)]
+struct Defs {
+    n2: Option<Def>,
+    n3: Option<Def>,
+    q_small: Option<Def>,
+    q_large: Option<Def>,
+    /// `ProtocolId` variant name → regime, from `replication_factor`.
+    regime_of: BTreeMap<String, Regime>,
+}
+
+/// Runs the Q-rules. Quiet when the tree defines no quorum vocabulary
+/// (fixture trees for other rule families).
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let defs = extract(files);
+    let mut out = Vec::new();
+    check_definitions(&defs, &mut out);
+    check_sites(files, &defs, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}
+
+// ------------------------------------------------------------- extraction
+
+fn extract(files: &[SourceFile]) -> Defs {
+    let mut defs = Defs::default();
+    for f in files {
+        let tokens = f.tokens();
+        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
+            let Some(body) = def.body else { continue };
+            match def.name.as_str() {
+                // `ReplicationFactor::replicas`, not the SystemConfig
+                // iterator of the same name: require the regime arms.
+                "replicas" => {
+                    let two = arm_value(tokens, body, "TwoFPlusOne");
+                    let three = arm_value(tokens, body, "ThreeFPlusOne");
+                    if let (Some(two), Some(three)) = (two, three) {
+                        defs.n2 = Some(Def {
+                            value: two,
+                            file: f.rel.clone(),
+                            line: def.line,
+                        });
+                        defs.n3 = Some(Def {
+                            value: three,
+                            file: f.rel.clone(),
+                            line: def.line,
+                        });
+                    }
+                }
+                "small_quorum" | "large_quorum" => {
+                    if let Some(v) = parse_linear(tokens, (body.0 + 1, body.1.saturating_sub(1))) {
+                        let d = Some(Def {
+                            value: v,
+                            file: f.rel.clone(),
+                            line: def.line,
+                        });
+                        if def.name == "small_quorum" {
+                            defs.q_small = d;
+                        } else {
+                            defs.q_large = d;
+                        }
+                    }
+                }
+                "replication_factor" => {
+                    regime_arms(tokens, body, &mut defs.regime_of);
+                }
+                _ => {}
+            }
+        }
+    }
+    defs
+}
+
+/// The linear value of the match arm `… Name => <expr>,` in the body.
+fn arm_value(tokens: &[Token], body: (usize, usize), name: &str) -> Option<Linear> {
+    let (b0, b1) = body;
+    for k in b0..=b1 {
+        if tokens[k].is_ident(name) && tokens.get(k + 1).is_some_and(|t| t.is_op("=>")) {
+            let start = k + 2;
+            let mut depth = 0i32;
+            let mut end = b1;
+            for (q, t) in tokens.iter().enumerate().take(b1 + 1).skip(start) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        end = q.saturating_sub(1);
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    end = q.saturating_sub(1);
+                    break;
+                }
+            }
+            return parse_linear(tokens, (start, end));
+        }
+    }
+    None
+}
+
+/// Collects `ProtocolId::Name | … => ReplicationFactor::Regime` arms:
+/// every pattern name seen since the last regime is mapped to the next
+/// regime token encountered.
+fn regime_arms(tokens: &[Token], body: (usize, usize), out: &mut BTreeMap<String, Regime>) {
+    let mut pending: Vec<String> = Vec::new();
+    let mut k = body.0;
+    while k + 2 <= body.1 {
+        if tokens[k].kind == TokenKind::Ident && tokens[k + 1].is_op("::") {
+            match tokens[k].text.as_str() {
+                "ProtocolId" => pending.push(tokens[k + 2].text.clone()),
+                "ReplicationFactor" => {
+                    let regime = match tokens[k + 2].text.as_str() {
+                        "TwoFPlusOne" => Some(Regime::TwoFPlusOne),
+                        "ThreeFPlusOne" => Some(Regime::ThreeFPlusOne),
+                        _ => None,
+                    };
+                    if let Some(r) = regime {
+                        for name in pending.drain(..) {
+                            out.insert(name, r);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 3;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// Parses a token range as a linear expression over `f`: products of
+/// integer literals and at most one `f` per term, terms joined by
+/// `+`/`-`. `self`, `.`, parentheses, and `as usize` widenings are
+/// transparent; anything else (another identifier, a call) fails and
+/// the caller skips the site rather than guess.
+fn parse_linear(tokens: &[Token], range: (usize, usize)) -> Option<Linear> {
+    let (start, end) = range;
+    if start > end || end >= tokens.len() {
+        return None;
+    }
+    let mut total = Linear::new(0, 0);
+    let mut sign = 1i64;
+    let mut coeff = 1i64;
+    let mut has_f = false;
+    let mut any = false;
+    let flush = |sign: i64, coeff: i64, has_f: bool, any: bool, total: &mut Linear| {
+        if any {
+            if has_f {
+                total.f_coef += sign * coeff;
+            } else {
+                total.constant += sign * coeff;
+            }
+        }
+    };
+    for t in &tokens[start..=end] {
+        match t.kind {
+            TokenKind::Literal => {
+                let v: i64 = t.text.parse().ok()?;
+                coeff = coeff.checked_mul(v)?;
+                any = true;
+            }
+            TokenKind::Ident => match t.text.as_str() {
+                "f" => {
+                    if has_f {
+                        return None;
+                    }
+                    has_f = true;
+                    any = true;
+                }
+                "self" | "as" | "usize" | "u64" | "u32" | "i64" => {}
+                _ => return None,
+            },
+            _ => {
+                if t.is_punct('*') || t.is_punct('.') || t.is_punct('(') || t.is_punct(')') {
+                    // transparent
+                } else if t.is_punct('+') || t.is_punct('-') {
+                    flush(sign, coeff, has_f, any, &mut total);
+                    sign = if t.is_punct('+') { 1 } else { -1 };
+                    coeff = 1;
+                    has_f = false;
+                    any = false;
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+    flush(sign, coeff, has_f, any, &mut total);
+    if total == Linear::new(0, 0) && !any {
+        return None;
+    }
+    Some(total)
+}
+
+// ------------------------------------------------------------ definitions
+
+fn check_definitions(defs: &Defs, out: &mut Vec<Finding>) {
+    let pairs = [
+        (
+            &defs.q_large,
+            &defs.n3,
+            Regime::ThreeFPlusOne,
+            "large_quorum",
+        ),
+        (&defs.q_small, &defs.n2, Regime::TwoFPlusOne, "small_quorum"),
+    ];
+    for (q, n, regime, name) in pairs {
+        let (Some(q), Some(n)) = (q, n) else { continue };
+        let overlap = Linear::new(2 * q.value.f_coef, 2 * q.value.constant).sub(n.value);
+        let need = regime.min_intersection();
+        if !overlap.ge_for_all_f(need) {
+            out.push(Finding::new(
+                &q.file,
+                q.line,
+                "Q01",
+                format!(
+                    "quorum intersection gap: two `{name}` quorums of size {} in \
+                     an n = {} deployment ({}) overlap in only {} replicas, but \
+                     safety needs ≥ {}; two conflicting commits could both gather \
+                     quorums",
+                    q.value.render(),
+                    n.value.render(),
+                    regime.label(),
+                    overlap.render(),
+                    need.render(),
+                ),
+            ));
+        }
+        let reachable = n.value.sub(Linear::new(1, 0));
+        if !reachable.ge_for_all_f(q.value) {
+            out.push(Finding::new(
+                &q.file,
+                q.line,
+                "Q02",
+                format!(
+                    "unreachable quorum: `{name}` needs {} replicas but only {} \
+                     of n = {} survive f crashes ({}); the protocol would stall \
+                     under the fault load it claims to tolerate",
+                    q.value.render(),
+                    reachable.render(),
+                    n.value.render(),
+                    regime.label(),
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ sites
+
+fn check_sites(files: &[SourceFile], defs: &Defs, out: &mut Vec<Finding>) {
+    let (Some(n2), Some(n3), Some(q_small), Some(q_large)) =
+        (&defs.n2, &defs.n3, &defs.q_small, &defs.q_large)
+    else {
+        return;
+    };
+    let n_of = |r: Regime| match r {
+        Regime::TwoFPlusOne => n2.value,
+        Regime::ThreeFPlusOne => n3.value,
+    };
+    let rule_size = |rule: &str, r: Regime| match rule {
+        "FPlusOne" => Some(q_small.value),
+        "TwoFPlusOne" => Some(q_large.value),
+        "AllReplicas" => Some(n_of(r)),
+        _ => None,
+    };
+
+    for f in files {
+        let tokens = f.tokens();
+        for def in f.parsed.fns.iter().filter(|d| !d.in_test) {
+            let Some(body) = def.body else { continue };
+            // The deployment regime this function configures: every
+            // `ProtocolId::X` it names must agree, else skip (a generic
+            // helper handling several protocols proves nothing).
+            let Some(regime) = fn_regime(tokens, body, &defs.regime_of) else {
+                continue;
+            };
+            let n = n_of(regime);
+            let need = regime.min_intersection();
+            let flag = |line: u32, what: &str, q: Linear, out: &mut Vec<Finding>| {
+                let overlap = Linear::new(2 * q.f_coef, 2 * q.constant).sub(n);
+                if !overlap.ge_for_all_f(need) {
+                    out.push(Finding::new(
+                        &f.rel,
+                        line,
+                        "Q01",
+                        format!(
+                            "quorum intersection gap at this site: {what} gives a \
+                             quorum of {} in an n = {} deployment ({}), \
+                             overlapping in only {} replicas where safety needs \
+                             ≥ {}; this is the cross-regime mismatch (e.g. a \
+                             trust-bft f+1 quorum in a 3f+1 deployment) that \
+                             lets two conflicting commits both certify",
+                            q.render(),
+                            n.render(),
+                            regime.label(),
+                            overlap.render(),
+                            need.render(),
+                        ),
+                    ));
+                }
+            };
+
+            let mut k = body.0;
+            while k + 4 <= body.1 {
+                // Field site: `prepare_quorum_rule: QuorumRule::X`.
+                if (tokens[k].is_ident("prepare_quorum_rule")
+                    || tokens[k].is_ident("commit_quorum_rule"))
+                    && tokens[k + 1].is_punct(':')
+                    && tokens[k + 2].is_ident("QuorumRule")
+                    && tokens[k + 3].is_op("::")
+                {
+                    let rule = &tokens[k + 4].text;
+                    if let Some(q) = rule_size(rule, regime) {
+                        let what = format!("`{}: QuorumRule::{rule}`", tokens[k].text);
+                        flag(tokens[k + 4].line, &what, q, out);
+                    }
+                    k += 5;
+                    continue;
+                }
+                // Binding site: `let …prepare_quorum… = ….large_quorum();`
+                if tokens[k].is_ident("let") {
+                    let mut p = k + 1;
+                    if tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+                        p += 1;
+                    }
+                    if let Some(t) = tokens.get(p) {
+                        if t.kind == TokenKind::Ident
+                            && (t.text.contains("prepare_quorum")
+                                || t.text.contains("commit_quorum"))
+                        {
+                            let semi = (p..=body.1)
+                                .find(|&q| tokens[q].is_punct(';'))
+                                .unwrap_or(body.1);
+                            if let Some(q) =
+                                binding_size(tokens, (p, semi), q_small.value, q_large.value)
+                            {
+                                let what = format!("binding `{}`", t.text);
+                                flag(t.line, &what, q, out);
+                            }
+                            k = semi + 1;
+                            continue;
+                        }
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// The single regime implied by the `ProtocolId`s a function names, or
+/// `None` when it names none or they disagree.
+fn fn_regime(
+    tokens: &[Token],
+    body: (usize, usize),
+    regime_of: &BTreeMap<String, Regime>,
+) -> Option<Regime> {
+    let mut found: Option<Regime> = None;
+    let mut k = body.0;
+    while k + 2 <= body.1 {
+        if tokens[k].is_ident("ProtocolId") && tokens[k + 1].is_op("::") {
+            if let Some(&r) = regime_of.get(&tokens[k + 2].text) {
+                match found {
+                    None => found = Some(r),
+                    Some(prev) if prev != r => return None,
+                    _ => {}
+                }
+            }
+            k += 3;
+            continue;
+        }
+        k += 1;
+    }
+    found
+}
+
+/// The quorum size a `let` binding resolves to, when the RHS calls
+/// exactly one of the named helpers. A generic `.quorum(rule)` call is
+/// rule-dependent and proves nothing, so it yields `None`.
+fn binding_size(
+    tokens: &[Token],
+    range: (usize, usize),
+    q_small: Linear,
+    q_large: Linear,
+) -> Option<Linear> {
+    let mut size = None;
+    for k in range.0..=range.1.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[k];
+        if t.kind != TokenKind::Ident || !tokens.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        match t.text.as_str() {
+            "small_quorum" => size = Some(q_small),
+            "large_quorum" => size = Some(q_large),
+            "quorum" => return None,
+            _ => {}
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real tree's quorum vocabulary, minimised.
+    fn config_src(large: &str) -> String {
+        format!(
+            "impl ProtocolId {{ pub fn replication_factor(self) -> ReplicationFactor {{ \
+             match self {{ \
+             ProtocolId::Pbft | ProtocolId::FlexiBft => ReplicationFactor::ThreeFPlusOne, \
+             ProtocolId::MinBft | ProtocolId::CheapBft => ReplicationFactor::TwoFPlusOne, }} }} }}\n\
+             impl ReplicationFactor {{ pub fn replicas(self, f: usize) -> usize {{ \
+             match self {{ ReplicationFactor::TwoFPlusOne => 2 * f + 1, \
+             ReplicationFactor::ThreeFPlusOne => 3 * f + 1, }} }} }}\n\
+             impl SystemConfig {{ \
+             pub fn small_quorum(&self) -> usize {{ self.f + 1 }} \
+             pub fn large_quorum(&self) -> usize {{ {large} }} }}"
+        )
+    }
+
+    fn lint(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(rel, src)| SourceFile::new(rel, src))
+            .collect();
+        check(&files)
+    }
+
+    #[test]
+    fn the_papers_quorum_table_is_clean() {
+        let cfg = config_src("2 * self.f + 1");
+        let found = lint(&[
+            ("crates/types/src/config.rs", &cfg),
+            (
+                "crates/baselines/src/pbft.rs",
+                "pub fn style() -> ProtocolStyle { ProtocolStyle { \
+                 id: ProtocolId::Pbft, \
+                 prepare_quorum_rule: QuorumRule::TwoFPlusOne, \
+                 commit_quorum_rule: QuorumRule::TwoFPlusOne } }",
+            ),
+            (
+                "crates/baselines/src/minbft.rs",
+                "pub fn style() -> ProtocolStyle { ProtocolStyle { \
+                 id: ProtocolId::MinBft, \
+                 prepare_quorum_rule: QuorumRule::FPlusOne, \
+                 commit_quorum_rule: QuorumRule::FPlusOne } }",
+            ),
+            (
+                "crates/core/src/flexi_bft.rs",
+                "pub fn new(config: Arc<SystemConfig>) -> Self { \
+                 let prepare_quorum = config.large_quorum(); \
+                 let sequential = config.protocol == ProtocolId::FlexiBft; \
+                 Self { prepare_quorum, sequential } }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn a_too_small_large_quorum_is_a_q01_intersection_gap() {
+        // 2(2f) - (3f+1) = f - 1 < f + 1: quorums need not intersect in
+        // an honest replica.
+        let cfg = config_src("2 * self.f");
+        let found = lint(&[("crates/types/src/config.rs", &cfg)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "Q01");
+        assert!(found[0].message.contains("large_quorum"));
+    }
+
+    #[test]
+    fn a_too_large_quorum_is_a_q02_availability_gap() {
+        // 2f + 2 > (3f + 1) - f = 2f + 1 survivors.
+        let cfg = config_src("2 * self.f + 2");
+        let found = lint(&[("crates/types/src/config.rs", &cfg)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "Q02");
+        assert!(found[0].message.contains("stall"));
+    }
+
+    #[test]
+    fn a_trust_bft_rule_in_an_untrusted_deployment_is_q01_at_the_site() {
+        let cfg = config_src("2 * self.f + 1");
+        let found = lint(&[
+            ("crates/types/src/config.rs", &cfg),
+            (
+                "crates/baselines/src/pbft.rs",
+                "pub fn style() -> ProtocolStyle { ProtocolStyle { \
+                 id: ProtocolId::Pbft, \
+                 prepare_quorum_rule: QuorumRule::FPlusOne, \
+                 commit_quorum_rule: QuorumRule::TwoFPlusOne } }",
+            ),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "Q01");
+        assert!(found[0].message.contains("prepare_quorum_rule"));
+    }
+
+    #[test]
+    fn generic_rule_plumbing_and_mixed_protocol_helpers_are_skipped() {
+        let cfg = config_src("2 * self.f + 1");
+        let found = lint(&[
+            ("crates/types/src/config.rs", &cfg),
+            (
+                "crates/baselines/src/common.rs",
+                // `.quorum(rule)` is rule-dependent; a fn naming two
+                // protocols of different regimes proves nothing.
+                "fn build(config: &SystemConfig, style: &ProtocolStyle) { \
+                 let prepare_quorum = config.quorum(style.prepare_quorum_rule); \
+                 let which = if x { ProtocolId::Pbft } else { ProtocolId::MinBft }; }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn trees_without_quorum_vocabulary_are_quiet() {
+        let found = lint(&[(
+            "crates/exec/src/lib.rs",
+            "fn run() { let prepare_quorum_rule = 3; }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn linear_parsing_handles_the_real_shapes() {
+        let f = SourceFile::new(
+            "crates/types/src/x.rs",
+            "fn q(&self) -> usize { 2 * self.f + 1 }",
+        );
+        let tokens = f.tokens();
+        let body = f.parsed.fns[0].body.unwrap();
+        assert_eq!(
+            parse_linear(tokens, (body.0 + 1, body.1 - 1)),
+            Some(Linear::new(2, 1))
+        );
+        assert_eq!(Linear::new(2, 1).render(), "2f + 1");
+        assert_eq!(Linear::new(1, -1).render(), "f - 1");
+        assert!(Linear::new(1, 1).ge_for_all_f(Linear::new(0, 2)));
+        assert!(!Linear::new(0, 3).ge_for_all_f(Linear::new(1, 0)));
+    }
+}

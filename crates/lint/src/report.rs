@@ -40,6 +40,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Pragmas that suppressed at least one finding.
     pub suppressions_used: usize,
+    /// Wall time per analysis pass, in run order — the CI budget check
+    /// reads these out of the JSON artifact.
+    pub timings_ms: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -114,11 +117,14 @@ impl Report {
         }
         let _ = write!(
             out,
-            "],\n  \"files_scanned\": {},\n  \"suppressions_used\": {},\n  \"clean\": {}\n}}\n",
-            self.files_scanned,
-            self.suppressions_used,
-            self.is_clean()
+            "],\n  \"files_scanned\": {},\n  \"suppressions_used\": {},\n  \"timings_ms\": {{",
+            self.files_scanned, self.suppressions_used,
         );
+        for (i, (pass, ms)) in self.timings_ms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{}: {ms:.2}", json_str(pass));
+        }
+        let _ = write!(out, "}},\n  \"clean\": {}\n}}\n", self.is_clean());
         out
     }
 }
@@ -177,6 +183,20 @@ mod tests {
         assert!(r.json().contains("\"rule\": \"D01\""));
         assert!(r.json().contains("\"clean\": false"));
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_carries_per_pass_timings() {
+        let r = Report {
+            files_scanned: 1,
+            timings_ms: vec![("graph".into(), 1.25), ("taint".into(), 0.5)],
+            ..Default::default()
+        };
+        let j = r.json();
+        assert!(
+            j.contains("\"timings_ms\": {\"graph\": 1.25, \"taint\": 0.50}"),
+            "{j}"
+        );
     }
 
     #[test]

@@ -121,6 +121,27 @@ pub const RULES: &[(&str, &str)] = &[
         "X02",
         "slice/array indexing reachable from a worker-thread entry point",
     ),
+    (
+        "T01",
+        "panicking operation reachable from a wire decode entry point (peer-controlled bytes)",
+    ),
+    (
+        "T02",
+        "unchecked `as` narrowing cast on a wire decode path (peer-controlled length/count)",
+    ),
+    (
+        "N01",
+        "nondeterministic value (clock/RNG/stats timer) flows into a Message, wire encoding \
+         or state digest",
+    ),
+    (
+        "Q01",
+        "quorum intersection gap: two quorums need not share the replicas safety requires",
+    ),
+    (
+        "Q02",
+        "unreachable quorum: larger than the replicas surviving f crashes",
+    ),
     ("U01", "unused lint:allow pragma"),
     (
         "U02",

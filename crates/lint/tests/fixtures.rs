@@ -208,6 +208,42 @@ fn x02_fires_on_unchecked_indexing_in_a_worker() {
 }
 
 #[test]
+fn t01_fires_on_panics_reachable_from_a_decode_entry() {
+    let report = expect_only("t01_decode_panic", "T01");
+    // The slice index and the unwrap, two calls below `decode_ping`.
+    assert_eq!(report.findings.len(), 2, "{}", report.human());
+    assert!(report.findings.iter().any(|f| f.message.contains("unwrap")));
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.message.contains("wire decode entry point")));
+}
+
+#[test]
+fn t02_fires_on_a_narrowing_cast_of_a_peer_count() {
+    let report = expect_only("t02_narrow_cast", "T02");
+    assert_eq!(report.findings.len(), 1, "{}", report.human());
+    assert!(report.findings[0].message.contains("as usize"));
+}
+
+#[test]
+fn n01_fires_when_a_clock_value_crosses_files_into_a_message() {
+    // The taint travels through a return summary: `Pacer::budget_nanos`
+    // (clock.rs) is the source, `Node::heartbeat` (node.rs) the sink.
+    let report = expect_only("n01_clock_leak", "N01");
+    assert_eq!(report.findings.len(), 1, "{}", report.human());
+    assert!(report.findings[0].message.contains("Message::Heartbeat"));
+}
+
+#[test]
+fn q01_fires_on_a_quorum_that_need_not_intersect() {
+    let report = expect_only("q01_quorum_gap", "Q01");
+    assert_eq!(report.findings.len(), 1, "{}", report.human());
+    assert!(report.findings[0].message.contains("large_quorum"));
+    assert!(report.findings[0].message.contains("3f + 1"));
+}
+
+#[test]
 fn seeded_violation_json_marks_the_run_dirty() {
     // The CI smoke check depends on this exact contract: a seeded
     // violation yields `"clean": false` JSON and a nonzero exit.

@@ -1,0 +1,12 @@
+//! A pacer whose budget is a wall-clock read: legal in `runtime`
+//! (not a deterministic crate), but its return value is tainted.
+
+pub struct Pacer {
+    started: std::time::Instant,
+}
+
+impl Pacer {
+    pub fn budget_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}

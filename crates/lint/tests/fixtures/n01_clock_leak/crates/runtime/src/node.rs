@@ -1,0 +1,16 @@
+//! Seeded N01: the pacer's wall-clock budget (a tainted return summary
+//! from the other file) flows into a protocol message.
+
+use crate::clock::Pacer;
+
+pub struct Node {
+    pacer: Pacer,
+    out: Vec<Message>,
+}
+
+impl Node {
+    pub fn heartbeat(&mut self) {
+        let nanos = self.pacer.budget_nanos();
+        self.out.push(Message::Heartbeat { nanos });
+    }
+}

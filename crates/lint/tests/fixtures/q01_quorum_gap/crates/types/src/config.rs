@@ -1,0 +1,38 @@
+//! Seeded Q01: `large_quorum` is `2f` instead of `2f + 1`. Two such
+//! quorums in an `n = 3f + 1` deployment overlap in only `f - 1`
+//! replicas — all of which may be Byzantine — so two conflicting
+//! commits can both certify. Availability still holds (`2f <= 2f + 1`
+//! survivors), so only the intersection rule fires.
+
+pub enum ReplicationFactor {
+    TwoFPlusOne,
+    ThreeFPlusOne,
+}
+
+impl ProtocolId {
+    pub fn replication_factor(self) -> ReplicationFactor {
+        match self {
+            ProtocolId::Pbft => ReplicationFactor::ThreeFPlusOne,
+            ProtocolId::MinBft => ReplicationFactor::TwoFPlusOne,
+        }
+    }
+}
+
+impl ReplicationFactor {
+    pub fn replicas(self, f: usize) -> usize {
+        match self {
+            ReplicationFactor::TwoFPlusOne => 2 * f + 1,
+            ReplicationFactor::ThreeFPlusOne => 3 * f + 1,
+        }
+    }
+}
+
+impl SystemConfig {
+    pub fn small_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    pub fn large_quorum(&self) -> usize {
+        2 * self.f
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded T01: a decode entry point reaches a helper that indexes and
+//! unwraps peer-controlled bytes two calls deep.
+
+pub struct Ping {
+    pub seq: u64,
+}
+
+pub fn decode_ping(bytes: &[u8]) -> Ping {
+    Ping {
+        seq: header_seq(bytes),
+    }
+}
+
+fn header_seq(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}

@@ -1,0 +1,10 @@
+//! Seeded T02: a peer-declared count is narrowed with a bare `as` cast
+//! on the decode path. No indexing, no unwrap — only the cast fires.
+
+pub fn decode_count(bytes: &[u8]) -> usize {
+    let mut declared = 0u64;
+    for b in bytes.iter().take(8) {
+        declared = (declared << 8) | u64::from(*b);
+    }
+    declared as usize
+}

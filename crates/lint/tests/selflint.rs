@@ -51,7 +51,15 @@ fn workspace_is_clean_under_each_graph_rule_family() {
     // resolve against the full finding set, so a pragma carrying a real
     // X01 keeps counting here.
     let root = workspace_root();
-    for family in ["L01,L02", "C01,C02,C03", "H01,H02", "X01,X02"] {
+    for family in [
+        "L01,L02",
+        "C01,C02,C03",
+        "H01,H02",
+        "X01,X02",
+        "T01,T02",
+        "N01",
+        "Q01,Q02",
+    ] {
         let only: BTreeSet<String> = family.split(',').map(str::to_string).collect();
         let report = flexilint::run_with_rules(&root, Some(&only)).expect("workspace scan");
         assert!(
@@ -60,13 +68,13 @@ fn workspace_is_clean_under_each_graph_rule_family() {
             report.human()
         );
     }
-    // The X01 pragma on the executor's unreachable! arm is load-bearing:
-    // the full run must honour at least one suppression beyond the token
-    // rules' count of 16 committed before the graph analyses landed.
+    // The T01/T02/X02 pragmas carrying the wire and executor bounds
+    // proofs are load-bearing: the full run must honour them all beyond
+    // the 17 committed before the dataflow analyses landed.
     let full = flexilint::run(&root).expect("workspace scan");
     assert!(
-        full.suppressions_used >= 17,
-        "expected the graph-rule pragmas to be exercised, got {}",
+        full.suppressions_used >= 33,
+        "expected the dataflow-rule pragmas to be exercised, got {}",
         full.suppressions_used
     );
 }

@@ -74,11 +74,13 @@ impl Transport for ChannelTransport {
         // ours) deadlocks both replicas. Dropping is safe — every protocol
         // here already survives lossy networks — and is surfaced through
         // the drop counter in `ClusterSummary`.
-        if self.peers[to.as_usize()]
-            .try_send(Input::Peer(from, msg))
-            .is_err()
-        {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        // `.get`, not indexing: a corrupt destination id is a counted
+        // drop, never a dead worker thread.
+        match self.peers.get(to.as_usize()) {
+            Some(peer) if peer.try_send(Input::Peer(from, msg)).is_ok() => {}
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -259,7 +261,9 @@ impl Cluster {
     /// Submits transactions to the current primary replica.
     pub fn submit(&self, txns: Vec<Transaction>) {
         let primary = self.tracker.current_primary();
-        let _ = self.inboxes[primary.as_usize()].send(Input::Client(txns));
+        if let Some(inbox) = self.inboxes.get(primary.as_usize()) {
+            let _ = inbox.send(Input::Client(txns));
+        }
     }
 
     /// Runs `total_txns` transactions (from `clients` logical clients)

@@ -76,6 +76,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(WireError::Truncated { context });
         }
+        // lint:allow(T01): the remaining() guard proves pos + n <= bytes.len(), so the range is in bounds
         let slice = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
@@ -87,18 +88,26 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, context)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        match <[u8; 4]>::try_from(b) {
+            Ok(arr) => Ok(u32::from_le_bytes(arr)),
+            Err(_) => Err(WireError::Truncated { context }),
+        }
     }
 
     pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        match <[u8; 8]>::try_from(b) {
+            Ok(arr) => Ok(u64::from_le_bytes(arr)),
+            Err(_) => Err(WireError::Truncated { context }),
+        }
     }
 
     /// A `u32` collection/byte length, sanity-bounded so a corrupt frame
-    /// cannot request an absurd allocation.
+    /// cannot request an absurd allocation. The widening is checked: on a
+    /// 16-bit target a count that does not fit saturates and is rejected
+    /// by the oversize cap instead of wrapping.
     pub(crate) fn len(&mut self, context: &'static str) -> Result<usize, WireError> {
-        let declared = self.u32(context)? as usize;
+        let declared = usize::try_from(self.u32(context)?).unwrap_or(usize::MAX);
         if declared > crate::frame::MAX_FRAME_BYTES {
             return Err(WireError::Oversize { context, declared });
         }
@@ -107,7 +116,10 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn digest(&mut self, context: &'static str) -> Result<Digest, WireError> {
         let b = self.take(32, context)?;
-        Ok(Digest::from_bytes(b.try_into().expect("32 bytes")))
+        match <[u8; 32]>::try_from(b) {
+            Ok(arr) => Ok(Digest::from_bytes(arr)),
+            Err(_) => Err(WireError::Truncated { context }),
+        }
     }
 
     pub(crate) fn finish(self) -> Result<(), WireError> {
@@ -295,13 +307,21 @@ pub(crate) fn read_attestation(r: &mut Reader<'_>) -> Result<Attestation, WireEr
         }
     };
     let sig = r.take(64, "attestation signature")?;
+    let signature = match <[u8; 64]>::try_from(sig) {
+        Ok(arr) => Signature(arr),
+        Err(_) => {
+            return Err(WireError::Truncated {
+                context: "attestation signature",
+            })
+        }
+    };
     Ok(Attestation {
         host,
         counter,
         value,
         digest,
         kind,
-        signature: Signature(sig.try_into().expect("64 bytes")),
+        signature,
     })
 }
 
@@ -441,7 +461,7 @@ fn read_proof(r: &mut Reader<'_>) -> Result<PreparedProof, WireError> {
         view: View(r.u64("proof view")?),
         seq: SeqNum(r.u64("proof seq")?),
         digest: r.digest("proof digest")?,
-        prepare_votes: r.u32("proof votes")? as usize,
+        prepare_votes: usize::try_from(r.u32("proof votes")?).unwrap_or(usize::MAX),
         batch: read_batch(r)?,
         attestation: read_att_opt(r)?,
     })
@@ -553,7 +573,7 @@ pub(crate) fn read_message_body(
             })?;
             Message::NewView {
                 view: View(a),
-                supporting_votes: b as usize,
+                supporting_votes: usize::try_from(b).unwrap_or(usize::MAX),
                 proposals,
                 counter_attestation,
             }

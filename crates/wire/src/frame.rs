@@ -194,13 +194,14 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     // stream torn mid-prefix (the peer died after 1–3 bytes) is a
     // truncated frame and must error like any other truncation.
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes[..1]) {
+    let (first, rest) = len_bytes.split_at_mut(1);
+    match r.read_exact(first) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    r.read_exact(&mut len_bytes[1..])?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    r.read_exact(rest)?;
+    let len = usize::try_from(u32::from_le_bytes(len_bytes)).unwrap_or(usize::MAX);
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -208,8 +209,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
         ));
     }
     let mut frame = vec![0u8; 4 + len];
-    frame[..4].copy_from_slice(&len_bytes);
-    r.read_exact(&mut frame[4..])?;
+    let (head, body) = frame.split_at_mut(4);
+    head.copy_from_slice(&len_bytes);
+    r.read_exact(body)?;
     decode_frame(&frame)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
