@@ -440,6 +440,57 @@ impl PbftFamilyEngine {
         }
     }
 
+    /// Serves a state-transfer request from a recovering replica: the latest
+    /// stable checkpoint snapshot plus every batch this replica holds and has
+    /// executed above it, so the joiner can replay up to our frontier.
+    fn on_checkpoint_request(&mut self, from: ReplicaId, last_executed: SeqNum, out: &mut Outbox) {
+        let Some((seq, snapshot)) = self.core.stable_checkpoint_snapshot(last_executed) else {
+            return;
+        };
+        let frontier = self.core.last_executed();
+        let batches: Vec<(SeqNum, Batch)> = self
+            .slots
+            .range(seq.0 + 1..)
+            .filter(|(s, _)| SeqNum(**s) <= frontier)
+            .filter_map(|(s, slot)| Some((SeqNum(*s), slot.batch.clone()?)))
+            .collect();
+        out.send(
+            from,
+            Message::CheckpointState {
+                seq,
+                snapshot,
+                batches,
+            },
+        );
+    }
+
+    /// Installs a peer's stable checkpoint (crash-recovery rejoin), then
+    /// replays the accompanying batches through the normal execution path.
+    fn on_checkpoint_state(
+        &mut self,
+        seq: SeqNum,
+        snapshot: &flexitrust_types::StateSnapshot,
+        batches: Vec<(SeqNum, Batch)>,
+        out: &mut Outbox,
+    ) {
+        if self.core.install_checkpoint(seq, snapshot) {
+            self.slots.retain(|s, _| *s > seq.0);
+            self.prepare_votes.retain(|(_, s, _)| s.0 > seq.0);
+            self.commit_votes.retain(|(_, s, _)| s.0 > seq.0);
+            if let Some(enclave) = &self.enclave {
+                enclave.truncate_logs(seq.0);
+            }
+        }
+        let speculative = self.style.speculative;
+        for (batch_seq, batch) in batches {
+            if batch_seq <= self.core.last_executed() {
+                continue;
+            }
+            self.next_seq = self.next_seq.max(batch_seq.0 + 1);
+            self.execute_slot(batch_seq, batch, speculative, out);
+        }
+    }
+
     // ------------------------------------------------------------------
     // View changes.
     // ------------------------------------------------------------------
@@ -683,6 +734,14 @@ impl ConsensusEngine for PbftFamilyEngine {
                     self.enqueue_batches(txns, out);
                 }
             }
+            Message::CheckpointRequest { last_executed } => {
+                self.on_checkpoint_request(from, last_executed, out)
+            }
+            Message::CheckpointState {
+                seq,
+                snapshot,
+                batches,
+            } => self.on_checkpoint_state(seq, &snapshot, batches, out),
         }
     }
 
@@ -716,6 +775,10 @@ impl ConsensusEngine for PbftFamilyEngine {
 
     fn executed_txns(&self) -> u64 {
         self.core.executed_txns()
+    }
+
+    fn state_digest(&self) -> Option<Digest> {
+        Some(self.core.state_digest())
     }
 }
 

@@ -32,7 +32,7 @@ use flexitrust::exec::{ExecutionQueue, KvStore};
 use flexitrust::types::{
     Batch, ClientId, Digest, KvOp, RequestId, SeqNum, Transaction, ValueBytes,
 };
-use flexitrust_bench::{bench_scale, BenchScale};
+use flexitrust_bench::{bench_scale, extract_object, BenchScale};
 use std::time::Instant;
 
 const BATCH_SIZE: usize = 50;
@@ -239,8 +239,9 @@ fn main() {
 
 /// Rewrites `BENCH_TRAJECTORY.json`: the PR 5 message-plane record (folded
 /// in verbatim from `BENCH_PR5.json`), the committed PR 6 and PR 8
-/// execution-scaling rows (carried forward verbatim — their numbers are
-/// history, not something a later run should overwrite), plus this run's
+/// execution-scaling rows and the PR 10 chaos-overhead row (carried
+/// forward verbatim — their numbers are history or another bench's output,
+/// not something this run should overwrite), plus this run's
 /// execution-scaling row under `exec_scaling_pr9`.
 fn write_trajectory(
     params: &Params,
@@ -262,6 +263,10 @@ fn write_trajectory(
     let pr8 = trajectory
         .as_deref()
         .and_then(|s| extract_object(s, "exec_scaling_pr8"))
+        .unwrap_or_else(|| "null".to_string());
+    let chaos = trajectory
+        .as_deref()
+        .and_then(|s| extract_object(s, "chaos_overhead_pr10"))
         .unwrap_or_else(|| "null".to_string());
     let rows: Vec<String> = series
         .iter()
@@ -288,7 +293,8 @@ fn write_trajectory(
          \"series\": [\n{rows}\n    ],\n    \
          \"scaling_1_to_4_critical_path\": {crit:.2},\n    \
          \"scaling_1_to_4_wall\": {wall:.2},\n    \
-         \"gate\": {{\"min_scaling_1_to_4_critical_path\": {gate:.2}}}\n  }}\n}}\n",
+         \"gate\": {{\"min_scaling_1_to_4_critical_path\": {gate:.2}}}\n  }},\n  \
+         \"chaos_overhead_pr10\": {chaos}\n}}\n",
         records = params.dataset_records,
         batch = BATCH_SIZE,
         value = VALUE_SIZE,
@@ -303,46 +309,4 @@ fn write_trajectory(
     let path = format!("{repo_root}/BENCH_TRAJECTORY.json");
     std::fs::write(&path, json).expect("write BENCH_TRAJECTORY.json");
     println!("  wrote {path}");
-}
-
-/// Returns the balanced `{...}` object following `"key"` in `json`,
-/// verbatim (hand-rolled like the rest of the JSON here: the benches are
-/// as dependency-free as the lint).
-fn extract_object(json: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)?;
-    // Only `"key": {` counts — a committed `"key": null` must fall through
-    // to the caller's default, not capture the next object in the file.
-    let after = json[at + needle.len()..].trim_start().strip_prefix(':')?;
-    if !after.trim_start().starts_with('{') {
-        return None;
-    }
-    let open = at + json[at..].find('{')?;
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escaped = false;
-    for (i, c) in json[open..].char_indices() {
-        if in_str {
-            if escaped {
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => in_str = true,
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(json[open..=open + i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
 }

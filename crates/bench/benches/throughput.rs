@@ -29,7 +29,7 @@
 //! regression (a reintroduced deep copy roughly halves the rate).
 
 use flexitrust::prelude::*;
-use flexitrust_bench::{bench_scale, BenchScale};
+use flexitrust_bench::{bench_scale, broadcast_heavy_spec, BenchScale};
 use std::time::Instant;
 
 /// Pre-refactor baseline (events/sec), measured with this harness at the
@@ -51,35 +51,6 @@ const MIN_EVENTS_PER_SEC: f64 = 150_000.0;
 
 /// Wall-clock measurement repetitions; the best run is recorded.
 const MEASURE_RUNS: usize = 3;
-
-/// The broadcast-heavy large-n scenario: n = 25, batch 50, 4 KiB update
-/// payloads, chunked finite links and constrained replica ingress.
-fn broadcast_heavy_spec(duration_us: u64, warmup_us: u64) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::paper_default(ProtocolId::FlexiBft);
-    spec.f = 8; // n = 25
-    spec.batch_size = 50;
-    spec.clients = 2_000;
-    spec.duration_us = duration_us;
-    spec.warmup_us = warmup_us;
-    spec.record_commit_log = false;
-    spec.workload = WorkloadConfig {
-        value_size: 4096,
-        read_proportion: 0.0,
-        update_proportion: 1.0,
-        insert_proportion: 0.0,
-        rmw_proportion: 0.0,
-        scan_proportion: 0.0,
-        max_scan_len: 1,
-        record_count: 1_000,
-        distribution: flexitrust::workload::KeyDistribution::Uniform,
-    };
-    let mut bandwidth = BandwidthConfig::unlimited();
-    bandwidth.local_mbps = Some(10_000);
-    bandwidth.ingress_mbps = Some(10_000);
-    bandwidth.chunk_bytes = Some(9_000);
-    spec.bandwidth = bandwidth;
-    spec
-}
 
 struct SimMeasurement {
     events: u64,

@@ -14,7 +14,9 @@ use flexitrust_protocol::{
     CertificateTracker, Message, NewViewPlanner, Outbox, PreparedProof, ReplicaCore, TimerKind,
 };
 use flexitrust_trusted::{AttestKind, Attestation, EnclaveRegistry, SharedEnclave};
-use flexitrust_types::{Batch, Digest, ReplicaId, SeqNum, SystemConfig, Transaction, View};
+use flexitrust_types::{
+    Batch, Digest, ReplicaId, SeqNum, StateSnapshot, SystemConfig, Transaction, View,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -234,6 +236,69 @@ impl FlexiCore {
         if let Some(stable) = self.replica.record_checkpoint_vote(from, seq, state_digest) {
             self.accepted.retain(|s, _| *s > stable.0);
         }
+    }
+
+    /// Serves a peer's `CheckpointRequest`: when this replica's stable
+    /// checkpoint is past the requester's execution frontier, replies with
+    /// the boundary snapshot plus every accepted-and-executed batch after
+    /// it, so the requester can install the checkpoint and replay forward.
+    pub fn on_checkpoint_request(
+        &mut self,
+        from: ReplicaId,
+        last_executed: SeqNum,
+        out: &mut Outbox,
+    ) {
+        let Some((seq, snapshot)) = self.replica.stable_checkpoint_snapshot(last_executed) else {
+            return;
+        };
+        let frontier = self.replica.last_executed();
+        let batches: Vec<(SeqNum, Batch)> = self
+            .accepted
+            .range(seq.0 + 1..)
+            .filter(|(s, _)| SeqNum(**s) <= frontier)
+            .map(|(s, accepted)| (SeqNum(*s), accepted.batch.clone()))
+            .collect();
+        out.send(
+            from,
+            Message::CheckpointState {
+                seq,
+                snapshot,
+                batches,
+            },
+        );
+    }
+
+    /// Installs a peer's `CheckpointState` (the recovery rejoin path):
+    /// adopts the snapshot when it is ahead of this replica, then replays
+    /// the carried batches in order, emitting replies / checkpoints exactly
+    /// as normal execution would. Returns `true` when the snapshot itself
+    /// was installed (the caller may need to reset protocol-specific
+    /// rollback state). Replayed batches are executed without re-recording
+    /// acceptance — their attestations stayed with the serving peer.
+    pub fn install_checkpoint_state(
+        &mut self,
+        seq: SeqNum,
+        snapshot: &StateSnapshot,
+        batches: Vec<(SeqNum, Batch)>,
+        speculative: bool,
+        out: &mut Outbox,
+    ) -> bool {
+        let installed = self.replica.install_checkpoint(seq, snapshot);
+        if installed {
+            self.accepted.retain(|s, _| *s > seq.0);
+        }
+        for (batch_seq, batch) in batches {
+            if batch_seq <= self.replica.last_executed() {
+                continue;
+            }
+            let executed = self
+                .replica
+                .commit_batch(batch_seq, batch, speculative, out);
+            for done in executed {
+                self.replica.maybe_emit_checkpoint(done.seq, out);
+            }
+        }
+        installed
     }
 
     // ------------------------------------------------------------------

@@ -268,6 +268,24 @@ impl ConsensusEngine for FlexiBft {
                     self.flexi.enqueue(txns, out);
                 }
             }
+            Message::CheckpointRequest { last_executed } => {
+                self.flexi.on_checkpoint_request(from, last_executed, out);
+            }
+            Message::CheckpointState {
+                seq,
+                snapshot,
+                batches,
+            } => {
+                if self
+                    .flexi
+                    .install_checkpoint_state(seq, &snapshot, batches, false, out)
+                {
+                    // Committed/prepared bookkeeping below the installed
+                    // checkpoint is superseded by the transferred state.
+                    self.committed.retain(|s| *s > seq.0);
+                    self.prepare_sent.retain(|s| *s > seq.0);
+                }
+            }
         }
     }
 
@@ -292,6 +310,10 @@ impl ConsensusEngine for FlexiBft {
 
     fn executed_txns(&self) -> u64 {
         self.flexi.replica.executed_txns()
+    }
+
+    fn state_digest(&self) -> Option<Digest> {
+        Some(self.flexi.replica.state_digest())
     }
 }
 

@@ -290,6 +290,23 @@ impl ConsensusEngine for FlexiZz {
                     self.flexi.enqueue(txns, out);
                 }
             }
+            Message::CheckpointRequest { last_executed } => {
+                self.flexi.on_checkpoint_request(from, last_executed, out);
+            }
+            Message::CheckpointState {
+                seq,
+                snapshot,
+                batches,
+            } => {
+                if self
+                    .flexi
+                    .install_checkpoint_state(seq, &snapshot, batches, true, out)
+                {
+                    // The installed checkpoint is durable: it becomes the
+                    // new speculative rollback point.
+                    self.rollback_point = (seq, self.flexi.replica.exec().store().clone());
+                }
+            }
         }
     }
 
@@ -322,6 +339,10 @@ impl ConsensusEngine for FlexiZz {
 
     fn executed_txns(&self) -> u64 {
         self.flexi.replica.executed_txns()
+    }
+
+    fn state_digest(&self) -> Option<flexitrust_types::Digest> {
+        Some(self.flexi.replica.state_digest())
     }
 }
 

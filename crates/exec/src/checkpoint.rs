@@ -97,6 +97,19 @@ impl CheckpointLog {
     pub fn tracked_candidates(&self) -> usize {
         self.votes.len()
     }
+
+    /// Installs `checkpoint` as the stable low-water mark without a local
+    /// vote quorum — the state-transfer path: a recovering replica adopts a
+    /// peer's stable checkpoint wholesale. Ignored when it would move the
+    /// low-water mark backwards. Votes at or below the installed checkpoint
+    /// are garbage collected.
+    pub fn install_stable(&mut self, checkpoint: Checkpoint) {
+        if checkpoint.seq <= self.low_water_mark() {
+            return;
+        }
+        self.stable = Some(checkpoint);
+        self.votes.retain(|(s, _), _| *s > checkpoint.seq.0);
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +171,25 @@ mod tests {
         // The candidate at 10 was covered by the stable checkpoint at 20.
         assert_eq!(log.tracked_candidates(), 0);
         assert_eq!(log.stable().unwrap().seq, SeqNum(20));
+    }
+
+    #[test]
+    fn install_stable_adopts_forward_checkpoints_only() {
+        let mut log = CheckpointLog::new(10, 2);
+        log.record_vote(ReplicaId(0), SeqNum(30), Digest::from_u64_tag(3));
+        log.install_stable(Checkpoint {
+            seq: SeqNum(40),
+            state_digest: Digest::from_u64_tag(4),
+        });
+        assert_eq!(log.low_water_mark(), SeqNum(40));
+        // Votes at or below the installed checkpoint were dropped.
+        assert_eq!(log.tracked_candidates(), 0);
+        // A backwards install is a no-op.
+        log.install_stable(Checkpoint {
+            seq: SeqNum(20),
+            state_digest: Digest::from_u64_tag(2),
+        });
+        assert_eq!(log.low_water_mark(), SeqNum(40));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The in-memory key-value store the workload executes against.
 
 use flexitrust_crypto::sha256;
-use flexitrust_types::{Digest, KvOp, KvResult, ValueBytes};
+use flexitrust_types::{Digest, KvOp, KvResult, StateSnapshot, ValueBytes};
 use std::collections::BTreeMap;
 
 use std::mem;
@@ -283,6 +283,41 @@ impl KvStore {
     pub fn applied_mutations(&self) -> u64 {
         self.applied_mutations
     }
+
+    /// Captures the full store as a [`StateSnapshot`] for checkpoint state
+    /// transfer. Values share their buffers with the store (handle clones,
+    /// no byte copies); entries come out in ascending key order so the
+    /// snapshot is identical for every shard count.
+    pub fn to_snapshot(&self) -> StateSnapshot {
+        let mut entries: Vec<(u64, ValueBytes)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.iter().map(|(k, v)| (*k, v.clone())))
+            .collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        StateSnapshot {
+            entries,
+            applied_mutations: self.applied_mutations,
+            fingerprint: self.fingerprint,
+        }
+    }
+
+    /// Rebuilds a store from a snapshot taken with [`Self::to_snapshot`].
+    /// The mutation counter and fingerprint are restored verbatim (the
+    /// snapshot certifies a mutation *history*, not a fresh insert run), so
+    /// the rebuilt store reports the same [`Self::state_digest`] as the
+    /// store it was captured from.
+    pub fn from_snapshot(snapshot: &StateSnapshot, shard_count: usize) -> Self {
+        let mut store = KvStore::with_shards(shard_count);
+        for (key, value) in &snapshot.entries {
+            let shard = store.shard_of(*key);
+            // lint:allow(X02): shard_of reduces modulo shards.len()
+            store.shards[shard].insert(*key, value.clone());
+        }
+        store.applied_mutations = snapshot.applied_mutations;
+        store.fingerprint = snapshot.fingerprint;
+        store
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +506,43 @@ mod tests {
             va.shares_buffer(&vb),
             "shared dataset clones must share record buffers"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_digest_across_shard_counts() {
+        let mut store = KvStore::with_dataset(200, 16);
+        for k in 0..40u64 {
+            store.apply(&KvOp::Update {
+                key: k * 3,
+                value: vec![k as u8; 8].into(),
+            });
+        }
+        let snapshot = store.to_snapshot();
+        for shards in [1, 4, 8, 13] {
+            let rebuilt = KvStore::from_snapshot(&snapshot, shards);
+            assert_eq!(
+                rebuilt.state_digest(),
+                store.state_digest(),
+                "shards={shards}"
+            );
+            assert_eq!(rebuilt.len(), store.len());
+            assert_eq!(rebuilt.applied_mutations(), store.applied_mutations());
+            assert_eq!(rebuilt.get(3), store.get(3));
+        }
+    }
+
+    #[test]
+    fn snapshot_shares_value_buffers() {
+        let value: ValueBytes = vec![5u8; 32].into();
+        let mut store = KvStore::new();
+        store.apply(&KvOp::Insert {
+            key: 9,
+            value: value.clone(),
+        });
+        let snapshot = store.to_snapshot();
+        assert!(snapshot.entries[0].1.shares_buffer(&value));
+        let rebuilt = KvStore::from_snapshot(&snapshot, 2);
+        assert!(rebuilt.get_shared(9).unwrap().shares_buffer(&value));
     }
 
     #[test]

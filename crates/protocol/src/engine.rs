@@ -5,7 +5,7 @@
 use crate::actions::Outbox;
 use crate::messages::Message;
 use crate::properties::ProtocolProperties;
-use flexitrust_types::{ReplicaId, SeqNum, SystemConfig, Transaction, View};
+use flexitrust_types::{Digest, ReplicaId, SeqNum, SystemConfig, Transaction, View};
 
 /// Timers an engine may arm. The host schedules them against its own clock
 /// (simulated or real) and calls [`ConsensusEngine::on_timer`] on expiry.
@@ -63,6 +63,13 @@ pub trait ConsensusEngine: Send {
 
     /// Total number of transactions this replica has executed.
     fn executed_txns(&self) -> u64;
+
+    /// Digest of the replica's executed state, when the engine exposes one.
+    /// The chaos invariant checker compares these across replicas that
+    /// report the same `last_executed`.
+    fn state_digest(&self) -> Option<Digest> {
+        None
+    }
 
     /// Returns `true` when this replica is the primary of its current view.
     fn is_primary(&self) -> bool {

@@ -11,7 +11,8 @@
 
 use flexitrust_trusted::Attestation;
 use flexitrust_types::{
-    Batch, ClientId, Digest, KvResult, ReplicaId, RequestId, SeqNum, Transaction, View,
+    Batch, ClientId, Digest, KvResult, ReplicaId, RequestId, SeqNum, StateSnapshot, Transaction,
+    View,
 };
 use std::sync::Arc;
 
@@ -178,6 +179,24 @@ pub enum Message {
         /// The transactions being forwarded.
         txns: Vec<Transaction>,
     },
+    /// A recovering replica asking peers for checkpoint state transfer: it
+    /// has executed up to `last_executed` and wants the latest stable
+    /// checkpoint past that point.
+    CheckpointRequest {
+        /// The requester's last executed sequence number.
+        last_executed: SeqNum,
+    },
+    /// Checkpoint state transfer: the sender's stable checkpoint state plus
+    /// the committed batches after it, so the receiver can install the
+    /// snapshot and replay forward (the `CheckpointLog` rejoin path).
+    CheckpointState {
+        /// The stable checkpoint's sequence number.
+        seq: SeqNum,
+        /// Full executed state at `seq`.
+        snapshot: StateSnapshot,
+        /// Committed batches after `seq`, in ascending sequence order.
+        batches: Vec<(SeqNum, Batch)>,
+    },
 }
 
 impl Message {
@@ -192,6 +211,8 @@ impl Message {
             Message::NewView { .. } => "NewView",
             Message::ClientRetry { .. } => "ClientRetry",
             Message::ForwardRequest { .. } => "ForwardRequest",
+            Message::CheckpointRequest { .. } => "CheckpointRequest",
+            Message::CheckpointState { .. } => "CheckpointState",
         }
     }
 
@@ -213,7 +234,8 @@ impl Message {
             Message::PrePrepare { seq, .. }
             | Message::Prepare { seq, .. }
             | Message::Commit { seq, .. }
-            | Message::Checkpoint { seq, .. } => Some(*seq),
+            | Message::Checkpoint { seq, .. }
+            | Message::CheckpointState { seq, .. } => Some(*seq),
             _ => None,
         }
     }
@@ -236,7 +258,10 @@ impl Message {
                 proposals.iter().filter(|(_, _, a)| a.is_some()).count()
                     + usize::from(counter_attestation.is_some())
             }
-            Message::ClientRetry { .. } | Message::ForwardRequest { .. } => 0,
+            Message::ClientRetry { .. }
+            | Message::ForwardRequest { .. }
+            | Message::CheckpointRequest { .. }
+            | Message::CheckpointState { .. } => 0,
         }
     }
 
@@ -301,6 +326,18 @@ impl Message {
             Message::ClientRetry { txn } => HEADER + txn.wire_size(),
             Message::ForwardRequest { txns } => {
                 HEADER + COUNT + txns.iter().map(Transaction::wire_size).sum::<usize>()
+            }
+            Message::CheckpointRequest { .. } => HEADER,
+            Message::CheckpointState {
+                snapshot, batches, ..
+            } => {
+                HEADER
+                    + snapshot.wire_size()
+                    + COUNT
+                    + batches
+                        .iter()
+                        .map(|(_, b)| 8 + b.wire_size())
+                        .sum::<usize>()
             }
         }
     }
@@ -459,6 +496,35 @@ mod tests {
             attestation: None,
         };
         assert!(preprepare.wire_size_bytes() >= plain.wire_size_bytes() - 32 + batch().wire_size());
+    }
+
+    #[test]
+    fn checkpoint_transfer_messages_report_kind_seq_and_size() {
+        let request = Message::CheckpointRequest {
+            last_executed: SeqNum(40),
+        };
+        assert_eq!(request.kind(), "CheckpointRequest");
+        assert_eq!(request.seq(), None);
+        assert_eq!(request.attestation_count(), 0);
+        assert!(!request.is_critical_path());
+
+        let state = Message::CheckpointState {
+            seq: SeqNum(100),
+            snapshot: StateSnapshot {
+                entries: vec![(7, vec![1u8; 16].into())],
+                applied_mutations: 1,
+                fingerprint: 42,
+            },
+            batches: vec![(SeqNum(101), batch())],
+        };
+        assert_eq!(state.kind(), "CheckpointState");
+        assert_eq!(state.seq(), Some(SeqNum(100)));
+        assert_eq!(state.attestation_count(), 0);
+        // The state transfer carries the snapshot and the replay batches.
+        assert_eq!(
+            state.wire_size_bytes(),
+            request.wire_size_bytes() + (8 + 8 + 4 + (8 + 4 + 16)) + 4 + (8 + batch().wire_size())
+        );
     }
 
     #[test]

@@ -9,8 +9,10 @@
 use crate::actions::Outbox;
 use crate::batcher::Batcher;
 use crate::messages::{ClientReply, Message};
-use flexitrust_exec::{CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
-use flexitrust_types::{Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, SystemConfig, View};
+use flexitrust_exec::{Checkpoint, CheckpointLog, ExecutedBatch, ExecutionQueue, KvStore};
+use flexitrust_types::{
+    Batch, ClientId, Digest, ReplicaId, RequestId, SeqNum, StateSnapshot, SystemConfig, View,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -26,6 +28,10 @@ pub struct ReplicaCore {
     checkpoints: CheckpointLog,
     reply_cache: BTreeMap<ClientId, (RequestId, ClientReply)>,
     executed_txns: u64,
+    /// State snapshots captured at checkpoint boundaries, kept so this
+    /// replica can serve checkpoint state transfer to a recovering peer.
+    /// Garbage collected to the stable low-water mark as it advances.
+    boundary_snapshots: BTreeMap<u64, StateSnapshot>,
 }
 
 impl ReplicaCore {
@@ -54,6 +60,7 @@ impl ReplicaCore {
             exec: ExecutionQueue::with_workers(store, config.exec_workers),
             reply_cache: BTreeMap::new(),
             executed_txns: 0,
+            boundary_snapshots: BTreeMap::new(),
             view: View::ZERO,
             config,
             id,
@@ -174,9 +181,13 @@ impl ReplicaCore {
         executed
     }
 
-    /// Emits a `Checkpoint` broadcast if `seq` crosses a checkpoint boundary.
+    /// Emits a `Checkpoint` broadcast if `seq` crosses a checkpoint boundary,
+    /// capturing the boundary state so the replica can later serve a
+    /// checkpoint state transfer ([`Self::stable_checkpoint_snapshot`]).
     pub fn maybe_emit_checkpoint(&mut self, seq: SeqNum, out: &mut Outbox) {
         if self.checkpoints.is_checkpoint_seq(seq) {
+            self.boundary_snapshots
+                .insert(seq.0, self.exec.store().to_snapshot());
             out.broadcast(Message::Checkpoint {
                 seq,
                 state_digest: self.state_digest(),
@@ -193,9 +204,47 @@ impl ReplicaCore {
         seq: SeqNum,
         state_digest: Digest,
     ) -> Option<SeqNum> {
-        self.checkpoints
+        let stable = self
+            .checkpoints
             .record_vote(from, seq, state_digest)
-            .map(|c| c.seq)
+            .map(|c| c.seq);
+        if let Some(stable) = stable {
+            // Keep the stable boundary itself (it serves state transfer),
+            // drop everything older.
+            self.boundary_snapshots.retain(|s, _| *s >= stable.0);
+        }
+        stable
+    }
+
+    /// The stable checkpoint and its captured state snapshot, when this
+    /// replica's stable checkpoint is past `after` and the boundary state
+    /// is still held. Serves a peer's `CheckpointRequest`.
+    pub fn stable_checkpoint_snapshot(&self, after: SeqNum) -> Option<(SeqNum, StateSnapshot)> {
+        let stable = self.checkpoints.stable()?;
+        if stable.seq <= after {
+            return None;
+        }
+        let snapshot = self.boundary_snapshots.get(&stable.seq.0)?;
+        Some((stable.seq, snapshot.clone()))
+    }
+
+    /// Installs a peer's stable checkpoint: rebuilds the store from the
+    /// snapshot, fast-forwards the execution queue to `seq`, and adopts the
+    /// checkpoint as the stable low-water mark. Returns `false` (leaving
+    /// all state untouched) when this replica has already executed past
+    /// `seq`. The recovery rejoin path.
+    pub fn install_checkpoint(&mut self, seq: SeqNum, snapshot: &StateSnapshot) -> bool {
+        if seq <= self.last_executed() {
+            return false;
+        }
+        let store = KvStore::from_snapshot(snapshot, self.config.exec_shards);
+        let state_digest = store.state_digest();
+        self.exec.fast_forward(seq, store);
+        self.checkpoints
+            .install_stable(Checkpoint { seq, state_digest });
+        self.boundary_snapshots.retain(|s, _| *s >= seq.0);
+        self.boundary_snapshots.insert(seq.0, snapshot.clone());
+        true
     }
 
     /// The stable low-water mark (sequence numbers at or below this may be
@@ -299,6 +348,41 @@ mod tests {
         c.maybe_emit_checkpoint(SeqNum(1000), &mut out);
         assert_eq!(out.broadcasts().len(), 1);
         assert_eq!(out.broadcasts()[0].kind(), "Checkpoint");
+    }
+
+    #[test]
+    fn checkpoint_state_transfer_round_trips_through_install() {
+        // A source replica with a small checkpoint interval executes past a
+        // boundary and stabilises it.
+        let mut cfg = SystemConfig::for_protocol(ProtocolId::FlexiBft, 1);
+        cfg.checkpoint_interval = 2;
+        let cfg = Arc::new(cfg);
+        let mut source = ReplicaCore::new(Arc::clone(&cfg), ReplicaId(1));
+        let mut out = Outbox::new();
+        source.commit_batch(SeqNum(1), batch(1), false, &mut out);
+        source.commit_batch(SeqNum(2), batch(2), false, &mut out);
+        source.maybe_emit_checkpoint(SeqNum(2), &mut out);
+        let digest = source.state_digest();
+        source.record_checkpoint_vote(ReplicaId(0), SeqNum(2), digest);
+        source.record_checkpoint_vote(ReplicaId(2), SeqNum(2), digest);
+        assert_eq!(source.low_water_mark(), SeqNum(2));
+
+        // It serves the stable boundary to a peer that is behind...
+        let (seq, snapshot) = source.stable_checkpoint_snapshot(SeqNum(0)).unwrap();
+        assert_eq!(seq, SeqNum(2));
+        // ...but not to one already caught up.
+        assert!(source.stable_checkpoint_snapshot(SeqNum(2)).is_none());
+
+        // A fresh replica installs it and lands on the same state.
+        let mut joiner = ReplicaCore::new(Arc::clone(&cfg), ReplicaId(3));
+        assert!(joiner.install_checkpoint(seq, &snapshot));
+        assert_eq!(joiner.last_executed(), SeqNum(2));
+        assert_eq!(joiner.state_digest(), digest);
+        assert_eq!(joiner.low_water_mark(), SeqNum(2));
+        // Installing behind the execution frontier is refused.
+        assert!(!joiner.install_checkpoint(SeqNum(1), &snapshot));
+        // The joiner can itself serve the installed boundary onwards.
+        assert!(joiner.stable_checkpoint_snapshot(SeqNum(0)).is_some());
     }
 
     #[test]

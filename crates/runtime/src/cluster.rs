@@ -10,7 +10,7 @@ use flexitrust_baselines::{CheapBft, MinBft, MinZz, OpbftEa, Pbft, PbftEa, Zyzzy
 use flexitrust_core::{FlexiBft, FlexiZz};
 use flexitrust_host::{CommittedTxn, Dispatcher, EngineHost, TimerToken};
 use flexitrust_protocol::{
-    ClientLibrary, ClientReply, ConsensusEngine, RequestStatus, SharedMessage, TimerKind,
+    ClientLibrary, ClientReply, ConsensusEngine, Message, RequestStatus, SharedMessage, TimerKind,
 };
 use flexitrust_trusted::{AttestationMode, Enclave, EnclaveConfig, EnclaveRegistry};
 use flexitrust_types::{ClientId, ProtocolId, ReplicaId, RequestId, SystemConfig, Transaction};
@@ -91,6 +91,48 @@ impl Transport for ChannelTransport {
     }
 }
 
+/// A commit-progress-triggered crash/recover window for one replica,
+/// mirroring the simulator's `CrashAtSeq` chaos knob: the replica crashes
+/// once its *own* last-executed sequence reaches `crash_at_seq` (discarding
+/// all input and timers while down) and rejoins once the *rest* of the
+/// cluster's frontier reaches `recover_at_seq`, asking every peer for the
+/// latest stable checkpoint via `CheckpointRequest`. Keying on sequence
+/// numbers instead of wall-clock time makes the same window comparable
+/// between the simulator and a threaded cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The replica that crashes and later rejoins.
+    pub replica: ReplicaId,
+    /// Crash once this replica's own last-executed sequence reaches this.
+    pub crash_at_seq: u64,
+    /// Recover once the max last-executed over the other replicas reaches
+    /// this.
+    pub recover_at_seq: u64,
+}
+
+/// Per-replica chaos state threaded through [`replica_loop`]: the shared
+/// frontier board every replica publishes its last-executed sequence to,
+/// and this replica's crash window (if any).
+pub(crate) struct ReplicaChaos {
+    pub(crate) frontiers: Arc<Vec<AtomicU64>>,
+    pub(crate) window: Option<CrashWindow>,
+}
+
+impl ReplicaChaos {
+    /// A fresh frontier board for `n` replicas.
+    pub(crate) fn board(n: usize) -> Arc<Vec<AtomicU64>> {
+        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// No crash window; publishes to a private board nobody reads.
+    pub(crate) fn inert(n: usize) -> Self {
+        ReplicaChaos {
+            frontiers: Self::board(n),
+            window: None,
+        }
+    }
+}
+
 /// Summary of a workload run against a cluster (channel or TCP).
 #[derive(Debug, Clone)]
 pub struct ClusterSummary {
@@ -118,6 +160,7 @@ pub struct Cluster {
     replies: Receiver<ClientReply>,
     tracker: PrimaryTracker,
     dropped: Arc<AtomicU64>,
+    frontiers: Arc<Vec<AtomicU64>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -205,13 +248,32 @@ impl Cluster {
         batch_size: usize,
         exec_workers: usize,
     ) -> Self {
+        Self::start_with_chaos(protocol, f, batch_size, exec_workers, None, None)
+    }
+
+    /// Like [`Cluster::start_with_workers`], with an optional checkpoint
+    /// interval override (chaos scenarios shorten it so state transfer
+    /// fits test-scale runs) and an optional [`CrashWindow`]: the window's
+    /// replica crashes mid-run and rejoins via checkpoint state transfer.
+    pub fn start_with_chaos(
+        protocol: ProtocolId,
+        f: usize,
+        batch_size: usize,
+        exec_workers: usize,
+        checkpoint_interval: Option<u64>,
+        window: Option<CrashWindow>,
+    ) -> Self {
         // One config allocation for the whole cluster; replica threads and
         // engines share it by reference.
-        let config =
-            Arc::new(cluster_config(protocol, f, batch_size).with_exec_workers(exec_workers));
+        let mut base = cluster_config(protocol, f, batch_size).with_exec_workers(exec_workers);
+        if let Some(interval) = checkpoint_interval {
+            base.checkpoint_interval = interval;
+        }
+        let config = Arc::new(base);
         let registry = EnclaveRegistry::deterministic(config.n, AttestationMode::Real);
         let tracker = PrimaryTracker::new(config.n);
         let dropped = Arc::new(AtomicU64::new(0));
+        let frontiers = ReplicaChaos::board(config.n);
 
         let (reply_tx, reply_rx) = bounded::<ClientReply>(1 << 16);
         let mut inbox_txs = Vec::with_capacity(config.n);
@@ -231,9 +293,13 @@ impl Cluster {
                 replies: reply_tx.clone(),
                 dropped: Arc::clone(&dropped),
             };
+            let chaos = ReplicaChaos {
+                frontiers: Arc::clone(&frontiers),
+                window: window.filter(|w| w.replica == id),
+            };
             let thread_tracker = tracker.clone();
             handles.push(std::thread::spawn(move || {
-                replica_loop(&mut *engine, rx, transport, thread_tracker);
+                replica_loop(&mut *engine, rx, transport, thread_tracker, chaos);
             }));
         }
 
@@ -243,6 +309,7 @@ impl Cluster {
             replies: reply_rx,
             tracker,
             dropped,
+            frontiers,
             handles,
         }
     }
@@ -250,6 +317,16 @@ impl Cluster {
     /// The cluster's configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Each replica's last-executed sequence number, as most recently
+    /// published by its thread. Lets chaos tests assert that a recovered
+    /// replica caught back up past its crash point.
+    pub fn replica_frontiers(&self) -> Vec<u64> {
+        self.frontiers
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The replica currently believed to lead (the primary of the most
@@ -432,17 +509,34 @@ impl<T: Transport> EngineHost for ThreadEnv<T> {
     }
 }
 
+/// Where a replica's [`CrashWindow`] currently stands.
+enum WindowPhase {
+    /// Waiting for our own frontier to reach the crash sequence.
+    Armed,
+    /// Down: all input is discarded, no timers fire.
+    Down,
+    /// Recovered (or never had a window); normal operation.
+    Done,
+}
+
 /// One replica's event loop, shared by the channel and TCP deployments.
 pub(crate) fn replica_loop<T: Transport>(
     engine: &mut dyn ConsensusEngine,
     rx: Receiver<Input>,
     transport: T,
     tracker: PrimaryTracker,
+    chaos: ReplicaChaos,
 ) {
-    let mut dispatcher = Dispatcher::new(engine.config().n);
+    let id = engine.id();
+    let n = engine.config().n;
+    let mut dispatcher = Dispatcher::new(n);
     let mut env = ThreadEnv {
         transport,
         timers: Vec::new(),
+    };
+    let mut phase = match chaos.window {
+        Some(_) => WindowPhase::Armed,
+        None => WindowPhase::Done,
     };
     loop {
         // Work out how long we may sleep before the next timer fires.
@@ -453,10 +547,14 @@ pub(crate) fn replica_loop<T: Transport>(
             .unwrap_or(Duration::from_millis(5))
             .min(Duration::from_millis(5));
 
+        let down = matches!(phase, WindowPhase::Down);
         match rx.recv_timeout(wait) {
+            Ok(Input::Shutdown) => return,
+            // A crashed replica hears nothing: peer traffic and client
+            // batches are drained and discarded while the window is down.
+            Ok(_) if down => {}
             Ok(Input::Peer(from, msg)) => dispatcher.deliver(engine, from, msg, &mut env),
             Ok(Input::Client(txns)) => dispatcher.client_request(engine, txns, &mut env),
-            Ok(Input::Shutdown) => return,
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         }
@@ -473,6 +571,51 @@ pub(crate) fn replica_loop<T: Transport>(
         env.timers.retain(|(at, _, _)| *at > now);
         for (timer, token) in due {
             dispatcher.timer_expired(engine, timer, token, &mut env);
+        }
+
+        // Publish our execution frontier so crash windows (and tests) can
+        // key on commit progress across threads.
+        if let Some(slot) = chaos.frontiers.get(id.as_usize()) {
+            slot.store(engine.last_executed().0, Ordering::Relaxed);
+        }
+        if let Some(window) = chaos.window {
+            match phase {
+                WindowPhase::Armed if engine.last_executed().0 >= window.crash_at_seq => {
+                    // Going down: a crashed host's pending timers die with
+                    // it (fresh ones are armed by whatever runs after
+                    // recovery).
+                    env.timers.clear();
+                    phase = WindowPhase::Down;
+                }
+                WindowPhase::Down => {
+                    let others_frontier = chaos
+                        .frontiers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != id.as_usize())
+                        .map(|(_, f)| f.load(Ordering::Relaxed))
+                        .max()
+                        .unwrap_or(0);
+                    if others_frontier >= window.recover_at_seq {
+                        // Rejoin via state transfer: ask every peer for
+                        // the latest stable checkpoint past our frontier.
+                        let request = Arc::new(Message::CheckpointRequest {
+                            last_executed: engine.last_executed(),
+                        });
+                        for to in 0..n {
+                            if to != id.as_usize() {
+                                env.transport.send_peer(
+                                    id,
+                                    ReplicaId(to as u32),
+                                    Arc::clone(&request),
+                                );
+                            }
+                        }
+                        phase = WindowPhase::Done;
+                    }
+                }
+                _ => {}
+            }
         }
 
         // Publish our view so submission paths can find the primary.

@@ -37,7 +37,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::cluster::{
-    build_engine, cluster_config, drive_workload, replica_loop, ClusterSummary, Input, Transport,
+    build_engine, cluster_config, drive_workload, replica_loop, ClusterSummary, Input,
+    ReplicaChaos, Transport,
 };
 use crate::primary::PrimaryTracker;
 
@@ -249,8 +250,9 @@ impl TcpCluster {
             };
             let mut engine = build_engine(protocol, &config, id, &registry);
             let thread_tracker = tracker.clone();
+            let chaos = ReplicaChaos::inert(config.n);
             replica_handles.push(std::thread::spawn(move || {
-                replica_loop(&mut *engine, inbox_rx, transport, thread_tracker);
+                replica_loop(&mut *engine, inbox_rx, transport, thread_tracker, chaos);
             }));
         }
 

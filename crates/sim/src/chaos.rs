@@ -1,0 +1,344 @@
+//! Deterministic chaos scenario engine: time-scripted partitions and
+//! crash/recover events, seeded per-link drop/duplicate/reorder, and
+//! commit-progress-triggered crash windows.
+//!
+//! A [`ChaosPlan`] grows [`crate::faults::FaultPlan`] into a *schedule*: the
+//! runner consults it at every send with the current virtual time, applies
+//! scripted events as the clock passes them, and draws probabilistic link
+//! fates from the plan's own seeded ChaCha stream — never the thread RNG —
+//! so an identical plan reproduces a bit-identical event schedule. Recovery
+//! rejoins through the checkpoint state-transfer path (`CheckpointRequest` /
+//! `CheckpointState`), replaying from the latest stable checkpoint.
+
+use crate::faults::MessageClass;
+use flexitrust_protocol::Message;
+use flexitrust_types::ReplicaId;
+use std::collections::BTreeSet;
+
+/// A scripted chaos event, applied when virtual time reaches `at_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Split the replicas into disjoint groups; replica-to-replica traffic
+    /// crossing a group boundary is dropped. Replicas named in no group
+    /// share one implicit extra group. Forming a partition replaces any
+    /// partition already active.
+    PartitionForm {
+        /// Virtual time the partition forms, nanoseconds.
+        at_ns: u64,
+        /// The explicit groups; disjointness is the caller's contract.
+        groups: Vec<Vec<ReplicaId>>,
+    },
+    /// Remove the active partition; all links flow again.
+    PartitionHeal {
+        /// Virtual time the partition heals, nanoseconds.
+        at_ns: u64,
+    },
+    /// Crash a replica: from `at_ns` it receives nothing, sends nothing and
+    /// its timers are discarded.
+    Crash {
+        /// Virtual time of the crash, nanoseconds.
+        at_ns: u64,
+        /// The replica that goes down.
+        replica: ReplicaId,
+    },
+    /// Recover a crashed replica: it comes back up and immediately asks
+    /// every peer for the latest stable checkpoint (`CheckpointRequest`),
+    /// rejoining via state transfer plus replay.
+    Recover {
+        /// Virtual time of the recovery, nanoseconds.
+        at_ns: u64,
+        /// The replica that rejoins.
+        replica: ReplicaId,
+    },
+}
+
+impl ChaosEvent {
+    /// The virtual time this event fires at.
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            ChaosEvent::PartitionForm { at_ns, .. }
+            | ChaosEvent::PartitionHeal { at_ns }
+            | ChaosEvent::Crash { at_ns, .. }
+            | ChaosEvent::Recover { at_ns, .. } => *at_ns,
+        }
+    }
+
+    /// Whether applying this event ends a disruption (heals a partition or
+    /// recovers a replica) — the instants the liveness bound is measured
+    /// from.
+    pub fn is_restorative(&self) -> bool {
+        matches!(
+            self,
+            ChaosEvent::PartitionHeal { .. } | ChaosEvent::Recover { .. }
+        )
+    }
+}
+
+/// Per-link probabilistic chaos. Rates are integral events-per-10 000
+/// messages so plans stay exactly serialisable; draws come from the plan's
+/// seeded ChaCha stream in a fixed order, so the same plan over the same
+/// traffic yields the same fates.
+///
+/// Duplicates are always survivable (the engines are idempotent). Drops
+/// and reorders may *legitimately* cost liveness: votes are never
+/// retransmitted, and the engines assume FIFO links (attested counter
+/// values must arrive in order), so a lost or out-of-order protocol
+/// message can permanently stall one replica's sequential execution.
+/// Safety is unconditional either way — use
+/// [`crate::metrics::SimReport::check_chaos_invariants`] accordingly:
+/// assert the full checker on drop-free, reorder-free plans, and the
+/// safety half on arbitrary ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkChaos {
+    /// Messages silently dropped, per 10 000.
+    pub drop_per_10k: u32,
+    /// Messages delivered twice, per 10 000; the copy arrives after an
+    /// extra delay drawn from `[0, reorder_max_delay_us]`.
+    pub duplicate_per_10k: u32,
+    /// Messages delayed past later traffic (reordered), per 10 000.
+    pub reorder_per_10k: u32,
+    /// Upper bound (microseconds) of the extra delay drawn for reordered
+    /// messages and duplicate copies.
+    pub reorder_max_delay_us: u64,
+    /// Message classes the link chaos applies to; empty targets every class.
+    pub classes: BTreeSet<MessageClass>,
+}
+
+impl LinkChaos {
+    /// True when no probabilistic fault can ever fire — the runner then
+    /// makes zero RNG draws.
+    pub fn is_empty(&self) -> bool {
+        self.drop_per_10k == 0 && self.duplicate_per_10k == 0 && self.reorder_per_10k == 0
+    }
+
+    /// Whether this chaos applies to the given message.
+    pub fn applies_to(&self, msg: &Message) -> bool {
+        self.classes.is_empty() || self.classes.contains(&MessageClass::of(msg))
+    }
+}
+
+/// A crash/recover window keyed on commit progress rather than virtual
+/// time, so the same plan pins behaviour across the simulator and the
+/// threaded cluster (whose wall clocks are incomparable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAtSeq {
+    /// The replica that crashes and later rejoins.
+    pub replica: ReplicaId,
+    /// Crash once this replica's own last-executed sequence reaches this.
+    pub crash_at_seq: u64,
+    /// Recover once the rest of the cluster's frontier (max last-executed
+    /// over the other replicas) reaches this.
+    pub recover_at_seq: u64,
+}
+
+/// A declarative, time-scripted chaos plan: a sorted schedule of partition
+/// and crash/recover events, per-link probabilistic faults, and
+/// commit-triggered crash windows, all reproducible from `seed`.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Scripted events, sorted ascending by `at_ns` (constructors sort;
+    /// hand-built plans should too — the runner applies them in order).
+    pub schedule: Vec<ChaosEvent>,
+    /// Per-link probabilistic drop/duplicate/reorder.
+    pub link: LinkChaos,
+    /// Commit-progress-triggered crash/recover windows.
+    pub crash_windows: Vec<CrashAtSeq>,
+    /// Seed of the plan's private ChaCha stream (independent of the
+    /// workload seed, so adding chaos never perturbs the workload).
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// No chaos at all: the runner takes the exact fault-free path.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// True when the plan can never do anything; the runner skips all chaos
+    /// bookkeeping and the schedule stays bit-identical to a run without
+    /// a plan.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty() && self.link.is_empty() && self.crash_windows.is_empty()
+    }
+
+    /// A plan from an explicit schedule; events are sorted by time.
+    pub fn scripted(seed: u64, mut schedule: Vec<ChaosEvent>) -> Self {
+        schedule.sort_by_key(ChaosEvent::at_ns);
+        ChaosPlan {
+            schedule,
+            seed,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// Partition the replicas into `groups` at `form_ns`, heal at `heal_ns`.
+    pub fn partition_then_heal(
+        seed: u64,
+        groups: Vec<Vec<ReplicaId>>,
+        form_ns: u64,
+        heal_ns: u64,
+    ) -> Self {
+        Self::scripted(
+            seed,
+            vec![
+                ChaosEvent::PartitionForm {
+                    at_ns: form_ns,
+                    groups,
+                },
+                ChaosEvent::PartitionHeal { at_ns: heal_ns },
+            ],
+        )
+    }
+
+    /// Crash `replica` at `crash_ns` and recover it at `recover_ns` (it
+    /// rejoins via checkpoint state transfer).
+    pub fn crash_then_recover(
+        seed: u64,
+        replica: ReplicaId,
+        crash_ns: u64,
+        recover_ns: u64,
+    ) -> Self {
+        Self::scripted(
+            seed,
+            vec![
+                ChaosEvent::Crash {
+                    at_ns: crash_ns,
+                    replica,
+                },
+                ChaosEvent::Recover {
+                    at_ns: recover_ns,
+                    replica,
+                },
+            ],
+        )
+    }
+
+    /// Churn preset: starting at `start_ns`, crash the rotating replica
+    /// `round % n` for `down_ns`, then `period_ns` later the next one, for
+    /// `rounds` rounds. Crashing replica `v` while it leads view `v` forces
+    /// a view change, so the rotation repeatedly exercises that path.
+    pub fn churn(
+        seed: u64,
+        n: usize,
+        start_ns: u64,
+        period_ns: u64,
+        down_ns: u64,
+        rounds: usize,
+    ) -> Self {
+        let mut schedule = Vec::with_capacity(rounds * 2);
+        for round in 0..rounds {
+            let replica = ReplicaId((round % n) as u32);
+            let crash = start_ns + round as u64 * period_ns;
+            schedule.push(ChaosEvent::Crash {
+                at_ns: crash,
+                replica,
+            });
+            schedule.push(ChaosEvent::Recover {
+                at_ns: crash + down_ns,
+                replica,
+            });
+        }
+        Self::scripted(seed, schedule)
+    }
+
+    /// Attaches per-link probabilistic chaos to the plan.
+    pub fn with_link(mut self, link: LinkChaos) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Attaches commit-progress-triggered crash windows to the plan.
+    pub fn with_crash_windows(mut self, windows: Vec<CrashAtSeq>) -> Self {
+        self.crash_windows = windows;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_presets_are_not() {
+        assert!(ChaosPlan::none().is_empty());
+        assert!(!ChaosPlan::crash_then_recover(1, ReplicaId(2), 10, 20).is_empty());
+        assert!(!ChaosPlan::none()
+            .with_link(LinkChaos {
+                drop_per_10k: 1,
+                ..LinkChaos::default()
+            })
+            .is_empty());
+        assert!(!ChaosPlan::none()
+            .with_crash_windows(vec![CrashAtSeq {
+                replica: ReplicaId(2),
+                crash_at_seq: 40,
+                recover_at_seq: 120,
+            }])
+            .is_empty());
+    }
+
+    #[test]
+    fn scripted_plans_sort_their_schedule() {
+        let plan = ChaosPlan::scripted(
+            7,
+            vec![
+                ChaosEvent::PartitionHeal { at_ns: 500 },
+                ChaosEvent::Crash {
+                    at_ns: 100,
+                    replica: ReplicaId(1),
+                },
+            ],
+        );
+        assert_eq!(plan.schedule[0].at_ns(), 100);
+        assert_eq!(plan.schedule[1].at_ns(), 500);
+        assert!(plan.schedule[1].is_restorative());
+        assert!(!plan.schedule[0].is_restorative());
+    }
+
+    #[test]
+    fn churn_rotates_replicas_and_interleaves_recoveries() {
+        let plan = ChaosPlan::churn(3, 4, 1_000, 10_000, 2_000, 5);
+        assert_eq!(plan.schedule.len(), 10);
+        // Round 4 wraps back to replica 0.
+        let crashes: Vec<(u64, ReplicaId)> = plan
+            .schedule
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Crash { at_ns, replica } => Some((*at_ns, *replica)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes[0], (1_000, ReplicaId(0)));
+        assert_eq!(crashes[1], (11_000, ReplicaId(1)));
+        assert_eq!(crashes[4], (41_000, ReplicaId(0)));
+        // Every crash is followed by its recovery before the next crash.
+        for pair in plan.schedule.windows(2) {
+            assert!(pair[0].at_ns() <= pair[1].at_ns());
+        }
+    }
+
+    #[test]
+    fn link_chaos_class_filter_defaults_to_everything() {
+        use flexitrust_types::SeqNum;
+        let vote = Message::Prepare {
+            view: flexitrust_types::View(0),
+            seq: SeqNum(1),
+            digest: flexitrust_types::Digest::ZERO,
+            attestation: None,
+        };
+        let open = LinkChaos {
+            drop_per_10k: 100,
+            ..LinkChaos::default()
+        };
+        assert!(open.applies_to(&vote));
+        let targeted = LinkChaos {
+            drop_per_10k: 100,
+            classes: BTreeSet::from([MessageClass::Checkpoint]),
+            ..LinkChaos::default()
+        };
+        assert!(!targeted.applies_to(&vote));
+        assert!(targeted.applies_to(&Message::CheckpointRequest {
+            last_executed: SeqNum(3),
+        }));
+    }
+}

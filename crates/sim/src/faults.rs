@@ -22,6 +22,37 @@ pub enum DeliveryFate {
     Drop,
 }
 
+/// Coarse classes of protocol traffic, so plans can target (say) only vote
+/// messages while proposals and checkpoints flow untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MessageClass {
+    /// Primary proposals (`PrePrepare`).
+    Proposal,
+    /// Replica votes (`Prepare` / `Commit`).
+    Vote,
+    /// Checkpoint votes and crash-recovery state transfer.
+    Checkpoint,
+    /// View-change traffic (`ViewChange` / `NewView`).
+    ViewChange,
+    /// Client-path traffic (`ClientRetry` / `ForwardRequest`).
+    Client,
+}
+
+impl MessageClass {
+    /// The class of a protocol message.
+    pub fn of(msg: &Message) -> MessageClass {
+        match msg {
+            Message::PrePrepare { .. } => MessageClass::Proposal,
+            Message::Prepare { .. } | Message::Commit { .. } => MessageClass::Vote,
+            Message::Checkpoint { .. }
+            | Message::CheckpointRequest { .. }
+            | Message::CheckpointState { .. } => MessageClass::Checkpoint,
+            Message::ViewChange { .. } | Message::NewView { .. } => MessageClass::ViewChange,
+            Message::ClientRetry { .. } | Message::ForwardRequest { .. } => MessageClass::Client,
+        }
+    }
+}
+
 /// A declarative fault/adversary plan applied to every message.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -37,6 +68,10 @@ pub struct FaultPlan {
     pub delayed_senders: BTreeSet<ReplicaId>,
     /// Extra delay applied to messages from `delayed_senders` to `victims`.
     pub delay_us: u64,
+    /// Message classes the withholding/delay rules apply to; empty targets
+    /// every class. Crashed replicas drop everything regardless — a dead
+    /// host does not filter by message kind.
+    pub target_classes: BTreeSet<MessageClass>,
 }
 
 impl FaultPlan {
@@ -64,12 +99,18 @@ impl FaultPlan {
         delay_us: u64,
     ) -> Self {
         FaultPlan {
-            failed: BTreeSet::new(),
             withholding: byzantine.into_iter().collect(),
             victims: victims.into_iter().collect(),
             delayed_senders: BTreeSet::from([delayed]),
             delay_us,
+            ..FaultPlan::default()
         }
+    }
+
+    /// Restricts the withholding/delay rules to the given message classes.
+    pub fn targeting(mut self, classes: impl IntoIterator<Item = MessageClass>) -> Self {
+        self.target_classes = classes.into_iter().collect();
+        self
     }
 
     /// Returns `true` when the replica has crashed.
@@ -77,10 +118,18 @@ impl FaultPlan {
         self.failed.contains(&replica)
     }
 
+    /// Whether the class-targeted rules apply to this message.
+    fn targets(&self, msg: &Message) -> bool {
+        self.target_classes.is_empty() || self.target_classes.contains(&MessageClass::of(msg))
+    }
+
     /// Decides the fate of a message from `from` to `to`.
-    pub fn fate(&self, from: ReplicaId, to: ReplicaId, _msg: &Message) -> DeliveryFate {
+    pub fn fate(&self, from: ReplicaId, to: ReplicaId, msg: &Message) -> DeliveryFate {
         if self.failed.contains(&from) || self.failed.contains(&to) {
             return DeliveryFate::Drop;
+        }
+        if !self.targets(msg) {
+            return DeliveryFate::Deliver;
         }
         if self.withholding.contains(&from) && self.victims.contains(&to) {
             return DeliveryFate::Drop;
@@ -130,6 +179,47 @@ mod tests {
         assert_eq!(
             plan.fate(ReplicaId(0), ReplicaId(1), &msg()),
             DeliveryFate::Deliver
+        );
+    }
+
+    #[test]
+    fn class_targeted_plans_only_touch_matching_traffic() {
+        // Withhold only vote traffic from the victim: Prepare is dropped,
+        // but PrePrepare (a Proposal) still flows.
+        let plan = FaultPlan::responsiveness_attack(
+            [ReplicaId(0)],
+            [ReplicaId(2)],
+            ReplicaId(1),
+            5_000_000,
+        )
+        .targeting([MessageClass::Vote]);
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(2), &msg()),
+            DeliveryFate::Drop
+        );
+        let proposal = Message::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            batch: flexitrust_crypto::make_batch(Vec::new()),
+            attestation: None,
+        };
+        assert_eq!(
+            plan.fate(ReplicaId(0), ReplicaId(2), &proposal),
+            DeliveryFate::Deliver
+        );
+        assert_eq!(
+            plan.fate(ReplicaId(1), ReplicaId(2), &proposal),
+            DeliveryFate::Deliver
+        );
+        // Crashes ignore targeting: a dead host drops everything.
+        let crashed = FaultPlan::single_failure(ReplicaId(2)).targeting([MessageClass::Vote]);
+        assert_eq!(
+            plan.fate(ReplicaId(1), ReplicaId(2), &msg()),
+            DeliveryFate::Delay(5_000_000)
+        );
+        assert_eq!(
+            crashed.fate(ReplicaId(0), ReplicaId(2), &proposal),
+            DeliveryFate::Drop
         );
     }
 

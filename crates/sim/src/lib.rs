@@ -24,6 +24,7 @@
 //! and summarised in a [`metrics::SimReport`]. [`registry`] builds engine
 //! clusters for every protocol in the repository.
 
+pub mod chaos;
 pub mod cost;
 pub mod faults;
 pub mod link;
@@ -33,8 +34,9 @@ pub mod registry;
 pub mod runner;
 pub mod spec;
 
+pub use chaos::{ChaosEvent, ChaosPlan, CrashAtSeq, LinkChaos};
 pub use cost::CostModel;
-pub use faults::{DeliveryFate, FaultPlan};
+pub use faults::{DeliveryFate, FaultPlan, MessageClass};
 pub use link::{Direction, LinkClass, LinkQueues, LinkUsage, Nic};
 pub use metrics::{CommittedTxn, SimReport};
 pub use net::NetworkModel;

@@ -1,6 +1,6 @@
 //! Simulation output: throughput, latency distribution, resource usage.
 
-use flexitrust_types::ProtocolId;
+use flexitrust_types::{Digest, ProtocolId};
 
 pub use crate::link::{Direction, LinkClass, LinkUsage, Nic};
 pub use flexitrust_host::CommittedTxn;
@@ -57,6 +57,19 @@ pub struct SimReport {
     /// direction. Egress rows are what NICs sent; ingress rows (present
     /// only when `ingress_mbps` is configured) are what they ingested.
     pub link_usage: Vec<LinkUsage>,
+    /// Per-replica `(last_executed, state digest)` at the end of the run —
+    /// the basis of the chaos safety check. `None` digests come from
+    /// engines that do not expose one.
+    pub replica_frontiers: Vec<(u64, Option<Digest>)>,
+    /// Disruptive chaos events applied (partitions formed, crashes — both
+    /// scripted and commit-triggered).
+    pub chaos_disruptions: u64,
+    /// Virtual time (ns) of the last restorative chaos event (partition
+    /// heal or replica recovery); 0 when none fired.
+    pub last_restore_ns: u64,
+    /// Client completions at or after the last restorative event — the
+    /// liveness checker's progress signal.
+    pub completed_after_restore: u64,
     /// Every completed transaction (warm-up included), sorted by sequence
     /// number; the basis of cross-host equivalence checks. Recorded only
     /// when `ScenarioSpec::record_commit_log` is set (on in `quick_test`,
@@ -112,6 +125,47 @@ impl SimReport {
     /// (under unlimited bandwidth none does).
     pub fn busiest_link(&self) -> Option<&LinkUsage> {
         self.link_usage.iter().max_by_key(|u| u.busy_ns)
+    }
+
+    /// The chaos safety/liveness invariant checker.
+    ///
+    /// **Safety**: no two replicas that executed equally far may hold
+    /// divergent state digests — under *any* plan, partitioned, crashed or
+    /// chaos-ridden. (Prefix agreement below the frontier is enforced by
+    /// the checkpoint protocol itself: stable checkpoints require a quorum
+    /// of matching state digests.)
+    ///
+    /// **Liveness**: commit progress must have resumed after the last
+    /// restorative event (partition heal / replica recovery); a plan with
+    /// no restorative events must simply have completed transactions.
+    pub fn check_chaos_invariants(&self) -> Result<(), String> {
+        for (i, (seq_a, digest_a)) in self.replica_frontiers.iter().enumerate() {
+            for (j, (seq_b, digest_b)) in self.replica_frontiers.iter().enumerate().skip(i + 1) {
+                if seq_a != seq_b {
+                    continue;
+                }
+                if let (Some(a), Some(b)) = (digest_a, digest_b) {
+                    if a != b {
+                        return Err(format!(
+                            "safety violation: replicas {i} and {j} both executed \
+                             through seq {seq_a} with divergent state digests"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.last_restore_ns > 0 {
+            if self.completed_after_restore == 0 {
+                return Err(format!(
+                    "liveness violation: no client completions after the last \
+                     heal/recover at {} ns",
+                    self.last_restore_ns
+                ));
+            }
+        } else if self.completed_txns == 0 {
+            return Err("liveness violation: no transactions completed".to_string());
+        }
+        Ok(())
     }
 
     /// One-line human-readable summary.
@@ -207,8 +261,50 @@ mod tests {
                     messages: 600,
                 },
             ],
+            replica_frontiers: vec![(100, Some(Digest::from_u64_tag(1))); 4],
+            chaos_disruptions: 0,
+            last_restore_ns: 0,
+            completed_after_restore: 0,
             commit_log: Vec::new(),
         }
+    }
+
+    #[test]
+    fn chaos_checker_flags_divergent_digests_at_equal_frontiers() {
+        let mut r = report();
+        assert!(r.check_chaos_invariants().is_ok());
+        // Divergence at the same frontier is a safety violation…
+        r.replica_frontiers[2] = (100, Some(Digest::from_u64_tag(9)));
+        assert!(r
+            .check_chaos_invariants()
+            .unwrap_err()
+            .contains("safety violation"));
+        // …but a replica still catching up (different frontier) is not.
+        r.replica_frontiers[2] = (60, Some(Digest::from_u64_tag(9)));
+        assert!(r.check_chaos_invariants().is_ok());
+        // Engines without a digest are skipped rather than failed.
+        r.replica_frontiers[2] = (100, None);
+        assert!(r.check_chaos_invariants().is_ok());
+    }
+
+    #[test]
+    fn chaos_checker_requires_progress_after_the_last_restore() {
+        let mut r = report();
+        r.last_restore_ns = 200_000_000;
+        r.completed_after_restore = 0;
+        assert!(r
+            .check_chaos_invariants()
+            .unwrap_err()
+            .contains("liveness violation"));
+        r.completed_after_restore = 17;
+        assert!(r.check_chaos_invariants().is_ok());
+        // Without restorative events, overall progress is the bar.
+        let mut quiet = report();
+        quiet.completed_txns = 0;
+        assert!(quiet
+            .check_chaos_invariants()
+            .unwrap_err()
+            .contains("liveness violation"));
     }
 
     #[test]

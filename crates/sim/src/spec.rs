@@ -1,5 +1,6 @@
 //! Scenario specifications.
 
+use crate::chaos::ChaosPlan;
 use crate::cost::CostModel;
 use crate::faults::FaultPlan;
 use flexitrust_trusted::TrustedHardware;
@@ -42,6 +43,14 @@ pub struct ScenarioSpec {
     pub workload: WorkloadConfig,
     /// Fault / adversary plan.
     pub faults: FaultPlan,
+    /// Time-scripted chaos plan (partitions, seeded drop/dup/reorder,
+    /// crash-recovery via checkpoint rejoin). Empty plans cost nothing: the
+    /// event schedule stays bit-identical to a run without one.
+    pub chaos: ChaosPlan,
+    /// Overrides the protocol's checkpoint interval when set; chaos
+    /// scenarios shorten it so crash-recovery exercises state transfer
+    /// within test-scale runs.
+    pub checkpoint_interval: Option<u64>,
     /// Random seed for workload generation.
     pub seed: u64,
     /// Overrides the protocol's default in-flight window when set (used to
@@ -76,6 +85,8 @@ impl ScenarioSpec {
             warmup_us: 100_000,
             workload: WorkloadConfig::tiny(),
             faults: FaultPlan::none(),
+            chaos: ChaosPlan::none(),
+            checkpoint_interval: None,
             seed: 42,
             max_in_flight: None,
             client_timeout_us: None,
@@ -106,6 +117,9 @@ impl ScenarioSpec {
         }
         if let Some(timeout) = self.client_timeout_us {
             cfg.client_timeout_us = timeout;
+        }
+        if let Some(interval) = self.checkpoint_interval {
+            cfg.checkpoint_interval = interval;
         }
         cfg.exec_workers = self.exec_workers.max(1);
         cfg

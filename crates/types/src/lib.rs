@@ -17,6 +17,7 @@ pub mod digest;
 pub mod error;
 pub mod ids;
 pub mod region;
+pub mod snapshot;
 pub mod transaction;
 
 pub use config::{ProtocolId, QuorumRule, ReplicationFactor, SystemConfig};
@@ -24,6 +25,7 @@ pub use digest::Digest;
 pub use error::{Error, Result};
 pub use ids::{ClientId, NodeId, ReplicaId, RequestId, SeqNum, View};
 pub use region::{BandwidthConfig, Region, RegionMap, WanMatrix};
+pub use snapshot::StateSnapshot;
 pub use transaction::{
     batch_payload_allocations, value_payload_allocations, Batch, KvOp, KvResult, Transaction,
     TxnOutcome, ValueBytes,

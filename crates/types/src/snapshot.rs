@@ -1,0 +1,59 @@
+//! Serializable snapshot of the executed key-value state.
+//!
+//! A [`StateSnapshot`] is the payload of a checkpoint state transfer: the
+//! full record set at a stable checkpoint boundary plus the two counters
+//! (`applied_mutations`, `fingerprint`) that make the store's incremental
+//! state digest reproducible on the installing side. It lives in the types
+//! crate so the wire codec can frame it without depending on the execution
+//! layer.
+
+use crate::ValueBytes;
+
+/// The executed state at one checkpoint boundary.
+///
+/// Values share their buffers with the originating store ([`ValueBytes`] is
+/// reference-counted), so snapshotting an in-memory store copies handles,
+/// not record bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateSnapshot {
+    /// All records at the boundary, in ascending key order.
+    pub entries: Vec<(u64, ValueBytes)>,
+    /// Mutations applied up to (and including) the boundary.
+    pub applied_mutations: u64,
+    /// The store's commutative fingerprint at the boundary.
+    pub fingerprint: u64,
+}
+
+impl StateSnapshot {
+    /// Modeled wire size: both counters, a record count, and per record a
+    /// key, a value-length prefix and the value bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + 8
+            + 4
+            + self
+                .entries
+                .iter()
+                .map(|(_, value)| 8 + 4 + value.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_counters_and_records() {
+        let snapshot = StateSnapshot {
+            entries: vec![(1, vec![0u8; 10].into()), (2, vec![0u8; 3].into())],
+            applied_mutations: 2,
+            fingerprint: 99,
+        };
+        assert_eq!(snapshot.wire_size(), 8 + 8 + 4 + (8 + 4 + 10) + (8 + 4 + 3));
+    }
+
+    #[test]
+    fn empty_snapshot_is_counters_plus_count() {
+        assert_eq!(StateSnapshot::default().wire_size(), 20);
+    }
+}

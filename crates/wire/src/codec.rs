@@ -5,7 +5,8 @@ use flexitrust_crypto::Signature;
 use flexitrust_protocol::{ClientReply, Message, PreparedProof};
 use flexitrust_trusted::{AttestKind, Attestation};
 use flexitrust_types::{
-    Batch, ClientId, Digest, KvOp, KvResult, ReplicaId, RequestId, SeqNum, Transaction, View,
+    Batch, ClientId, Digest, KvOp, KvResult, ReplicaId, RequestId, SeqNum, StateSnapshot,
+    Transaction, View,
 };
 use std::fmt;
 
@@ -431,6 +432,8 @@ pub(crate) fn header_slots(msg: &Message) -> (u64, u64) {
             ..
         } => (view.0, *supporting_votes as u64),
         Message::ClientRetry { .. } | Message::ForwardRequest { .. } => (0, 0),
+        Message::CheckpointRequest { last_executed } => (0, last_executed.0),
+        Message::CheckpointState { seq, .. } => (0, seq.0),
     }
 }
 
@@ -444,7 +447,37 @@ pub(crate) fn message_kind_tag(msg: &Message) -> u8 {
         Message::NewView { .. } => 5,
         Message::ClientRetry { .. } => 6,
         Message::ForwardRequest { .. } => 7,
+        // 8 and 9 are the frame-level KIND_SUBMIT / KIND_REPLY tags; the
+        // message and frame kinds share one byte space.
+        Message::CheckpointRequest { .. } => 10,
+        Message::CheckpointState { .. } => 11,
     }
+}
+
+/// Writes a state snapshot: the two digest counters, then the record set.
+fn write_snapshot(out: &mut Vec<u8>, snapshot: &StateSnapshot) {
+    out.extend_from_slice(&snapshot.applied_mutations.to_le_bytes());
+    out.extend_from_slice(&snapshot.fingerprint.to_le_bytes());
+    write_vec(out, &snapshot.entries, |out, (key, value)| {
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(value);
+    });
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<StateSnapshot, WireError> {
+    let applied_mutations = r.u64("snapshot mutations")?;
+    let fingerprint = r.u64("snapshot fingerprint")?;
+    let entries = read_vec(r, "snapshot record count", |r| {
+        let key = r.u64("snapshot key")?;
+        let len = r.len("snapshot value length")?;
+        Ok((key, r.take(len, "snapshot value bytes")?.into()))
+    })?;
+    Ok(StateSnapshot {
+        entries,
+        applied_mutations,
+        fingerprint,
+    })
 }
 
 fn write_proof(out: &mut Vec<u8>, proof: &PreparedProof) {
@@ -517,6 +550,17 @@ pub(crate) fn write_message_body(out: &mut Vec<u8>, msg: &Message) {
         Message::ForwardRequest { txns } => {
             write_vec(out, txns, encode_transaction);
         }
+        // The requester's last executed seq travels in header slot `b`.
+        Message::CheckpointRequest { .. } => {}
+        Message::CheckpointState {
+            snapshot, batches, ..
+        } => {
+            write_snapshot(out, snapshot);
+            write_vec(out, batches, |out, (seq, batch)| {
+                out.extend_from_slice(&seq.0.to_le_bytes());
+                write_batch(out, batch);
+            });
+        }
     }
 }
 
@@ -583,6 +627,18 @@ pub(crate) fn read_message_body(
         },
         7 => Message::ForwardRequest {
             txns: read_vec(r, "forward txn count", read_transaction)?,
+        },
+        10 => Message::CheckpointRequest {
+            last_executed: SeqNum(b),
+        },
+        11 => Message::CheckpointState {
+            seq: SeqNum(b),
+            snapshot: read_snapshot(r)?,
+            batches: read_vec(r, "checkpoint batch count", |r| {
+                let seq = SeqNum(r.u64("checkpoint batch seq")?);
+                let batch = read_batch(r)?;
+                Ok((seq, batch))
+            })?,
         },
         tag => {
             return Err(WireError::BadTag {

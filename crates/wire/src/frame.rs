@@ -301,6 +301,18 @@ mod tests {
             Message::ForwardRequest {
                 txns: vec![txn(16), txn(1)],
             },
+            Message::CheckpointRequest {
+                last_executed: SeqNum(40),
+            },
+            Message::CheckpointState {
+                seq: SeqNum(100),
+                snapshot: flexitrust_types::StateSnapshot {
+                    entries: vec![(1, vec![0xcd; 24].into()), (9, vec![].into())],
+                    applied_mutations: 17,
+                    fingerprint: 0xdead_beef,
+                },
+                batches: vec![(SeqNum(101), batch()), (SeqNum(102), Batch::noop(102))],
+            },
         ]
     }
 

@@ -59,10 +59,13 @@ pub mod prelude {
     pub use flexitrust_protocol::{
         ClientLibrary, ConsensusEngine, Message, Outbox, ProtocolProperties, TimerKind,
     };
-    pub use flexitrust_runtime::{Cluster, ClusterSummary, PrimaryTracker, TcpCluster};
+    pub use flexitrust_runtime::{
+        Cluster, ClusterSummary, CrashWindow, PrimaryTracker, TcpCluster,
+    };
     pub use flexitrust_sim::{
-        CostModel, Direction, FaultPlan, LinkClass, LinkQueues, LinkUsage, NetworkModel, Nic,
-        ScenarioSpec, SimReport, Simulation,
+        ChaosEvent, ChaosPlan, CostModel, CrashAtSeq, Direction, FaultPlan, LinkChaos, LinkClass,
+        LinkQueues, LinkUsage, MessageClass, NetworkModel, Nic, ScenarioSpec, SimReport,
+        Simulation,
     };
     pub use flexitrust_trusted::{Enclave, EnclaveConfig, EnclaveRegistry, TrustedHardware};
     pub use flexitrust_types::{

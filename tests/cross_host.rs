@@ -124,6 +124,107 @@ fn flexi_zz_speculative_replies_commit_identically_in_all_three_hosts() {
     assert_same_commit_sequence(ProtocolId::FlexiZz);
 }
 
+/// Workload shape for the crash-recovery pin: enough one-request clients
+/// that the crash window (crash once replica 2 executes seq 40, rejoin
+/// once the rest reach seq 120) sits strictly inside the run.
+const CHAOS_CLIENTS: usize = 1600;
+const CHAOS_SEQS: u64 = (CHAOS_CLIENTS / BATCH) as u64;
+const CRASH_AT: u64 = 40;
+const RECOVER_AT: u64 = 120;
+/// Shortened checkpoint interval so recovery has a stable checkpoint to
+/// transfer well before the workload drains.
+const CHAOS_CHECKPOINT: u64 = 20;
+
+/// Simulator commit log (restricted to the initial requests) plus replica
+/// 2's final execution frontier, under the crash window.
+fn simulator_commits_with_crash(protocol: ProtocolId) -> (Vec<CommittedTxn>, u64) {
+    let mut spec = ScenarioSpec::quick_test(protocol);
+    spec.f = F;
+    spec.batch_size = BATCH;
+    spec.clients = CHAOS_CLIENTS;
+    spec.checkpoint_interval = Some(CHAOS_CHECKPOINT);
+    spec.chaos = ChaosPlan::none().with_crash_windows(vec![CrashAtSeq {
+        replica: ReplicaId(2),
+        crash_at_seq: CRASH_AT,
+        recover_at_seq: RECOVER_AT,
+    }]);
+    let report = Simulation::new(spec).run();
+    report
+        .check_chaos_invariants()
+        .expect("crash-recovery run must hold safety and restore liveness");
+    let frontier = report.replica_frontiers[2].0;
+    let commits = report
+        .commit_log
+        .iter()
+        .filter(|c| c.seq.0 <= CHAOS_SEQS)
+        .copied()
+        .collect();
+    (commits, frontier)
+}
+
+/// Threaded-cluster commit log plus replica 2's final execution frontier,
+/// under the same crash window driven by the shared frontier board.
+fn cluster_commits_with_crash(protocol: ProtocolId) -> (Vec<CommittedTxn>, u64) {
+    let cluster = Cluster::start_with_chaos(
+        protocol,
+        F,
+        BATCH,
+        1,
+        Some(CHAOS_CHECKPOINT),
+        Some(CrashWindow {
+            replica: ReplicaId(2),
+            crash_at_seq: CRASH_AT,
+            recover_at_seq: RECOVER_AT,
+        }),
+    );
+    let summary = cluster.run_workload(CHAOS_CLIENTS, CHAOS_CLIENTS, Duration::from_secs(120));
+    // The workload completes on the client quorum; give replica 2's thread
+    // a beat to finish its state transfer and publish the caught-up
+    // frontier before tearing the cluster down.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut frontier = cluster.replica_frontiers()[2];
+    while frontier < RECOVER_AT && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        frontier = cluster.replica_frontiers()[2];
+    }
+    cluster.shutdown();
+    assert_eq!(
+        summary.completed_txns, CHAOS_CLIENTS as u64,
+        "{protocol}: cluster with a crashed replica did not commit the full workload"
+    );
+    (summary.commit_log, frontier)
+}
+
+/// Crash-recovery pin: with replica 2 down between seq 40 and seq 120 the
+/// remaining three replicas still hold exactly the commit quorum, so the
+/// commit sequence must be identical to the fault-free one — and identical
+/// between the simulator and the threaded cluster. Replica 2 must rejoin
+/// via checkpoint state transfer and end past the recovery point in both
+/// hosts.
+#[test]
+fn crashed_replica_rejoins_and_hosts_agree_on_the_commit_sequence() {
+    let (sim, sim_frontier) = simulator_commits_with_crash(ProtocolId::FlexiBft);
+    let (cluster, cluster_frontier) = cluster_commits_with_crash(ProtocolId::FlexiBft);
+    assert_eq!(
+        sim.len(),
+        CHAOS_CLIENTS,
+        "simulator committed {} of the {CHAOS_CLIENTS} initial requests in seqs 1..={CHAOS_SEQS}",
+        sim.len()
+    );
+    assert_eq!(
+        sim, cluster,
+        "simulator and threaded cluster commit logs diverge under the crash window"
+    );
+    assert!(
+        sim_frontier >= RECOVER_AT,
+        "simulated replica 2 stopped at seq {sim_frontier}, before the seq-{RECOVER_AT} rejoin point"
+    );
+    assert!(
+        cluster_frontier >= RECOVER_AT,
+        "cluster replica 2 stopped at seq {cluster_frontier}, before the seq-{RECOVER_AT} rejoin point"
+    );
+}
+
 /// Sharded parallel execution is a pure implementation detail: for every
 /// worker configuration, both threaded hosts commit exactly the sequence
 /// the serial simulator commits. (Digest agreement is implied too — the
